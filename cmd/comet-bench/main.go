@@ -1,0 +1,73 @@
+// Command comet-bench regenerates the paper's tables and figures (see the
+// per-experiment index in DESIGN.md).
+//
+// Examples:
+//
+//	comet-bench -experiment table2
+//	comet-bench -all
+//	comet-bench -all -full        # paper-scale parameters (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/comet-explain/comet/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id: "+strings.Join(experiments.AllIDs(), ", "))
+		all        = flag.Bool("all", false, "run every experiment")
+		full       = flag.Bool("full", false, "paper-scale parameters (hours)")
+		blocks     = flag.Int("blocks", 0, "override test-set size")
+		seeds      = flag.Int("seeds", 0, "override seed count")
+		coverage   = flag.Int("coverage-samples", 0, "override coverage pool size")
+		train      = flag.Int("train-blocks", 0, "override ithemal training-set size")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	params := experiments.DefaultParams()
+	if *full {
+		params = experiments.PaperParams()
+	}
+	if *blocks > 0 {
+		params.Blocks = *blocks
+	}
+	if *seeds > 0 {
+		params.Seeds = *seeds
+	}
+	if *coverage > 0 {
+		params.CoverageSamples = *coverage
+	}
+	if *train > 0 {
+		params.TrainBlocks = *train
+	}
+	if !*quiet {
+		params.Progress = os.Stderr
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.AllIDs()
+	case *experiment != "":
+		ids = strings.Split(*experiment, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "comet-bench: pass -experiment <id> or -all; ids:", strings.Join(experiments.AllIDs(), ", "))
+		os.Exit(2)
+	}
+
+	session := experiments.NewSession(params)
+	for _, id := range ids {
+		table, err := session.Run(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "comet-bench:", err)
+			os.Exit(1)
+		}
+		table.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,88 @@
+// Command comet-dataset emits a synthetic BHive-like dataset as JSON lines:
+// one object per block with its assembly text, category, source, and
+// per-microarchitecture throughput labels.
+//
+// Example:
+//
+//	comet-dataset -n 500 -seed 7 > blocks.jsonl
+//	comet-dataset -n 100 -category Vector -min 4 -max 10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/comet-explain/comet"
+)
+
+type record struct {
+	Asm        string             `json:"asm"`
+	Instrs     int                `json:"instrs"`
+	Category   string             `json:"category"`
+	Source     string             `json:"source"`
+	Throughput map[string]float64 `json:"throughput_cycles"`
+}
+
+func main() {
+	var (
+		n        = flag.Int("n", 200, "number of blocks")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		minI     = flag.Int("min", 4, "minimum instructions per block")
+		maxI     = flag.Int("max", 10, "maximum instructions per block")
+		category = flag.String("category", "", "restrict to one category (Load, Store, Load/Store, Scalar, Vector, Scalar/Vector)")
+		source   = flag.String("source", "", "restrict to one source (clang, openblas)")
+		noLabels = flag.Bool("no-labels", false, "skip throughput labeling (faster)")
+	)
+	flag.Parse()
+
+	cfg := comet.DatasetConfig{
+		N: *n, Seed: *seed, MinInstrs: *minI, MaxInstrs: *maxI, SkipLabels: *noLabels,
+	}
+	if *category != "" {
+		cat, err := parseCategory(*category)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Category = &cat
+	}
+	if *source != "" {
+		src := comet.BlockSource(strings.ToLower(*source))
+		cfg.Source = &src
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, b := range comet.GenerateDataset(cfg) {
+		rec := record{
+			Asm:      b.Block.String(),
+			Instrs:   b.Block.Len(),
+			Category: b.Category.String(),
+			Source:   string(b.Source),
+		}
+		if !*noLabels {
+			rec.Throughput = map[string]float64{}
+			for arch, th := range b.Throughput {
+				rec.Throughput[arch.String()] = th
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func parseCategory(name string) (comet.BlockCategory, error) {
+	for _, cat := range comet.Categories() {
+		if strings.EqualFold(cat.String(), name) {
+			return cat, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown category %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "comet-dataset:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,144 @@
+// Command comet explains a cost model's prediction for one basic block.
+//
+// The block is read from a file (-in) or stdin, in Intel syntax, one
+// instruction per line. The model is chosen with -model: the analytical
+// model C, the uiCA-like simulator, the hardware-grade simulator, or a
+// freshly trained Ithemal-style neural model.
+//
+// Example:
+//
+//	echo 'add rcx, rax
+//	mov rdx, rcx
+//	pop rbx' | comet -model uica -arch hsw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/comet-explain/comet"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "uica", "cost model: c | uica | mca | hwsim | ithemal")
+		archName  = flag.String("arch", "hsw", "microarchitecture: hsw | skl")
+		inPath    = flag.String("in", "", "file with the basic block (default: stdin)")
+		seed      = flag.Int64("seed", 1, "explanation seed")
+		coverage  = flag.Int("coverage-samples", 1000, "coverage pool size")
+		epsilon   = flag.Float64("epsilon", 0, "ε-ball radius (default 0.5, or 0.25 for -model c)")
+		threshold = flag.Float64("threshold", 0.7, "precision threshold 1−δ")
+		trainN    = flag.Int("train-blocks", 1500, "training-set size for -model ithemal")
+		saveModel = flag.String("save-model", "", "save the trained ithemal model to this file")
+		loadModel = flag.String("load-model", "", "load a previously saved ithemal model")
+		report    = flag.Bool("report", false, "also print the pipeline bottleneck report")
+	)
+	flag.Parse()
+
+	arch, err := parseArch(*archName)
+	if err != nil {
+		fatal(err)
+	}
+	model, defEps, err := buildModel(*modelName, arch, *trainN, *loadModel, *saveModel)
+	if err != nil {
+		fatal(err)
+	}
+
+	src, err := readInput(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+	block, err := comet.ParseBlock(src)
+	if err != nil {
+		fatal(fmt.Errorf("parsing block: %w", err))
+	}
+
+	cfg := comet.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.CoverageSamples = *coverage
+	cfg.PrecisionThreshold = *threshold
+	cfg.Epsilon = defEps
+	if *epsilon > 0 {
+		cfg.Epsilon = *epsilon
+	}
+
+	expl, err := comet.NewExplainer(model, cfg).Explain(block)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("block (%d instructions):\n%s\n\n", block.Len(), indent(block.String()))
+	fmt.Printf("model:       %s (%v)\n", model.Name(), model.Arch())
+	fmt.Printf("prediction:  %.2f cycles/iteration\n", expl.Prediction)
+	fmt.Printf("explanation: %s\n", expl.Features)
+	fmt.Printf("precision:   %.2f (threshold %.2f, certified=%v)\n", expl.Precision, cfg.PrecisionThreshold, expl.Certified)
+	fmt.Printf("coverage:    %.2f\n", expl.Coverage)
+	fmt.Printf("queries:     %d\n", expl.Queries)
+
+	if *report {
+		rep, err := comet.AnalyzeBlock(arch, block)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\npipeline report (hardware-grade simulator):\n%s", rep)
+	}
+}
+
+func parseArch(name string) (comet.Arch, error) {
+	switch strings.ToLower(name) {
+	case "hsw", "haswell":
+		return comet.Haswell, nil
+	case "skl", "skylake":
+		return comet.Skylake, nil
+	}
+	return comet.Haswell, fmt.Errorf("unknown arch %q (want hsw or skl)", name)
+}
+
+func buildModel(name string, arch comet.Arch, trainN int, loadPath, savePath string) (comet.CostModel, float64, error) {
+	switch strings.ToLower(name) {
+	case "c", "analytical":
+		return comet.NewAnalyticalModel(arch), comet.AnalyticalEpsilon, nil
+	case "uica":
+		return comet.NewUICAModel(arch), 0.5, nil
+	case "mca":
+		return comet.NewMCAModel(arch), 0.5, nil
+	case "hwsim", "hardware":
+		return comet.NewHardwareSimulator(arch), 0.5, nil
+	case "ithemal", "neural":
+		if loadPath != "" {
+			m, err := comet.LoadIthemalModelFile(loadPath)
+			return m, 0.5, err
+		}
+		fmt.Fprintf(os.Stderr, "training ithemal surrogate on %d synthetic blocks...\n", trainN)
+		m := comet.TrainIthemalOnDataset(comet.DefaultIthemalConfig(arch), trainN, 42)
+		if savePath != "" {
+			if err := m.SaveFile(savePath); err != nil {
+				return nil, 0, err
+			}
+			fmt.Fprintf(os.Stderr, "saved model to %s\n", savePath)
+		}
+		return m, 0.5, nil
+	}
+	return nil, 0, fmt.Errorf("unknown model %q (want c, uica, mca, hwsim, or ithemal)", name)
+}
+
+func readInput(path string) (string, error) {
+	if path == "" {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	}
+	data, err := os.ReadFile(path)
+	return string(data), err
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(s, "\n", "\n    ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "comet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,158 @@
+// Package comet is a from-scratch Go implementation of COMET, the neural
+// cost model explanation framework of Chaudhary, Renda, Mendis & Singh
+// (MLSys 2024). Given query access to any basic-block cost model, COMET
+// explains a prediction with a small set of block features — specific
+// instructions, data dependencies, or the instruction count — whose
+// preservation keeps the model's prediction within an ε-ball with
+// probability at least 1−δ, chosen to maximize coverage over the space of
+// block perturbations.
+//
+// The package re-exports the user-facing surface of the internal
+// implementation: the x86 frontend, the cost-model zoo (analytical,
+// simulation-based, and a trainable hierarchical-LSTM neural model), the
+// BHive-like dataset generator, and the explainer itself.
+//
+// Quickstart:
+//
+//	block := comet.MustParseBlock("add rcx, rax\nmov rdx, rcx\npop rbx")
+//	model := comet.NewUICAModel(comet.Haswell)
+//	expl, err := comet.NewExplainer(model, comet.DefaultConfig()).Explain(block)
+//	fmt.Println(expl)
+package comet
+
+import (
+	"math/rand"
+
+	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/costmodel"
+	"github.com/comet-explain/comet/internal/deps"
+	"github.com/comet-explain/comet/internal/features"
+	"github.com/comet-explain/comet/internal/perturb"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// Core re-exported types. These are aliases, so values flow freely between
+// the public API and the internal packages.
+type (
+	// BasicBlock is a straight-line x86 instruction sequence.
+	BasicBlock = x86.BasicBlock
+	// Instruction is one decoded x86 instruction.
+	Instruction = x86.Instruction
+	// Arch selects a target microarchitecture.
+	Arch = x86.Arch
+	// Feature is one explanation feature (instruction, dependency, or η).
+	Feature = features.Feature
+	// FeatureSet is an ordered set of distinct features.
+	FeatureSet = features.Set
+	// FeatureKind classifies features (instruction / dependency / count).
+	FeatureKind = features.Kind
+	// Hazard is a data-dependency hazard type (RAW/WAR/WAW).
+	Hazard = deps.Hazard
+	// DependencyGraph is the block's dependency multigraph.
+	DependencyGraph = deps.Graph
+	// CostModel is the query-only model interface COMET explains.
+	CostModel = costmodel.Model
+	// Explainer generates explanations for one cost model.
+	Explainer = core.Explainer
+	// Explanation is COMET's output for one (model, block) pair.
+	Explanation = core.Explanation
+	// Config collects COMET's hyperparameters.
+	Config = core.Config
+	// PerturbConfig configures the Γ perturbation algorithm.
+	PerturbConfig = perturb.Config
+	// Perturber samples perturbations of a fixed block (advanced use).
+	Perturber = perturb.Perturber
+)
+
+// Microarchitectures supported by the performance tables.
+const (
+	Haswell = x86.Haswell
+	Skylake = x86.Skylake
+)
+
+// Feature kinds, from fine- to coarse-grained.
+const (
+	FeatureInstr = features.KindInstr
+	FeatureDep   = features.KindDep
+	FeatureCount = features.KindCount
+)
+
+// Hazard kinds.
+const (
+	RAW = deps.RAW
+	WAR = deps.WAR
+	WAW = deps.WAW
+)
+
+// ParseBlock parses an Intel-syntax basic block (one instruction per line;
+// blank lines, "N:" prefixes, and ";"/"#" comments are ignored).
+func ParseBlock(src string) (*BasicBlock, error) { return x86.ParseBlock(src) }
+
+// MustParseBlock is ParseBlock that panics on error.
+func MustParseBlock(src string) *BasicBlock { return x86.MustParseBlock(src) }
+
+// DefaultConfig returns the paper's COMET settings (ε = 0.5 cycles,
+// precision threshold 0.7, Γ probabilities from Appendix E) at a
+// benchmark-friendly coverage-pool size.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultPerturbConfig returns Γ's paper settings.
+func DefaultPerturbConfig() PerturbConfig { return perturb.DefaultConfig() }
+
+// NewExplainer builds an explainer for a cost model. The model must be
+// safe for concurrent Predict calls.
+func NewExplainer(model CostModel, cfg Config) *Explainer {
+	return core.NewExplainer(model, cfg)
+}
+
+// NewPerturber prepares Γ for one block (advanced: direct access to the
+// perturbation distributions D_F).
+func NewPerturber(b *BasicBlock, cfg PerturbConfig) (*Perturber, error) {
+	return perturb.New(b, cfg)
+}
+
+// ExtractFeatures returns the block's explanation feature set ˆP.
+func ExtractFeatures(b *BasicBlock) (FeatureSet, error) {
+	return features.ExtractFromBlock(b, deps.Options{})
+}
+
+// BuildDependencyGraph returns the block's dependency multigraph G.
+func BuildDependencyGraph(b *BasicBlock) (*DependencyGraph, error) {
+	return deps.Build(b, deps.Options{})
+}
+
+// EstimatePrecision re-estimates Prec(F) for an explanation on n fresh
+// perturbations.
+func EstimatePrecision(model CostModel, b *BasicBlock, set FeatureSet, cfg Config, n int, rng *rand.Rand) (float64, error) {
+	return core.EstimatePrecision(model, b, set, cfg, n, rng)
+}
+
+// EstimateCoverage re-estimates Cov(F) on n fresh unconstrained
+// perturbations.
+func EstimateCoverage(b *BasicBlock, set FeatureSet, cfg Config, n int, rng *rand.Rand) (float64, error) {
+	return core.EstimateCoverage(b, set, cfg, n, rng)
+}
+
+// Baseline explainers and the accuracy criterion of the paper's Table 2.
+
+// Accurate reports whether an explanation names at least one ground-truth
+// feature and nothing outside the ground truth.
+func Accurate(expl, gt FeatureSet) bool { return core.Accurate(expl, gt) }
+
+// RandomExplanation draws the random-baseline explanation.
+func RandomExplanation(rng *rand.Rand, feats FeatureSet, kindProbs map[FeatureKind]float64) FeatureSet {
+	return core.RandomExplanation(rng, feats, kindProbs)
+}
+
+// FixedExplanation returns the fixed-baseline explanation.
+func FixedExplanation(feats FeatureSet, kind FeatureKind) FeatureSet {
+	return core.FixedExplanation(feats, kind)
+}
+
+// KindDistribution returns feature-kind frequencies over ground-truth sets.
+func KindDistribution(gts []FeatureSet) map[FeatureKind]float64 {
+	return core.KindDistribution(gts)
+}
+
+// MostFrequentKind returns the dominant kind over ground-truth sets.
+func MostFrequentKind(gts []FeatureSet) FeatureKind { return core.MostFrequentKind(gts) }

@@ -1,0 +1,153 @@
+package comet_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/comet-explain/comet"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	block, err := comet.ParseBlock("add rcx, rax\nmov rdx, rcx\npop rbx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := comet.NewUICAModel(comet.Haswell)
+	cfg := comet.DefaultConfig()
+	cfg.CoverageSamples = 200
+	expl, err := comet.NewExplainer(model, cfg).Explain(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expl.Features) == 0 {
+		t.Error("empty explanation")
+	}
+	if expl.Prediction <= 0 {
+		t.Errorf("prediction = %v", expl.Prediction)
+	}
+	if !strings.Contains(expl.String(), "uica") {
+		t.Errorf("explanation string %q should name the model", expl.String())
+	}
+}
+
+func TestPublicAPIModels(t *testing.T) {
+	block := comet.MustParseBlock("div rcx\nadd rax, rbx")
+	for _, arch := range []comet.Arch{comet.Haswell, comet.Skylake} {
+		c := comet.NewAnalyticalModel(arch)
+		u := comet.NewUICAModel(arch)
+		h := comet.NewHardwareSimulator(arch)
+		for _, m := range []comet.CostModel{c, u, h} {
+			if p := m.Predict(block); p <= 0 {
+				t.Errorf("%s/%v predicted %v", m.Name(), arch, p)
+			}
+		}
+		gt, err := c.GroundTruth(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gt) == 0 {
+			t.Error("empty ground truth")
+		}
+	}
+}
+
+func TestPublicAPIDataset(t *testing.T) {
+	blocks := comet.GenerateDataset(comet.DatasetConfig{N: 10, Seed: 3, SkipLabels: true})
+	if len(blocks) != 10 {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	cat := comet.CategoryVector
+	vec := comet.GenerateDataset(comet.DatasetConfig{N: 5, Seed: 3, Category: &cat, SkipLabels: true})
+	for _, b := range vec {
+		if b.Category != comet.CategoryVector {
+			t.Errorf("category = %v", b.Category)
+		}
+	}
+	if len(comet.Categories()) != 6 || len(comet.Sources()) != 2 {
+		t.Error("taxonomy size wrong")
+	}
+}
+
+func TestPublicAPIFeaturesAndGraph(t *testing.T) {
+	block := comet.MustParseBlock("add rcx, rax\nmov rdx, rcx")
+	feats, err := comet.ExtractFeatures(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feats.HasKind(comet.FeatureCount) || !feats.HasKind(comet.FeatureDep) {
+		t.Errorf("features missing kinds: %v", feats)
+	}
+	g, err := comet.BuildDependencyGraph(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1, comet.RAW) {
+		t.Errorf("missing RAW edge: %v", g.Edges)
+	}
+}
+
+func TestPublicAPIIthemalTinyTrain(t *testing.T) {
+	cfg := comet.DefaultIthemalConfig(comet.Haswell)
+	cfg.Hidden = 12
+	cfg.EmbedDim = 8
+	cfg.Epochs = 2
+	cfg.Workers = 2
+	m := comet.TrainIthemalOnDataset(cfg, 60, 9)
+	block := comet.MustParseBlock("add rax, rbx")
+	if p := m.Predict(block); p <= 0 {
+		t.Errorf("prediction = %v", p)
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	block := comet.MustParseBlock("add rcx, rax\nmov rdx, rcx\npop rbx")
+	feats, err := comet.ExtractFeatures(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := comet.FeatureSet{feats[0]}
+	if !comet.Accurate(comet.FeatureSet{feats[0]}, gt) {
+		t.Error("identity explanation should be accurate")
+	}
+	probs := comet.KindDistribution([]comet.FeatureSet{gt})
+	r := comet.RandomExplanation(rand.New(rand.NewSource(1)), feats, probs)
+	if len(r) != 1 {
+		t.Errorf("random baseline size %d", len(r))
+	}
+	f := comet.FixedExplanation(feats, comet.MostFrequentKind([]comet.FeatureSet{gt}))
+	if len(f) != 1 {
+		t.Errorf("fixed baseline size %d", len(f))
+	}
+}
+
+func TestPublicAPIPrecisionCoverageEstimators(t *testing.T) {
+	block := comet.MustParseBlock("mov rax, rbx\ndiv rcx")
+	model := comet.NewAnalyticalModel(comet.Haswell)
+	cfg := comet.DefaultConfig()
+	cfg.Epsilon = comet.AnalyticalEpsilon
+	feats, _ := comet.ExtractFeatures(block)
+	rng := rand.New(rand.NewSource(2))
+	p, err := comet.EstimatePrecision(model, block, feats, cfg, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.9 {
+		t.Errorf("full feature set should be near-perfectly precise, got %v", p)
+	}
+	cov, err := comet.EstimateCoverage(block, comet.FeatureSet{}, cfg, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov != 1 {
+		t.Errorf("empty set coverage = %v, want 1", cov)
+	}
+}
+
+func TestPublicAPIInstructionThroughput(t *testing.T) {
+	div := comet.MustParseBlock("div rcx").Instructions[0]
+	add := comet.MustParseBlock("add rax, rbx").Instructions[0]
+	if !(comet.InstructionThroughput(comet.Haswell, div) > comet.InstructionThroughput(comet.Haswell, add)) {
+		t.Error("div should out-cost add")
+	}
+}

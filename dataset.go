@@ -1,0 +1,43 @@
+package comet
+
+import "github.com/comet-explain/comet/internal/bhive"
+
+// The synthetic BHive-like dataset generator (see DESIGN.md for the
+// substitution rationale).
+
+// DatasetBlock is one generated block with metadata and hardware labels.
+type DatasetBlock = bhive.Block
+
+// DatasetConfig controls dataset generation.
+type DatasetConfig = bhive.Config
+
+// BlockCategory is the BHive taxonomy (Load, Store, ..., Scalar/Vector).
+type BlockCategory = bhive.Category
+
+// BlockSource labels the real-world-codebase flavor of a block.
+type BlockSource = bhive.Source
+
+// Block categories.
+const (
+	CategoryLoad         = bhive.Load
+	CategoryStore        = bhive.Store
+	CategoryLoadStore    = bhive.LoadStore
+	CategoryScalar       = bhive.Scalar
+	CategoryVector       = bhive.Vector
+	CategoryScalarVector = bhive.ScalarVector
+)
+
+// Block sources.
+const (
+	SourceClang    = bhive.SourceClang
+	SourceOpenBLAS = bhive.SourceOpenBLAS
+)
+
+// Categories lists all six block categories.
+func Categories() []BlockCategory { return bhive.Categories() }
+
+// Sources lists the modeled source partitions.
+func Sources() []BlockSource { return bhive.Sources() }
+
+// GenerateDataset produces a deterministic synthetic dataset.
+func GenerateDataset(cfg DatasetConfig) []DatasetBlock { return bhive.Generate(cfg) }

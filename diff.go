@@ -1,0 +1,31 @@
+package comet
+
+import (
+	"github.com/comet-explain/comet/internal/diff"
+)
+
+// Differential analysis: find and explain blocks where two cost models
+// disagree (the model-comparison workflow of the paper's §6.4/§7).
+
+// Disagreement is one block on which two models diverge.
+type Disagreement = diff.Disagreement
+
+// ExplainedDisagreement pairs a disagreement with both models' COMET
+// explanations.
+type ExplainedDisagreement = diff.Explained
+
+// FindDisagreements ranks blocks by relative disagreement between two
+// models, largest first.
+func FindDisagreements(a, b CostModel, blocks []*BasicBlock) []Disagreement {
+	return diff.Find(a, b, blocks)
+}
+
+// ExplainDisagreement runs COMET on both models for a disagreeing block.
+func ExplainDisagreement(a, b CostModel, d Disagreement, cfg Config) (ExplainedDisagreement, error) {
+	return diff.Explain(a, b, d, cfg)
+}
+
+// TopDisagreements finds and explains the n largest disagreements.
+func TopDisagreements(a, b CostModel, blocks []*BasicBlock, n int, cfg Config) ([]ExplainedDisagreement, error) {
+	return diff.Top(a, b, blocks, n, cfg)
+}

@@ -1,0 +1,48 @@
+// Differential model analysis: find the blocks where the static-analysis
+// model (LLVM-MCA-style) diverges most from the hardware-grade simulator,
+// then let COMET explain both predictions. The feature sets show *why*
+// they diverge — typically the static model's idealized port model or its
+// blindness to store-forwarding stalls — which is the model-debugging
+// workflow the paper motivates in §6.4/§7.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/comet-explain/comet"
+)
+
+func main() {
+	arch := comet.Haswell
+	hw := comet.NewHardwareSimulator(arch)
+	static := comet.NewMCAModel(arch)
+
+	dataset := comet.GenerateDataset(comet.DatasetConfig{
+		N: 60, MinInstrs: 3, MaxInstrs: 8, Seed: 11, SkipLabels: true,
+	})
+	blocks := make([]*comet.BasicBlock, len(dataset))
+	for i, b := range dataset {
+		blocks[i] = b.Block
+	}
+
+	cfg := comet.DefaultConfig()
+	cfg.CoverageSamples = 400
+
+	top, err := comet.TopDisagreements(hw, static, blocks, 3, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top %d disagreements between %s and %s:\n\n", len(top), hw.Name(), static.Name())
+	for i, e := range top {
+		fmt.Printf("--- #%d (relative gap %.0f%%) ---\n%s\n", i+1, 100*e.Relative, e)
+
+		// The simulator can also say where its cycles went.
+		report, err := comet.AnalyzeBlock(arch, e.Block)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pipeline view: %s", report)
+		fmt.Println()
+	}
+}

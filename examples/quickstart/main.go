@@ -1,0 +1,47 @@
+// Quickstart: explain a cost model's prediction for the paper's motivating
+// example (Listing 1). COMET should identify the RAW dependency between
+// the add and the mov — the true bottleneck of the block — as a faithful,
+// high-coverage explanation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/comet-explain/comet"
+)
+
+func main() {
+	block := comet.MustParseBlock(`
+		add rcx, rax
+		mov rdx, rcx
+		pop rbx`)
+
+	// Any query-only cost model works; here, the uiCA-like simulator.
+	model := comet.NewUICAModel(comet.Haswell)
+
+	cfg := comet.DefaultConfig()
+	cfg.Seed = 1
+
+	expl, err := comet.NewExplainer(model, cfg).Explain(block)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("block:")
+	fmt.Println(block)
+	fmt.Printf("\n%s predicts %.2f cycles/iteration\n", model.Name(), expl.Prediction)
+	fmt.Printf("explanation: %s\n", expl.Features)
+	fmt.Printf("precision %.2f, coverage %.2f, certified %v, %d model queries\n",
+		expl.Precision, expl.Coverage, expl.Certified, expl.Queries)
+
+	// The dependency graph behind the features.
+	g, err := comet.BuildDependencyGraph(block)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndependency edges:")
+	for _, e := range g.Edges {
+		fmt.Println(" ", e)
+	}
+}

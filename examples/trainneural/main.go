@@ -1,0 +1,69 @@
+// Train the Ithemal-style neural cost model from scratch on the synthetic
+// dataset and evaluate it against the hardware-grade simulator on held-out
+// blocks — the full "learn a cost model" workflow of Mendis et al. (2019)
+// in miniature, with no external ML frameworks.
+package main
+
+import (
+	"fmt"
+
+	"github.com/comet-explain/comet"
+)
+
+func main() {
+	arch := comet.Haswell
+
+	train := comet.GenerateDataset(comet.DatasetConfig{
+		N: 2000, MinInstrs: 1, MaxInstrs: 12, Seed: 42,
+	})
+	heldOut := comet.GenerateDataset(comet.DatasetConfig{
+		N: 200, MinInstrs: 1, MaxInstrs: 12, Seed: 1234,
+	})
+	toSamples := func(blocks []comet.DatasetBlock) []comet.TrainingSample {
+		samples := make([]comet.TrainingSample, len(blocks))
+		for i, b := range blocks {
+			samples[i] = comet.TrainingSample{Block: b.Block, Throughput: b.Throughput[arch]}
+		}
+		return samples
+	}
+
+	cfg := comet.DefaultIthemalConfig(arch)
+	cfg.Epochs = 8
+	model := comet.NewIthemalModel(cfg)
+	fmt.Printf("training on %d blocks (vocab %d tokens)...\n", len(train), model.VocabSize())
+	res := model.Train(toSamples(train), func(epoch int, loss float64) {
+		fmt.Printf("  epoch %2d: normalized loss %.4f\n", epoch+1, loss)
+	})
+	fmt.Printf("train MAPE: %.1f%%\n", res.FinalMAPE)
+	fmt.Printf("held-out MAPE: %.1f%%\n", model.MAPE(toSamples(heldOut)))
+
+	// Compare against the simulation-based model on the same held-out set.
+	uica := comet.NewUICAModel(arch)
+	var uicaPreds, actuals []float64
+	for _, b := range heldOut {
+		uicaPreds = append(uicaPreds, uica.Predict(b.Block))
+		actuals = append(actuals, b.Throughput[arch])
+	}
+	fmt.Printf("uiCA surrogate held-out MAPE: %.1f%% (the accuracy gap the paper studies)\n",
+		mape(uicaPreds, actuals))
+
+	block := comet.MustParseBlock("imul rax, rbx\nimul rax, rcx\nadd rdx, 1")
+	fmt.Printf("\nsample prediction: %q → %.2f cycles (hardware sim: %.2f)\n",
+		"imul chain", model.Predict(block), comet.NewHardwareSimulator(arch).Throughput(block))
+}
+
+func mape(pred, actual []float64) float64 {
+	s, n := 0.0, 0
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		d := pred[i] - actual[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d / actual[i]
+		n++
+	}
+	return 100 * s / float64(n)
+}

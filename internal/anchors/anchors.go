@@ -1,0 +1,266 @@
+// Package anchors implements the beam-search anchor construction of
+// Ribeiro et al. (2018), adapted to COMET's optimization problem (eq. 7 of
+// the paper): among feature sets F ⊆ ˆP with Prec(F) ≥ 1−δ, return the one
+// with maximum coverage. Precision is certified with the KL-LUCB
+// confidence bounds of Kaufmann & Kalyanakrishnan (2013); coverage is
+// estimated empirically on a shared pool of unconstrained perturbations.
+//
+// The package is deliberately independent of basic blocks: a Space exposes
+// candidate features as integer indices plus precision sampling and
+// coverage evaluation, so the search is reusable (and testable) on
+// synthetic bandit problems.
+package anchors
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/comet-explain/comet/internal/stats"
+)
+
+// Space abstracts the domain the anchor search runs over.
+type Space interface {
+	// NumFeatures returns |ˆP|, the number of candidate features.
+	NumFeatures() int
+	// SamplePrecision draws n perturbations that retain the candidate
+	// feature subset and returns how many keep the model's prediction
+	// within the ε-ball (the precision successes).
+	SamplePrecision(rng *rand.Rand, candidate []int, n int) int
+	// Coverage returns the empirical coverage of the candidate subset.
+	Coverage(candidate []int) float64
+}
+
+// BoundKind selects the concentration inequality used to certify
+// precision. KL bounds (the paper's choice, via Kaufmann &
+// Kalyanakrishnan 2013) are tighter near 0 and 1; Hoeffding is the
+// classical alternative kept as an ablation hook.
+type BoundKind int
+
+const (
+	// KLBounds uses Chernoff-information (KL) confidence bounds.
+	KLBounds BoundKind = iota
+	// HoeffdingBounds uses the distribution-free Hoeffding interval.
+	HoeffdingBounds
+)
+
+// Options tunes the search. Zero values are replaced by defaults matching
+// the paper's setup ("default hyperparameters in the Anchor algorithm").
+type Options struct {
+	PrecisionThreshold float64 // 1−δ in the paper; default 0.7
+	Delta              float64 // KL-LUCB confidence; default 0.05
+	BeamWidth          int     // beam size; default 2
+	BatchSize          int     // samples per refinement step; default 32
+	MaxSamplesPerCand  int     // sampling cap per candidate; default 1500
+	MaxAnchorSize      int     // largest explanation cardinality; default 4
+	Bounds             BoundKind
+}
+
+func (o Options) withDefaults() Options {
+	if o.PrecisionThreshold == 0 {
+		o.PrecisionThreshold = 0.7
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.05
+	}
+	if o.BeamWidth == 0 {
+		o.BeamWidth = 2
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 50
+	}
+	if o.MaxSamplesPerCand == 0 {
+		o.MaxSamplesPerCand = 2500
+	}
+	if o.MaxAnchorSize == 0 {
+		o.MaxAnchorSize = 4
+	}
+	return o
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Anchor    []int   // selected feature indices (sorted)
+	Precision float64 // empirical precision estimate of the anchor
+	Coverage  float64 // empirical coverage of the anchor
+	Certified bool    // whether the KL lower bound cleared the threshold
+	Queries   int     // total precision samples drawn
+}
+
+// candidate tracks the sampling state of one feature subset.
+type candidate struct {
+	idxs     []int
+	n, succ  int
+	batches  int // exploration rounds spent on this candidate
+	coverage float64
+}
+
+func (c *candidate) mean() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return float64(c.succ) / float64(c.n)
+}
+
+func key(idxs []int) string {
+	b := make([]byte, 0, len(idxs)*3)
+	for _, i := range idxs {
+		b = append(b, byte('A'+i%64), byte('a'+(i/64)%26), ',')
+	}
+	return string(b)
+}
+
+// Search runs the beam search and returns the best anchor found. When no
+// candidate reaches the precision threshold within MaxAnchorSize, the
+// highest-precision candidate seen is returned with Certified == false
+// (the Anchors "best of size" fallback).
+func Search(space Space, opts Options, rng *rand.Rand) Result {
+	opts = opts.withDefaults()
+	nf := space.NumFeatures()
+	res := Result{}
+	if nf == 0 {
+		return res
+	}
+
+	// Level-1 candidates: every singleton.
+	beam := make([]*candidate, 0, nf)
+	for i := 0; i < nf; i++ {
+		beam = append(beam, &candidate{idxs: []int{i}, coverage: space.Coverage([]int{i})})
+	}
+
+	var bestFallback *candidate
+	round := 0
+
+	for size := 1; size <= opts.MaxAnchorSize; size++ {
+		anchorsFound := refine(space, opts, rng, beam, &res.Queries, &round)
+
+		// Track the best-precision candidate as a fallback.
+		for _, c := range beam {
+			if bestFallback == nil || c.mean() > bestFallback.mean() ||
+				(c.mean() == bestFallback.mean() && c.coverage > bestFallback.coverage) {
+				bestFallback = c
+			}
+		}
+
+		if len(anchorsFound) > 0 {
+			// Coverage shrinks as anchors grow (Π is monotone), so the
+			// first level with a certified anchor holds the maximum-
+			// coverage one.
+			best := anchorsFound[0]
+			for _, c := range anchorsFound[1:] {
+				if c.coverage > best.coverage {
+					best = c
+				}
+			}
+			return Result{
+				Anchor:    append([]int(nil), best.idxs...),
+				Precision: best.mean(),
+				Coverage:  best.coverage,
+				Certified: true,
+				Queries:   res.Queries,
+			}
+		}
+		if size == opts.MaxAnchorSize {
+			break
+		}
+
+		// Extend the top-BeamWidth candidates by one feature each.
+		sort.Slice(beam, func(i, j int) bool {
+			if beam[i].mean() != beam[j].mean() {
+				return beam[i].mean() > beam[j].mean()
+			}
+			return beam[i].coverage > beam[j].coverage
+		})
+		top := beam
+		if len(top) > opts.BeamWidth {
+			top = top[:opts.BeamWidth]
+		}
+		seen := make(map[string]bool)
+		var next []*candidate
+		for _, c := range top {
+			used := make(map[int]bool, len(c.idxs))
+			for _, i := range c.idxs {
+				used[i] = true
+			}
+			for f := 0; f < nf; f++ {
+				if used[f] {
+					continue
+				}
+				idxs := append(append([]int(nil), c.idxs...), f)
+				sort.Ints(idxs)
+				k := key(idxs)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				next = append(next, &candidate{idxs: idxs, coverage: space.Coverage(idxs)})
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		beam = next
+	}
+
+	if bestFallback != nil {
+		res.Anchor = append([]int(nil), bestFallback.idxs...)
+		res.Precision = bestFallback.mean()
+		res.Coverage = bestFallback.coverage
+	}
+	return res
+}
+
+// refine evaluates candidates in coverage-descending order, sampling each
+// with KL-LUCB bounds until it is certified (lower bound clears the
+// threshold), rejected (upper bound falls below it), or its sample budget
+// is exhausted. Because the outer objective is maximum coverage subject to
+// the precision constraint, the first certified candidate in this order is
+// the level's answer; later (lower-coverage) candidates need no further
+// queries. When nothing certifies, every candidate ends up with a
+// precision estimate, which the beam extension uses.
+func refine(space Space, opts Options, rng *rand.Rand, cands []*candidate, queries *int, round *int) []*candidate {
+	nArms := len(cands)
+	order := make([]*candidate, len(cands))
+	copy(order, cands)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].coverage > order[j].coverage })
+
+	for _, c := range order {
+		for {
+			if c.n >= opts.MaxSamplesPerCand {
+				break
+			}
+			sample(space, rng, c, opts.BatchSize, queries)
+			c.batches++
+			*round++
+			// Confidence level per Kaufmann & Kalyanakrishnan: union bound
+			// over arms, growing with the candidate's own exploration
+			// rounds.
+			level := stats.Beta(nArms, c.batches, opts.Delta)
+			lb, ub := bounds(opts.Bounds, c.mean(), c.n, level)
+			if lb >= opts.PrecisionThreshold {
+				return []*candidate{c}
+			}
+			if ub < opts.PrecisionThreshold {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// bounds computes the (lower, upper) confidence interval for the selected
+// concentration inequality.
+func bounds(kind BoundKind, phat float64, n int, level float64) (lb, ub float64) {
+	switch kind {
+	case HoeffdingBounds:
+		return stats.HoeffdingLowerBound(phat, n, level), stats.HoeffdingUpperBound(phat, n, level)
+	default:
+		return stats.KLLowerBound(phat, n, level), stats.KLUpperBound(phat, n, level)
+	}
+}
+
+func sample(space Space, rng *rand.Rand, c *candidate, n int, queries *int) {
+	succ := space.SamplePrecision(rng, c.idxs, n)
+	c.n += n
+	c.succ += succ
+	*queries += n
+}

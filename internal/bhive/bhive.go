@@ -1,0 +1,358 @@
+// Package bhive generates the reproduction's stand-in for the BHive
+// benchmark suite (Chen et al. 2019): a deterministic synthetic population
+// of x86 basic blocks organized by the same taxonomy the paper partitions
+// on — six categories (Load, Store, Load/Store, Scalar, Vector,
+// Scalar/Vector) and real-world-codebase-flavored sources (a Clang-like
+// scalar/pointer mix and an OpenBLAS-like floating-point kernel mix) —
+// each labeled with its steady-state throughput on the hwsim hardware
+// stand-in for every supported microarchitecture.
+//
+// COMET and the cost models consume only (block, cost) pairs, so the
+// substitution preserves everything the paper's experiments rely on: block
+// diversity, dependency structure, and costs produced by a mechanism with
+// real port/latency/bottleneck behaviour.
+package bhive
+
+import (
+	"math/rand"
+
+	"github.com/comet-explain/comet/internal/hwsim"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// Category is the BHive block taxonomy (Appendix H.1).
+type Category int
+
+// Block categories.
+const (
+	Load Category = iota
+	Store
+	LoadStore
+	Scalar
+	Vector
+	ScalarVector
+)
+
+// String returns the BHive category name.
+func (c Category) String() string {
+	switch c {
+	case Load:
+		return "Load"
+	case Store:
+		return "Store"
+	case LoadStore:
+		return "Load/Store"
+	case Scalar:
+		return "Scalar"
+	case Vector:
+		return "Vector"
+	case ScalarVector:
+		return "Scalar/Vector"
+	}
+	return "category(?)"
+}
+
+// Categories lists all six categories in a fixed order.
+func Categories() []Category {
+	return []Category{Load, Store, LoadStore, Scalar, Vector, ScalarVector}
+}
+
+// Source labels which real-world-codebase flavor a block was drawn from.
+type Source string
+
+// Block sources (the two partitions studied in Figure 3).
+const (
+	SourceClang    Source = "clang"
+	SourceOpenBLAS Source = "openblas"
+)
+
+// Sources lists the modeled source partitions.
+func Sources() []Source { return []Source{SourceClang, SourceOpenBLAS} }
+
+// Block is one dataset entry.
+type Block struct {
+	Block      *x86.BasicBlock
+	Category   Category
+	Source     Source
+	Throughput map[x86.Arch]float64 // hwsim "hardware" labels per µarch
+}
+
+// Config controls generation. Zero values get sensible defaults.
+type Config struct {
+	N         int   // number of blocks (default 200)
+	MinInstrs int   // default 4 (the paper's explanation test set uses 4..10)
+	MaxInstrs int   // default 10
+	Seed      int64 // generation seed (default 1)
+
+	// Category / Source restrict generation to one partition (nil = mixed
+	// population with BHive-like proportions).
+	Category *Category
+	Source   *Source
+
+	// SkipLabels omits throughput labeling (for tests that only need
+	// syntax).
+	SkipLabels bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 200
+	}
+	if c.MinInstrs == 0 {
+		c.MinInstrs = 4
+	}
+	if c.MaxInstrs == 0 {
+		c.MaxInstrs = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Generate produces a deterministic dataset for the configuration.
+func Generate(cfg Config) []Block {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sims := map[x86.Arch]*hwsim.Simulator{}
+	for _, arch := range x86.Arches() {
+		sims[arch] = hwsim.New(hwsim.HardwareConfig(arch))
+	}
+
+	blocks := make([]Block, 0, cfg.N)
+	for len(blocks) < cfg.N {
+		src := pickSource(rng, cfg.Source)
+		cat := pickCategory(rng, src, cfg.Category)
+		n := cfg.MinInstrs + rng.Intn(cfg.MaxInstrs-cfg.MinInstrs+1)
+		b := generateBlock(rng, cat, src, n)
+		if b.Validate() != nil {
+			continue // defensive; generators only emit valid instructions
+		}
+		entry := Block{Block: b, Category: cat, Source: src}
+		if !cfg.SkipLabels {
+			entry.Throughput = map[x86.Arch]float64{}
+			for arch, sim := range sims {
+				entry.Throughput[arch] = sim.Throughput(b)
+			}
+		}
+		blocks = append(blocks, entry)
+	}
+	return blocks
+}
+
+func pickSource(rng *rand.Rand, fixed *Source) Source {
+	if fixed != nil {
+		return *fixed
+	}
+	if rng.Float64() < 0.6 {
+		return SourceClang
+	}
+	return SourceOpenBLAS
+}
+
+// pickCategory draws a category consistent with the source flavor: Clang
+// code is mostly scalar and memory traffic, OpenBLAS mostly vector math.
+func pickCategory(rng *rand.Rand, src Source, fixed *Category) Category {
+	if fixed != nil {
+		return *fixed
+	}
+	r := rng.Float64()
+	if src == SourceClang {
+		switch {
+		case r < 0.30:
+			return Scalar
+		case r < 0.50:
+			return Load
+		case r < 0.65:
+			return Store
+		case r < 0.85:
+			return LoadStore
+		case r < 0.95:
+			return ScalarVector
+		default:
+			return Vector
+		}
+	}
+	switch {
+	case r < 0.45:
+		return Vector
+	case r < 0.70:
+		return ScalarVector
+	case r < 0.85:
+		return Load
+	default:
+		return LoadStore
+	}
+}
+
+// ---- block synthesis ---------------------------------------------------------
+
+// register pools kept small so register reuse creates natural dependency
+// chains, as in compiled code.
+var (
+	gpPool  = []x86.RegFamily{x86.FamRAX, x86.FamRBX, x86.FamRCX, x86.FamRDX, x86.FamRSI, x86.FamRDI, x86.FamR8, x86.FamR9}
+	vecPool = []x86.RegFamily{x86.FamXMM0, x86.FamXMM1, x86.FamXMM2, x86.FamXMM3, x86.FamXMM4, x86.FamXMM5, x86.FamXMM6, x86.FamXMM7}
+)
+
+type gen struct {
+	rng *rand.Rand
+	src Source
+}
+
+func (g *gen) gp(size int) x86.Operand {
+	return x86.NewReg(x86.Reg{Family: gpPool[g.rng.Intn(len(gpPool))], Size: size})
+}
+
+func (g *gen) xmm() x86.Operand {
+	return x86.NewReg(x86.Reg{Family: vecPool[g.rng.Intn(len(vecPool))], Size: x86.Size128})
+}
+
+func (g *gen) mem(size int) x86.Operand {
+	m := x86.MemRef{
+		Base: x86.Reg{Family: gpPool[g.rng.Intn(len(gpPool))], Size: x86.Size64},
+		Disp: int64(g.rng.Intn(16)) * 8,
+	}
+	if g.rng.Float64() < 0.25 {
+		m.Index = x86.Reg{Family: gpPool[g.rng.Intn(len(gpPool))], Size: x86.Size64}
+		m.Scale = []int{1, 2, 4, 8}[g.rng.Intn(4)]
+	}
+	return x86.NewMem(m, size)
+}
+
+func (g *gen) intSize() int {
+	if g.rng.Float64() < 0.6 {
+		return x86.Size64
+	}
+	return x86.Size32
+}
+
+func (g *gen) scalarInst() x86.Instruction {
+	size := g.intSize()
+	switch r := g.rng.Float64(); {
+	case r < 0.40:
+		op := []string{"add", "sub", "and", "or", "xor"}[g.rng.Intn(5)]
+		return x86.Instruction{Opcode: op, Operands: []x86.Operand{g.gp(size), g.gp(size)}}
+	case r < 0.55:
+		op := []string{"add", "sub", "xor", "cmp"}[g.rng.Intn(4)]
+		return x86.Instruction{Opcode: op, Operands: []x86.Operand{g.gp(size), x86.NewImm(int64(g.rng.Intn(127)), x86.Size8)}}
+	case r < 0.67:
+		return x86.Instruction{Opcode: "mov", Operands: []x86.Operand{g.gp(size), g.gp(size)}}
+	case r < 0.77:
+		return x86.Instruction{Opcode: "imul", Operands: []x86.Operand{g.gp(size), g.gp(size)}}
+	case r < 0.85:
+		op := []string{"shl", "shr", "sar"}[g.rng.Intn(3)]
+		return x86.Instruction{Opcode: op, Operands: []x86.Operand{g.gp(size), x86.NewImm(int64(1+g.rng.Intn(7)), x86.Size8)}}
+	case r < 0.93:
+		m := x86.MemRef{Base: x86.Reg{Family: gpPool[g.rng.Intn(len(gpPool))], Size: x86.Size64}, Disp: int64(g.rng.Intn(32))}
+		if g.rng.Float64() < 0.4 {
+			m.Index = x86.Reg{Family: gpPool[g.rng.Intn(len(gpPool))], Size: x86.Size64}
+			m.Scale = 1
+		}
+		return x86.Instruction{Opcode: "lea", Operands: []x86.Operand{g.gp(x86.Size64), x86.NewAddr(m)}}
+	case r < 0.97:
+		return x86.Instruction{Opcode: []string{"inc", "dec", "neg", "not"}[g.rng.Intn(4)], Operands: []x86.Operand{g.gp(size)}}
+	default:
+		return x86.Instruction{Opcode: "div", Operands: []x86.Operand{g.gp(g.intSize())}}
+	}
+}
+
+func (g *gen) vectorInst() x86.Instruction {
+	avx := g.src == SourceOpenBLAS && g.rng.Float64() < 0.6
+	if avx {
+		switch r := g.rng.Float64(); {
+		case r < 0.35:
+			op := []string{"vmulss", "vmulsd", "vaddss", "vaddsd", "vsubss"}[g.rng.Intn(5)]
+			return x86.Instruction{Opcode: op, Operands: []x86.Operand{g.xmm(), g.xmm(), g.xmm()}}
+		case r < 0.55:
+			op := []string{"vaddps", "vmulps", "vsubps"}[g.rng.Intn(3)]
+			return x86.Instruction{Opcode: op, Operands: []x86.Operand{g.xmm(), g.xmm(), g.xmm()}}
+		case r < 0.70:
+			op := []string{"vxorps", "vandps", "vorps", "vpxor", "vpand"}[g.rng.Intn(5)]
+			return x86.Instruction{Opcode: op, Operands: []x86.Operand{g.xmm(), g.xmm(), g.xmm()}}
+		case r < 0.80:
+			return x86.Instruction{Opcode: "vdivss", Operands: []x86.Operand{g.xmm(), g.xmm(), g.xmm()}}
+		default:
+			return x86.Instruction{Opcode: []string{"vmovaps", "vmovups"}[g.rng.Intn(2)], Operands: []x86.Operand{g.xmm(), g.xmm()}}
+		}
+	}
+	switch r := g.rng.Float64(); {
+	case r < 0.35:
+		op := []string{"mulss", "mulsd", "addss", "addsd", "subss"}[g.rng.Intn(5)]
+		return x86.Instruction{Opcode: op, Operands: []x86.Operand{g.xmm(), g.xmm()}}
+	case r < 0.55:
+		op := []string{"addps", "mulps", "subps", "paddd", "psubd"}[g.rng.Intn(5)]
+		return x86.Instruction{Opcode: op, Operands: []x86.Operand{g.xmm(), g.xmm()}}
+	case r < 0.70:
+		op := []string{"xorps", "andps", "orps", "pxor", "pand"}[g.rng.Intn(5)]
+		return x86.Instruction{Opcode: op, Operands: []x86.Operand{g.xmm(), g.xmm()}}
+	case r < 0.80:
+		return x86.Instruction{Opcode: []string{"divss", "divsd"}[g.rng.Intn(2)], Operands: []x86.Operand{g.xmm(), g.xmm()}}
+	case r < 0.90:
+		return x86.Instruction{Opcode: []string{"movaps", "movups", "movss"}[g.rng.Intn(3)], Operands: []x86.Operand{g.xmm(), g.xmm()}}
+	default:
+		return x86.Instruction{Opcode: "ucomiss", Operands: []x86.Operand{g.xmm(), g.xmm()}}
+	}
+}
+
+func (g *gen) loadInst() x86.Instruction {
+	size := g.intSize()
+	if g.rng.Float64() < 0.2 {
+		return x86.Instruction{Opcode: "movss", Operands: []x86.Operand{g.xmm(), g.mem(x86.Size32)}}
+	}
+	return x86.Instruction{Opcode: "mov", Operands: []x86.Operand{g.gp(size), g.mem(size)}}
+}
+
+func (g *gen) storeInst() x86.Instruction {
+	size := g.intSize()
+	if g.rng.Float64() < 0.25 {
+		return x86.Instruction{Opcode: "mov", Operands: []x86.Operand{g.mem(size), x86.NewImm(int64(g.rng.Intn(100)), x86.Size8)}}
+	}
+	return x86.Instruction{Opcode: "mov", Operands: []x86.Operand{g.mem(size), g.gp(size)}}
+}
+
+// generateBlock synthesizes one block of n instructions in the category.
+func generateBlock(rng *rand.Rand, cat Category, src Source, n int) *x86.BasicBlock {
+	g := &gen{rng: rng, src: src}
+	insts := make([]x86.Instruction, 0, n)
+	for len(insts) < n {
+		var inst x86.Instruction
+		switch cat {
+		case Load:
+			if rng.Float64() < 0.45 {
+				inst = g.loadInst()
+			} else {
+				inst = g.scalarInst()
+			}
+		case Store:
+			if rng.Float64() < 0.45 {
+				inst = g.storeInst()
+			} else {
+				inst = g.scalarInst()
+			}
+		case LoadStore:
+			switch r := rng.Float64(); {
+			case r < 0.30:
+				inst = g.loadInst()
+			case r < 0.55:
+				inst = g.storeInst()
+			default:
+				inst = g.scalarInst()
+			}
+		case Scalar:
+			inst = g.scalarInst()
+		case Vector:
+			inst = g.vectorInst()
+		case ScalarVector:
+			if rng.Float64() < 0.5 {
+				inst = g.vectorInst()
+			} else {
+				inst = g.scalarInst()
+			}
+		}
+		if inst.Validate() != nil {
+			continue
+		}
+		insts = append(insts, inst)
+	}
+	return x86.NewBlock(insts...)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+
+	"github.com/comet-explain/comet/internal/features"
+)
+
+// This file implements the two baseline explainers of Section 6 and the
+// Table 2 accuracy metric.
+
+// Accurate reports whether an explanation is accurate with respect to a
+// ground-truth set: it must name at least one ground-truth feature and
+// nothing outside the ground truth (the paper's Table 2 criterion).
+func Accurate(expl, gt features.Set) bool {
+	if len(expl) == 0 {
+		return false
+	}
+	hit := false
+	for _, f := range expl {
+		if gt.Contains(f) {
+			hit = true
+		} else {
+			return false
+		}
+	}
+	return hit
+}
+
+// KindDistribution returns, for each feature kind, its probability of
+// occurrence among the ground-truth explanations of a test set — the
+// distribution the random baseline draws from.
+func KindDistribution(gts []features.Set) map[features.Kind]float64 {
+	counts := map[features.Kind]float64{}
+	total := 0.0
+	for _, gt := range gts {
+		for _, f := range gt {
+			counts[f.Kind]++
+			total++
+		}
+	}
+	if total == 0 {
+		return counts
+	}
+	for k := range counts {
+		counts[k] /= total
+	}
+	return counts
+}
+
+// MostFrequentKind returns the feature kind occurring most often in the
+// ground-truth explanations (the fixed baseline's kind).
+func MostFrequentKind(gts []features.Set) features.Kind {
+	counts := KindDistribution(gts)
+	best := features.KindInstr
+	bestP := -1.0
+	for _, k := range []features.Kind{features.KindInstr, features.KindDep, features.KindCount} {
+		if p := counts[k]; p > bestP {
+			best, bestP = k, p
+		}
+	}
+	return best
+}
+
+// RandomExplanation implements the random baseline: draw a feature kind
+// from the ground-truth kind distribution, then pick a uniformly random
+// feature of that kind from the block's ˆP (retrying when the block has no
+// feature of the drawn kind).
+func RandomExplanation(rng *rand.Rand, feats features.Set, kindProbs map[features.Kind]float64) features.Set {
+	kinds := []features.Kind{features.KindInstr, features.KindDep, features.KindCount}
+	for try := 0; try < 32; try++ {
+		r := rng.Float64()
+		var kind features.Kind
+		acc := 0.0
+		kind = kinds[len(kinds)-1]
+		for _, k := range kinds {
+			acc += kindProbs[k]
+			if r < acc {
+				kind = k
+				break
+			}
+		}
+		pool := feats.Filter(func(f features.Feature) bool { return f.Kind == kind })
+		if len(pool) == 0 {
+			continue
+		}
+		return features.NewSet(pool[rng.Intn(len(pool))])
+	}
+	if len(feats) == 0 {
+		return nil
+	}
+	return features.NewSet(feats[rng.Intn(len(feats))])
+}
+
+// FixedExplanation implements the fixed baseline: the first feature of the
+// given kind in the block (falling back to the first feature at all when
+// the kind is absent).
+func FixedExplanation(feats features.Set, kind features.Kind) features.Set {
+	for _, f := range feats {
+		if f.Kind == kind {
+			return features.NewSet(f)
+		}
+	}
+	if len(feats) == 0 {
+		return nil
+	}
+	return features.NewSet(feats[0])
+}

@@ -1,0 +1,334 @@
+// Package core implements COMET itself (Section 5 of the paper): given
+// query access to a cost model M and a target basic block β, it searches
+// for the feature set F ⊆ ˆP with maximum coverage subject to
+// Prec(F) ≥ 1−δ (eq. 7), where
+//
+//	Prec(F) = Pr_{α∼D_F}( |M(α) − M(β)| ≤ ε )      (eq. 4)
+//	Cov(F)  = Pr_{α∼D}( F ⊆ ˆP_α )                 (eq. 6)
+//
+// Perturbations are drawn with the Γ algorithm (package perturb), precision
+// is certified with KL-LUCB bounds, and the combinatorial search is the
+// Anchors beam search (package anchors). Precision sampling is
+// parallelized across goroutines with deterministic seeding.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/comet-explain/comet/internal/anchors"
+	"github.com/comet-explain/comet/internal/costmodel"
+	"github.com/comet-explain/comet/internal/deps"
+	"github.com/comet-explain/comet/internal/features"
+	"github.com/comet-explain/comet/internal/perturb"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// Config collects every COMET hyperparameter. DefaultConfig matches the
+// paper's experimental setup.
+type Config struct {
+	// Epsilon is the ε-ball radius around M(β) (paper: 0.5 cycles for
+	// practical models, 0.25 for the analytical model C).
+	Epsilon float64
+	// PrecisionThreshold is 1−δ (paper: 0.7).
+	PrecisionThreshold float64
+	// Perturb configures the Γ perturbation algorithm.
+	Perturb perturb.Config
+	// Anchor configures the beam search and KL-LUCB budgets.
+	Anchor anchors.Options
+	// CoverageSamples is the size of the shared Γ(∅) pool used for
+	// coverage estimation (paper: 10k; scale down for speed).
+	CoverageSamples int
+	// Parallelism bounds the precision-sampling workers (0 = GOMAXPROCS).
+	Parallelism int
+	// Seed makes explanations reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's settings at a benchmark-friendly
+// coverage-pool size.
+func DefaultConfig() Config {
+	return Config{
+		Epsilon:            0.5,
+		PrecisionThreshold: 0.7,
+		Perturb:            perturb.DefaultConfig(),
+		CoverageSamples:    1000,
+		Seed:               1,
+	}
+}
+
+// Explanation is COMET's output for one (model, block) pair.
+type Explanation struct {
+	Block      *x86.BasicBlock
+	Model      string
+	Prediction float64      // M(β)
+	Features   features.Set // the explanation F
+	Precision  float64      // empirical Prec(F)
+	Coverage   float64      // empirical Cov(F)
+	Certified  bool         // KL lower bound cleared 1−δ
+	Queries    int          // cost-model queries spent
+}
+
+// String renders the explanation in the paper's set notation.
+func (e *Explanation) String() string {
+	return fmt.Sprintf("%s(β)=%.2f ⇒ %s (prec %.2f, cov %.2f)",
+		e.Model, e.Prediction, e.Features, e.Precision, e.Coverage)
+}
+
+// Explainer generates explanations for one cost model.
+type Explainer struct {
+	model costmodel.Model
+	cfg   Config
+}
+
+// NewExplainer builds an explainer. The model must be safe for concurrent
+// Predict calls.
+func NewExplainer(model costmodel.Model, cfg Config) *Explainer {
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 0.5
+	}
+	if cfg.PrecisionThreshold == 0 {
+		cfg.PrecisionThreshold = 0.7
+	}
+	if cfg.Perturb.PInstRetain == 0 {
+		cfg.Perturb = perturb.DefaultConfig()
+	}
+	if cfg.CoverageSamples == 0 {
+		cfg.CoverageSamples = 1000
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	cfg.Anchor.PrecisionThreshold = cfg.PrecisionThreshold
+	return &Explainer{model: model, cfg: cfg}
+}
+
+// Model returns the underlying cost model.
+func (e *Explainer) Model() costmodel.Model { return e.model }
+
+// Config returns the effective configuration.
+func (e *Explainer) Config() Config { return e.cfg }
+
+// Explain runs COMET on one block.
+func (e *Explainer) Explain(b *x86.BasicBlock) (*Explanation, error) {
+	p, err := perturb.New(b, e.cfg.Perturb)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	rng := rand.New(rand.NewSource(e.cfg.Seed))
+	space, err := newBlockSpace(e.model, p, e.cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	res := anchors.Search(space, e.cfg.Anchor, rng)
+
+	set := features.NewSet()
+	for _, idx := range res.Anchor {
+		set = set.Add(space.feats[idx])
+	}
+	return &Explanation{
+		Block:      b,
+		Model:      e.model.Name(),
+		Prediction: space.origPred,
+		Features:   set,
+		Precision:  res.Precision,
+		Coverage:   res.Coverage,
+		Certified:  res.Certified,
+		Queries:    res.Queries + space.extraQueries,
+	}, nil
+}
+
+// perturbFor builds a Γ perturber with the config's perturbation settings.
+func perturbFor(b *x86.BasicBlock, cfg Config) (*perturb.Perturber, error) {
+	return perturb.New(b, cfg.Perturb)
+}
+
+// EstimatePrecision re-estimates Prec(F) for a given feature set on n fresh
+// perturbations (used by Table 3 to report held-out precision of final
+// explanations rather than the search's optimistic estimate).
+func EstimatePrecision(model costmodel.Model, b *x86.BasicBlock, set features.Set, cfg Config, n int, rng *rand.Rand) (float64, error) {
+	p, err := perturbFor(b, cfg)
+	if err != nil {
+		return 0, err
+	}
+	orig := model.Predict(b)
+	succ := 0
+	for i := 0; i < n; i++ {
+		res := p.Sample(rng, set)
+		if inBall(model.Predict(res.Block), orig, cfg.Epsilon) {
+			succ++
+		}
+	}
+	return float64(succ) / float64(n), nil
+}
+
+// inBall reports whether pred lies in the open ε-ball around orig. The
+// ball is open because ε is chosen as the model's minimum prediction
+// quantum for analytical models (Appendix E): a minimum-quantum change
+// must count as "prediction changed".
+func inBall(pred, orig, eps float64) bool {
+	return pred > orig-eps && pred < orig+eps
+}
+
+// EstimateCoverage re-estimates Cov(F) on n fresh unconstrained
+// perturbations.
+func EstimateCoverage(b *x86.BasicBlock, set features.Set, cfg Config, n int, rng *rand.Rand) (float64, error) {
+	p, err := perturbFor(b, cfg)
+	if err != nil {
+		return 0, err
+	}
+	hit := 0
+	for i := 0; i < n; i++ {
+		res := p.Sample(rng, nil)
+		g, err := res.Graph(cfg.Perturb.DepOptions)
+		if err != nil {
+			return 0, err
+		}
+		if set.SetContainedIn(res.Block, g, res.Mapping) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(n), nil
+}
+
+// blockSpace adapts a (model, block) pair to the anchors.Space interface.
+type blockSpace struct {
+	model    costmodel.Model
+	perturb  *perturb.Perturber
+	feats    features.Set
+	origPred float64
+	epsilon  float64
+	workers  int
+	depOpts  deps.Options
+
+	// coverage[i][j] reports whether coverage sample i contains feature j.
+	coverage     [][]bool
+	extraQueries int
+}
+
+func newBlockSpace(model costmodel.Model, p *perturb.Perturber, cfg Config, rng *rand.Rand) (*blockSpace, error) {
+	workers := cfg.Parallelism
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &blockSpace{
+		model:    model,
+		perturb:  p,
+		feats:    p.Features(),
+		origPred: model.Predict(p.Block()),
+		epsilon:  cfg.Epsilon,
+		workers:  workers,
+		depOpts:  cfg.Perturb.DepOptions,
+	}
+	s.extraQueries = 1
+	if err := s.buildCoveragePool(cfg.CoverageSamples, rng); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildCoveragePool samples Γ(∅) once and records, per sample, which
+// features it retains. Coverage of any candidate is then a cheap AND over
+// columns (the Anchors "coverage data" trick); no model queries are spent.
+func (s *blockSpace) buildCoveragePool(n int, rng *rand.Rand) error {
+	s.coverage = make([][]bool, n)
+	seeds := make([]int64, s.workers)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, s.workers)
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(seeds[w]))
+			for i := w; i < n; i += s.workers {
+				res := s.perturb.Sample(wrng, nil)
+				g, err := res.Graph(s.depOpts)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				row := make([]bool, len(s.feats))
+				for j, f := range s.feats {
+					row[j] = f.ContainedIn(res.Block, g, res.Mapping)
+				}
+				s.coverage[i] = row
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumFeatures implements anchors.Space.
+func (s *blockSpace) NumFeatures() int { return len(s.feats) }
+
+// Coverage implements anchors.Space.
+func (s *blockSpace) Coverage(candidate []int) float64 {
+	if len(s.coverage) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, row := range s.coverage {
+		all := true
+		for _, j := range candidate {
+			if !row[j] {
+				all = false
+				break
+			}
+		}
+		if all {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(s.coverage))
+}
+
+// SamplePrecision implements anchors.Space: draw n perturbations retaining
+// the candidate features and count predictions inside the ε-ball. Work is
+// split across workers with seeds derived from the search rng, keeping
+// results deterministic for a fixed worker count.
+func (s *blockSpace) SamplePrecision(rng *rand.Rand, candidate []int, n int) int {
+	preserve := features.NewSet()
+	for _, j := range candidate {
+		preserve = preserve.Add(s.feats[j])
+	}
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	seeds := make([]int64, workers)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	succ := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(seeds[w]))
+			for k := w; k < n; k += workers {
+				res := s.perturb.Sample(wrng, preserve)
+				if inBall(s.model.Predict(res.Block), s.origPred, s.epsilon) {
+					succ[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range succ {
+		total += c
+	}
+	return total
+}

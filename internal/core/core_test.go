@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/comet-explain/comet/internal/analytical"
+	"github.com/comet-explain/comet/internal/bhive"
+	"github.com/comet-explain/comet/internal/costmodel"
+	"github.com/comet-explain/comet/internal/deps"
+	"github.com/comet-explain/comet/internal/features"
+	"github.com/comet-explain/comet/internal/uica"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CoverageSamples = 300
+	cfg.Anchor.BatchSize = 32
+	cfg.Anchor.MaxSamplesPerCand = 1500
+	return cfg
+}
+
+func TestExplainAnalyticalDivBlock(t *testing.T) {
+	// C is dominated by the mov→div RAW; COMET must find a subset of GT.
+	model := analytical.New(x86.Haswell)
+	cfg := testConfig()
+	cfg.Epsilon = analytical.Epsilon
+	e := NewExplainer(model, cfg)
+	b := x86.MustParseBlock("mov rax, rbx\ndiv rcx\nadd rsi, rdi")
+	expl, err := e.Explain(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := model.GroundTruth(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Accurate(expl.Features, gt) {
+		t.Errorf("explanation %v not within ground truth %v", expl.Features, gt)
+	}
+	if !expl.Certified {
+		t.Error("expected a certified anchor on this easy block")
+	}
+}
+
+func TestExplainEtaDominatedBlock(t *testing.T) {
+	// Eight cheap independent instructions: C(β) = η/4; the only faithful
+	// singleton is η.
+	model := analytical.New(x86.Haswell)
+	cfg := testConfig()
+	cfg.Epsilon = analytical.Epsilon
+	e := NewExplainer(model, cfg)
+	b := x86.MustParseBlock(`add rax, 1
+		add rbx, 1
+		add rcx, 1
+		add rdx, 1
+		add rsi, 1
+		add rdi, 1
+		add r8, 1
+		add r9, 1`)
+	expl, err := e.Explain(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expl.Features.HasKind(features.KindCount) {
+		t.Errorf("expected η in explanation, got %v", expl.Features)
+	}
+}
+
+func TestExplainReportedPrecisionIsHonest(t *testing.T) {
+	// Re-estimate the precision of the returned anchor on fresh samples;
+	// it should not collapse below the threshold.
+	model := analytical.New(x86.Haswell)
+	cfg := testConfig()
+	cfg.Epsilon = analytical.Epsilon
+	e := NewExplainer(model, cfg)
+	b := x86.MustParseBlock("mov rax, rbx\ndiv rcx\nadd rsi, rdi")
+	expl, err := e.Explain(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, err := EstimatePrecision(model, b, expl.Features, cfg, 500, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prec < cfg.PrecisionThreshold-0.12 {
+		t.Errorf("held-out precision %.2f far below threshold %.2f", prec, cfg.PrecisionThreshold)
+	}
+}
+
+func TestExplainDeterministicGivenSeed(t *testing.T) {
+	model := analytical.New(x86.Haswell)
+	cfg := testConfig()
+	cfg.Epsilon = analytical.Epsilon
+	cfg.Parallelism = 2
+	b := x86.MustParseBlock("add rcx, rax\nmov rdx, rcx\npop rbx")
+	e1, err1 := NewExplainer(model, cfg).Explain(b)
+	e2, err2 := NewExplainer(model, cfg).Explain(b)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if e1.Features.Key() != e2.Features.Key() {
+		t.Errorf("same seed gave different explanations: %v vs %v", e1.Features, e2.Features)
+	}
+}
+
+func TestExplainUICASmoke(t *testing.T) {
+	// A full explanation run against the simulation-based model.
+	model := uica.New(x86.Haswell)
+	cfg := testConfig()
+	e := NewExplainer(model, cfg)
+	b := x86.MustParseBlock("add rcx, rax\nmov rdx, rcx\npop rbx")
+	expl, err := e.Explain(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expl.Features) == 0 {
+		t.Error("empty explanation")
+	}
+	if expl.Queries == 0 {
+		t.Error("no model queries recorded")
+	}
+	if expl.Coverage < 0 || expl.Coverage > 1 || expl.Precision < 0 || expl.Precision > 1 {
+		t.Errorf("precision/coverage out of range: %+v", expl)
+	}
+}
+
+func TestCoverageMonotoneInExplanationSize(t *testing.T) {
+	// Cov(F1 ∪ F2) ≤ Cov(F1): follows from Π's monotonicity (Appendix A).
+	model := analytical.New(x86.Haswell)
+	cfg := testConfig()
+	e := NewExplainer(model, cfg)
+	b := x86.MustParseBlock("add rcx, rax\nmov rdx, rcx\npop rbx")
+	p, err := perturbFor(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	space, err := newBlockSpace(e.model, p, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < space.NumFeatures(); i++ {
+		ci := space.Coverage([]int{i})
+		for j := i + 1; j < space.NumFeatures(); j++ {
+			cij := space.Coverage([]int{i, j})
+			if cij > ci+1e-9 {
+				t.Errorf("coverage increased when adding a feature: %v vs %v", cij, ci)
+			}
+		}
+	}
+}
+
+func TestAccurateCriterion(t *testing.T) {
+	b := x86.MustParseBlock("mov rax, rbx\ndiv rcx")
+	set, err := features.ExtractFromBlock(b, deps.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := features.NewSet(set[0], set[1])
+	if !Accurate(features.NewSet(set[0]), gt) {
+		t.Error("subset of GT must be accurate")
+	}
+	if !Accurate(gt, gt) {
+		t.Error("GT itself must be accurate")
+	}
+	if Accurate(features.NewSet(set[2]), gt) {
+		t.Error("disjoint explanation must be inaccurate")
+	}
+	if Accurate(features.NewSet(set[0], set[2]), gt) {
+		t.Error("explanation exceeding GT must be inaccurate")
+	}
+	if Accurate(nil, gt) {
+		t.Error("empty explanation must be inaccurate")
+	}
+}
+
+func TestKindDistributionAndMostFrequent(t *testing.T) {
+	mk := func(kind features.Kind) features.Feature {
+		switch kind {
+		case features.KindInstr:
+			return features.Feature{Kind: kind, Index: 0, Opcode: "add"}
+		case features.KindDep:
+			return features.Feature{Kind: kind, Src: 0, Dst: 1}
+		default:
+			return features.Feature{Kind: kind, Count: 3}
+		}
+	}
+	gts := []features.Set{
+		features.NewSet(mk(features.KindInstr)),
+		features.NewSet(mk(features.KindInstr)),
+		features.NewSet(mk(features.KindDep)),
+		features.NewSet(mk(features.KindCount)),
+	}
+	dist := KindDistribution(gts)
+	if dist[features.KindInstr] != 0.5 {
+		t.Errorf("inst probability = %v, want 0.5", dist[features.KindInstr])
+	}
+	if MostFrequentKind(gts) != features.KindInstr {
+		t.Errorf("most frequent kind = %v", MostFrequentKind(gts))
+	}
+}
+
+func TestBaselinesProduceSingletons(t *testing.T) {
+	b := x86.MustParseBlock("add rcx, rax\nmov rdx, rcx\npop rbx")
+	set, err := features.ExtractFromBlock(b, deps.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	probs := map[features.Kind]float64{features.KindInstr: 0.5, features.KindDep: 0.3, features.KindCount: 0.2}
+	for i := 0; i < 50; i++ {
+		r := RandomExplanation(rng, set, probs)
+		if len(r) != 1 {
+			t.Fatalf("random baseline returned %d features", len(r))
+		}
+	}
+	f := FixedExplanation(set, features.KindDep)
+	if len(f) != 1 || f[0].Kind != features.KindDep {
+		t.Errorf("fixed baseline = %v", f)
+	}
+	f = FixedExplanation(set, features.KindCount)
+	if len(f) != 1 || f[0].Kind != features.KindCount {
+		t.Errorf("fixed baseline η = %v", f)
+	}
+}
+
+func TestCOMETBeatsBaselinesOnAnalyticalModel(t *testing.T) {
+	// A miniature Table 2: on a handful of blocks COMET should be more
+	// accurate than the random baseline.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	model := analytical.New(x86.Haswell)
+	cfg := testConfig()
+	cfg.Epsilon = analytical.Epsilon
+	cfg.CoverageSamples = 200
+	e := NewExplainer(model, cfg)
+
+	blocks := bhive.Generate(bhive.Config{N: 12, Seed: 21, SkipLabels: true})
+	var gts []features.Set
+	for _, blk := range blocks {
+		gt, err := model.GroundTruth(blk.Block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gts = append(gts, gt)
+	}
+	probs := KindDistribution(gts)
+	rng := rand.New(rand.NewSource(5))
+
+	cometAcc, randomAcc := 0, 0
+	for i, blk := range blocks {
+		expl, err := e.Explain(blk.Block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, _ := features.ExtractFromBlock(blk.Block, deps.Options{})
+		if Accurate(expl.Features, gts[i]) {
+			cometAcc++
+		}
+		if Accurate(RandomExplanation(rng, set, probs), gts[i]) {
+			randomAcc++
+		}
+	}
+	if cometAcc <= randomAcc {
+		t.Errorf("COMET accuracy %d/12 should beat random %d/12", cometAcc, randomAcc)
+	}
+	if cometAcc < 8 {
+		t.Errorf("COMET accuracy %d/12 is too low", cometAcc)
+	}
+}
+
+func TestExplainerRejectsInvalidBlock(t *testing.T) {
+	e := NewExplainer(analytical.New(x86.Haswell), testConfig())
+	if _, err := e.Explain(&x86.BasicBlock{}); err == nil {
+		t.Error("expected error for empty block")
+	}
+}
+
+var _ costmodel.Model = (*analytical.Model)(nil)

@@ -1,0 +1,38 @@
+// Package costmodel defines the query-only interface COMET assumes of any
+// cost model M (Section 4 of the paper): a black box mapping valid basic
+// blocks to real-valued costs. The three model families the evaluation
+// studies — the crude analytical model C, the uiCA-like simulator, and the
+// Ithemal-like neural model — all implement Model.
+package costmodel
+
+import "github.com/comet-explain/comet/internal/x86"
+
+// Model is a basic-block cost model with query access only.
+// Implementations must be safe for concurrent Predict calls: the explainer
+// issues queries from multiple goroutines.
+type Model interface {
+	// Name identifies the model in reports (e.g. "ithemal", "uica", "C").
+	Name() string
+	// Arch returns the microarchitecture the model targets.
+	Arch() x86.Arch
+	// Predict returns the block's predicted steady-state throughput in
+	// cycles per iteration.
+	Predict(b *x86.BasicBlock) float64
+}
+
+// Func adapts a function to the Model interface, for tests and toy models
+// (such as the 8-instruction example model M1 in Section 4).
+type Func struct {
+	ModelName string
+	ModelArch x86.Arch
+	Fn        func(b *x86.BasicBlock) float64
+}
+
+// Name implements Model.
+func (f Func) Name() string { return f.ModelName }
+
+// Arch implements Model.
+func (f Func) Arch() x86.Arch { return f.ModelArch }
+
+// Predict implements Model.
+func (f Func) Predict(b *x86.BasicBlock) float64 { return f.Fn(b) }

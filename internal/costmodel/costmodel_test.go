@@ -1,0 +1,41 @@
+package costmodel
+
+import (
+	"testing"
+
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+func TestFuncAdapter(t *testing.T) {
+	// The paper's Section 4 toy model M1: throughput 2 iff the block has 8
+	// instructions.
+	m1 := Func{
+		ModelName: "M1",
+		ModelArch: x86.Haswell,
+		Fn: func(b *x86.BasicBlock) float64 {
+			if b.Len() == 8 {
+				return 2
+			}
+			return 1
+		},
+	}
+	var m Model = m1
+	if m.Name() != "M1" || m.Arch() != x86.Haswell {
+		t.Errorf("adapter metadata wrong: %q %v", m.Name(), m.Arch())
+	}
+	short := x86.MustParseBlock("add rax, rbx")
+	if got := m.Predict(short); got != 1 {
+		t.Errorf("M1(short) = %v, want 1", got)
+	}
+	eight := x86.MustParseBlock(`add rax, 1
+		add rbx, 1
+		add rcx, 1
+		add rdx, 1
+		add rsi, 1
+		add rdi, 1
+		add r8, 1
+		add r9, 1`)
+	if got := m.Predict(eight); got != 2 {
+		t.Errorf("M1(8 instrs) = %v, want 2", got)
+	}
+}

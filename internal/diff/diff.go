@@ -1,0 +1,108 @@
+// Package diff finds and explains disagreements between two cost models —
+// the differential-analysis use case the paper contrasts with (Ritter &
+// Hack's AnICA, §2) and the model-comparison workflow it motivates (§7:
+// "COMET's explanations can be used to select a model from a collection of
+// similar performing neural models").
+//
+// Given two models over the same microarchitecture and a pool of blocks,
+// Find ranks the blocks by relative disagreement; Explain then runs COMET
+// on both models for a disagreeing block, so the user can see *which
+// features* each model bases its diverging prediction on — exactly the
+// §6.4 case-study methodology, automated.
+package diff
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/costmodel"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// Disagreement is one block on which two models diverge.
+type Disagreement struct {
+	Block    *x86.BasicBlock
+	PredA    float64
+	PredB    float64
+	Relative float64 // |a−b| / max(min(a,b), 0.25)
+}
+
+// Find ranks blocks by relative disagreement between the two models,
+// largest first. Blocks where either model returns a non-finite cost are
+// skipped.
+func Find(a, b costmodel.Model, blocks []*x86.BasicBlock) []Disagreement {
+	var out []Disagreement
+	for _, blk := range blocks {
+		pa, pb := a.Predict(blk), b.Predict(blk)
+		if math.IsNaN(pa) || math.IsInf(pa, 0) || math.IsNaN(pb) || math.IsInf(pb, 0) {
+			continue
+		}
+		base := math.Min(pa, pb)
+		if base < 0.25 {
+			base = 0.25
+		}
+		out = append(out, Disagreement{
+			Block:    blk,
+			PredA:    pa,
+			PredB:    pb,
+			Relative: math.Abs(pa-pb) / base,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Relative > out[j].Relative })
+	return out
+}
+
+// Explained pairs a disagreement with both models' COMET explanations.
+type Explained struct {
+	Disagreement
+	ModelA, ModelB string
+	ExplA, ExplB   *core.Explanation
+}
+
+// String renders the comparison in the §6.4 case-study format.
+func (e Explained) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "block:\n%s\n", e.Block)
+	fmt.Fprintf(&b, "%-10s predicts %6.2f; explanation: %s\n", e.ModelA, e.PredA, e.ExplA.Features)
+	fmt.Fprintf(&b, "%-10s predicts %6.2f; explanation: %s\n", e.ModelB, e.PredB, e.ExplB.Features)
+	return b.String()
+}
+
+// Explain runs COMET on both models for a disagreeing block.
+func Explain(a, b costmodel.Model, d Disagreement, cfg core.Config) (Explained, error) {
+	ea, err := core.NewExplainer(a, cfg).Explain(d.Block)
+	if err != nil {
+		return Explained{}, fmt.Errorf("diff: explaining with %s: %w", a.Name(), err)
+	}
+	eb, err := core.NewExplainer(b, cfg).Explain(d.Block)
+	if err != nil {
+		return Explained{}, fmt.Errorf("diff: explaining with %s: %w", b.Name(), err)
+	}
+	return Explained{
+		Disagreement: d,
+		ModelA:       a.Name(),
+		ModelB:       b.Name(),
+		ExplA:        ea,
+		ExplB:        eb,
+	}, nil
+}
+
+// Top finds and explains the n largest disagreements in one call.
+func Top(a, b costmodel.Model, blocks []*x86.BasicBlock, n int, cfg core.Config) ([]Explained, error) {
+	ranked := Find(a, b, blocks)
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	out := make([]Explained, 0, n)
+	for _, d := range ranked[:n] {
+		e, err := Explain(a, b, d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package diff
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/costmodel"
+	"github.com/comet-explain/comet/internal/hwsim"
+	"github.com/comet-explain/comet/internal/mca"
+	"github.com/comet-explain/comet/internal/uica"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+func pool(t *testing.T) []*x86.BasicBlock {
+	t.Helper()
+	srcs := []string{
+		"add rcx, rax\nmov rdx, rcx\npop rbx",
+		"div rcx\nadd rax, rbx",
+		"mov qword ptr [rdi], rax\nmov rbx, qword ptr [rdi]",
+		"imul rax, rbx\nimul rax, rcx",
+		"vaddss xmm0, xmm1, xmm2\nvmulss xmm3, xmm0, xmm0",
+	}
+	blocks := make([]*x86.BasicBlock, len(srcs))
+	for i, src := range srcs {
+		blocks[i] = x86.MustParseBlock(src)
+	}
+	return blocks
+}
+
+func TestFindRanksByRelativeDisagreement(t *testing.T) {
+	hw := hwsim.New(hwsim.HardwareConfig(x86.Haswell))
+	static := mca.New(x86.Haswell)
+	ranked := Find(hw, static, pool(t))
+	if len(ranked) == 0 {
+		t.Fatal("no disagreements returned")
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Relative > ranked[i-1].Relative+1e-12 {
+			t.Fatalf("not sorted: %v then %v", ranked[i-1].Relative, ranked[i].Relative)
+		}
+	}
+	for _, d := range ranked {
+		if math.IsNaN(d.Relative) || d.Relative < 0 {
+			t.Errorf("bad relative disagreement %v", d.Relative)
+		}
+	}
+}
+
+func TestFindSkipsNonFinite(t *testing.T) {
+	inf := costmodel.Func{ModelName: "inf", ModelArch: x86.Haswell,
+		Fn: func(*x86.BasicBlock) float64 { return math.Inf(1) }}
+	u := uica.New(x86.Haswell)
+	if got := Find(inf, u, pool(t)); len(got) != 0 {
+		t.Errorf("non-finite predictions should be skipped, got %d", len(got))
+	}
+}
+
+func TestIdenticalModelsDisagreeNowhere(t *testing.T) {
+	u := uica.New(x86.Haswell)
+	for _, d := range Find(u, u, pool(t)) {
+		if d.Relative != 0 {
+			t.Errorf("model disagrees with itself on\n%s", d.Block)
+		}
+	}
+}
+
+func TestTopExplainsDisagreements(t *testing.T) {
+	hw := hwsim.New(hwsim.HardwareConfig(x86.Haswell))
+	static := mca.New(x86.Haswell)
+	cfg := core.DefaultConfig()
+	cfg.CoverageSamples = 200
+	cfg.Anchor.MaxSamplesPerCand = 600
+	out, err := Top(hw, static, pool(t), 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d explained disagreements", len(out))
+	}
+	for _, e := range out {
+		if len(e.ExplA.Features) == 0 || len(e.ExplB.Features) == 0 {
+			t.Errorf("empty explanation in %v", e)
+		}
+		s := e.String()
+		if !strings.Contains(s, "hwsim") || !strings.Contains(s, "mca") {
+			t.Errorf("rendering missing model names:\n%s", s)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 6 and Appendices E/F). Each runner returns a Table
+// that the comet-bench tool renders; DESIGN.md carries the experiment
+// index mapping runners to paper artifacts.
+//
+// A Session owns the trained models and caches explanation runs so that
+// Table 3 and Figures 2-4 (which share the same underlying explanations)
+// do not recompute them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+
+	"github.com/comet-explain/comet/internal/bhive"
+	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/costmodel"
+	"github.com/comet-explain/comet/internal/features"
+	"github.com/comet-explain/comet/internal/hwsim"
+	"github.com/comet-explain/comet/internal/ithemal"
+	"github.com/comet-explain/comet/internal/uica"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// Params scales the experiments. DefaultParams is sized for minutes-scale
+// runs; PaperParams restores the paper's setup (200 blocks, 5 seeds, 10k
+// coverage samples) at a correspondingly higher cost.
+type Params struct {
+	Blocks          int // explanation test-set size
+	Seeds           int // COMET/baseline seeds averaged over
+	PerSource       int // blocks per source partition (Figure 3)
+	PerCategory     int // blocks per category partition (Figure 4)
+	SweepBlocks     int // blocks for the Appendix E sweeps (Figures 5-8)
+	CoverageSamples int // Γ(∅) pool size per explanation
+	TrainBlocks     int // Ithemal training-set size
+	Epochs          int // Ithemal training epochs
+	Hidden          int // Ithemal hidden width
+	Parallel        int // worker goroutines (0 = GOMAXPROCS)
+	DatasetSeed     int64
+	Progress        io.Writer // optional progress log
+}
+
+// DefaultParams returns the scaled-down configuration.
+func DefaultParams() Params {
+	return Params{
+		Blocks:          24,
+		Seeds:           2,
+		PerSource:       12,
+		PerCategory:     6,
+		SweepBlocks:     20,
+		CoverageSamples: 400,
+		TrainBlocks:     1200,
+		Epochs:          5,
+		Hidden:          48,
+		DatasetSeed:     42,
+	}
+}
+
+// PaperParams returns the paper-scale configuration (hours of compute).
+func PaperParams() Params {
+	p := DefaultParams()
+	p.Blocks = 200
+	p.Seeds = 5
+	p.PerSource = 100
+	p.PerCategory = 50
+	p.SweepBlocks = 100
+	p.CoverageSamples = 10000
+	p.TrainBlocks = 4000
+	p.Epochs = 10
+	p.Hidden = 64
+	return p
+}
+
+func (p Params) logf(format string, args ...any) {
+	if p.Progress != nil {
+		fmt.Fprintf(p.Progress, format+"\n", args...)
+	}
+}
+
+func (p Params) parallel() int {
+	if p.Parallel > 0 {
+		return p.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Session owns trained models and cached explanation runs.
+type Session struct {
+	Params Params
+
+	mu       sync.Mutex
+	ithemal  map[x86.Arch]*ithemal.Model
+	explains map[string][]*core.Explanation
+}
+
+// NewSession prepares a session.
+func NewSession(p Params) *Session {
+	return &Session{
+		Params:   p,
+		ithemal:  make(map[x86.Arch]*ithemal.Model),
+		explains: make(map[string][]*core.Explanation),
+	}
+}
+
+// Hardware returns the full-fidelity simulator standing in for real
+// hardware on the given microarchitecture.
+func (s *Session) Hardware(arch x86.Arch) *hwsim.Simulator {
+	return hwsim.New(hwsim.HardwareConfig(arch))
+}
+
+// UICA returns the uiCA surrogate for the architecture.
+func (s *Session) UICA(arch x86.Arch) costmodel.Model { return uica.New(arch) }
+
+// Ithemal returns the trained neural model for the architecture, training
+// it on first use (cached for the session).
+func (s *Session) Ithemal(arch x86.Arch) *ithemal.Model {
+	s.mu.Lock()
+	m, ok := s.ithemal[arch]
+	s.mu.Unlock()
+	if ok {
+		return m
+	}
+	p := s.Params
+	p.logf("training ithemal/%v on %d blocks (%d epochs, hidden %d)...", arch, p.TrainBlocks, p.Epochs, p.Hidden)
+	blocks := bhive.Generate(bhive.Config{
+		N: p.TrainBlocks, MinInstrs: 1, MaxInstrs: 12, Seed: p.DatasetSeed + 100,
+	})
+	samples := make([]ithemal.Sample, len(blocks))
+	for i, b := range blocks {
+		samples[i] = ithemal.Sample{Block: b.Block, Throughput: b.Throughput[arch]}
+	}
+	cfg := ithemal.DefaultConfig(arch)
+	cfg.Epochs = p.Epochs
+	cfg.Hidden = p.Hidden
+	cfg.Workers = p.parallel()
+	m = ithemal.New(cfg)
+	res := m.Train(samples, func(epoch int, loss float64) {
+		p.logf("  epoch %d: loss %.4f", epoch+1, loss)
+	})
+	p.logf("  train MAPE %.1f%%", res.FinalMAPE)
+
+	s.mu.Lock()
+	s.ithemal[arch] = m
+	s.mu.Unlock()
+	return m
+}
+
+// testSet returns the session's explanation test set (blocks of 4-10
+// instructions, as in the paper).
+func (s *Session) testSet() []bhive.Block {
+	return bhive.Generate(bhive.Config{
+		N: s.Params.Blocks, MinInstrs: 4, MaxInstrs: 10, Seed: s.Params.DatasetSeed,
+	})
+}
+
+// explainConfig is the COMET configuration used for the practical models.
+// The anchor budgets are tighter than the analytical-model runs: neural
+// queries cost ~1ms each, and the paper's own budget (~1 minute per block)
+// corresponds to a few tens of thousands of queries.
+func (s *Session) explainConfig(seed int64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.CoverageSamples = s.Params.CoverageSamples
+	cfg.Seed = seed
+	cfg.Parallelism = s.Params.parallel()
+	cfg.Anchor.MaxSamplesPerCand = 500
+	cfg.Anchor.MaxAnchorSize = 3
+	return cfg
+}
+
+// explainAll runs COMET for a model on a set of blocks, caching by key.
+// Blocks are processed in parallel.
+func (s *Session) explainAll(key string, model costmodel.Model, blocks []bhive.Block, seed int64) ([]*core.Explanation, error) {
+	s.mu.Lock()
+	if cached, ok := s.explains[key]; ok {
+		s.mu.Unlock()
+		return cached, nil
+	}
+	s.mu.Unlock()
+
+	s.Params.logf("explaining %d blocks with %s/%v...", len(blocks), model.Name(), model.Arch())
+	out := make([]*core.Explanation, len(blocks))
+	errs := make([]error, len(blocks))
+
+	// Parallelize across blocks; each block's internal sampling then runs
+	// single-threaded to avoid oversubscription.
+	cfg := s.explainConfig(seed)
+	cfg.Parallelism = 1
+	workers := s.Params.parallel()
+	var wg sync.WaitGroup
+	var next int32
+	var nextMu sync.Mutex
+	take := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if int(next) >= len(blocks) {
+			return -1
+		}
+		next++
+		return int(next) - 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				c := cfg
+				c.Seed = seed + int64(i)*7919
+				expl, err := core.NewExplainer(model, c).Explain(blocks[i].Block)
+				out[i], errs[i] = expl, err
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	s.explains[key] = out
+	s.mu.Unlock()
+	return out, nil
+}
+
+// kindPercents returns the percentage of explanations containing at least
+// one feature of each kind (the Figure 2-4 series).
+func kindPercents(expls []*core.Explanation) (eta, inst, dep float64) {
+	if len(expls) == 0 {
+		return
+	}
+	for _, e := range expls {
+		if e.Features.HasKind(features.KindCount) {
+			eta++
+		}
+		if e.Features.HasKind(features.KindInstr) {
+			inst++
+		}
+		if e.Features.HasKind(features.KindDep) {
+			dep++
+		}
+	}
+	n := float64(len(expls))
+	return 100 * eta / n, 100 * inst / n, 100 * dep / n
+}
+
+// mape computes a model's error against the hardware labels of a block set.
+func mapeOf(model costmodel.Model, blocks []bhive.Block) float64 {
+	var preds, actuals []float64
+	for _, b := range blocks {
+		preds = append(preds, model.Predict(b.Block))
+		actuals = append(actuals, b.Throughput[model.Arch()])
+	}
+	return mapeSlice(preds, actuals)
+}
+
+func mapeSlice(pred, actual []float64) float64 {
+	s, n := 0.0, 0
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		d := pred[i] - actual[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d / actual[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * s / float64(n)
+}
+
+func f2(v float64) string    { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string    { return fmt.Sprintf("%.1f", v) }
+func pm(m, s float64) string { return fmt.Sprintf("%.2f ± %.2f", m, s) }
+
+// newRNG is a tiny helper so every experiment derives independent
+// deterministic randomness.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

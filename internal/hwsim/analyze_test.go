@@ -1,0 +1,94 @@
+package hwsim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+func analyze(t *testing.T, src string) Report {
+	t.Helper()
+	b := x86.MustParseBlock(src)
+	r, err := hsw().Analyze(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAnalyzeStoreBoundBlock(t *testing.T) {
+	// Case study 1: two stores on the single store-data port.
+	r := analyze(t, `lea rdx, [rax + 1]
+		mov qword ptr [rdi + 24], rdx
+		mov byte ptr [rax], 80
+		mov rsi, qword ptr [r14 + 32]
+		mov rdi, rbp`)
+	if !strings.HasPrefix(r.Bottleneck, "port") {
+		t.Errorf("store-heavy block should be port bound, got %q\n%s", r.Bottleneck, r)
+	}
+	if r.PortPressure[4] < 1.9 {
+		t.Errorf("store-data port pressure = %.2f, want ≈2", r.PortPressure[4])
+	}
+}
+
+func TestAnalyzeFrontendBoundBlock(t *testing.T) {
+	r := analyze(t, `add rax, 1
+		add rbx, 1
+		add rcx, 1
+		add rdx, 1
+		add rsi, 1
+		add rdi, 1
+		add r8, 1
+		add r9, 1`)
+	if r.Bottleneck != "frontend" {
+		t.Errorf("independent add block should be frontend bound, got %q\n%s", r.Bottleneck, r)
+	}
+	if r.FrontendBound != 2.0 {
+		t.Errorf("frontend bound = %.2f, want 2 (8 uops / width 4)", r.FrontendBound)
+	}
+}
+
+func TestAnalyzeDependencyBoundBlock(t *testing.T) {
+	r := analyze(t, "imul rax, rbx\nimul rax, rcx\nimul rax, rdx")
+	if r.Bottleneck != "dependency chain" {
+		t.Errorf("imul chain should be dependency bound, got %q\n%s", r.Bottleneck, r)
+	}
+	if r.DepChainBound < 8 || r.DepChainBound > 10 {
+		t.Errorf("dep-chain bound = %.2f, want ≈9", r.DepChainBound)
+	}
+}
+
+func TestAnalyzeBoundsAreLowerBounds(t *testing.T) {
+	// Every resource bound must be ≤ the simulated throughput (with slack
+	// for scheduling artifacts).
+	blocks := []string{
+		"add rcx, rax\nmov rdx, rcx\npop rbx",
+		"div rcx\nadd rax, rbx",
+		"mov qword ptr [rdi], rax\nmov rbx, qword ptr [rdi]",
+		"vdivss xmm0, xmm0, xmm6\nvmulss xmm7, xmm0, xmm0",
+	}
+	for _, src := range blocks {
+		r := analyze(t, src)
+		slack := r.Throughput*1.15 + 0.5
+		if r.FrontendBound > slack || r.PortBound > slack || r.DepChainBound > slack {
+			t.Errorf("%q: bounds exceed throughput %.2f: %+v", src, r.Throughput, r)
+		}
+	}
+}
+
+func TestAnalyzeInvalidBlock(t *testing.T) {
+	if _, err := hsw().Analyze(&x86.BasicBlock{}); err == nil {
+		t.Error("expected error for empty block")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := analyze(t, "add rax, rbx")
+	s := r.String()
+	for _, want := range []string{"throughput", "frontend bound", "dep-chain bound"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}

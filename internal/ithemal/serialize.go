@@ -1,0 +1,96 @@
+package ithemal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// serialized is the on-disk JSON form of a trained model. The vocabulary
+// is derived deterministically from the ISA tables, so only architecture,
+// dimensions and weights need to be stored.
+type serialized struct {
+	Format   string               `json:"format"`
+	Arch     string               `json:"arch"`
+	EmbedDim int                  `json:"embed_dim"`
+	Hidden   int                  `json:"hidden"`
+	Params   map[string][]float64 `json:"params"`
+}
+
+const formatID = "comet-ithemal-v1"
+
+// Save writes the model's weights as JSON.
+func (m *Model) Save(w io.Writer) error {
+	s := serialized{
+		Format:   formatID,
+		Arch:     m.cfg.Arch.String(),
+		EmbedDim: m.cfg.EmbedDim,
+		Hidden:   m.cfg.Hidden,
+		Params:   map[string][]float64{},
+	}
+	for _, p := range m.params() {
+		s.Params[p.Name] = p.W
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// SaveFile writes the model to a file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Save(f)
+}
+
+// Load reads a model saved with Save. The returned model predicts exactly
+// as the saved one did.
+func Load(r io.Reader) (*Model, error) {
+	var s serialized
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("ithemal: decoding model: %w", err)
+	}
+	if s.Format != formatID {
+		return nil, fmt.Errorf("ithemal: unknown model format %q", s.Format)
+	}
+	var arch x86.Arch
+	switch s.Arch {
+	case x86.Haswell.String():
+		arch = x86.Haswell
+	case x86.Skylake.String():
+		arch = x86.Skylake
+	default:
+		return nil, fmt.Errorf("ithemal: unknown architecture %q", s.Arch)
+	}
+	cfg := DefaultConfig(arch)
+	cfg.EmbedDim = s.EmbedDim
+	cfg.Hidden = s.Hidden
+	m := New(cfg)
+	for _, p := range m.params() {
+		w, ok := s.Params[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("ithemal: saved model missing parameter %q", p.Name)
+		}
+		if len(w) != len(p.W) {
+			return nil, fmt.Errorf("ithemal: parameter %q has %d weights, want %d (vocabulary drift?)",
+				p.Name, len(w), len(p.W))
+		}
+		copy(p.W, w)
+	}
+	return m, nil
+}
+
+// LoadFile reads a model from a file.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

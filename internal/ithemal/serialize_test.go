@@ -1,0 +1,66 @@
+package ithemal
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	samples := trainingSamples(80, 11)
+	m := New(tinyConfig(x86.Haswell))
+	m.Train(samples, nil)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, s := range samples[:10] {
+		a, b := m.Predict(s.Block), loaded.Predict(s.Block)
+		if a != b {
+			t.Fatalf("loaded model predicts differently: %v vs %v", a, b)
+		}
+	}
+	if loaded.Arch() != x86.Haswell {
+		t.Errorf("loaded arch = %v", loaded.Arch())
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	m := New(tinyConfig(x86.Skylake))
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := x86.MustParseBlock("add rax, rbx")
+	if m.Predict(b) != loaded.Predict(b) {
+		t.Error("file round trip changed predictions")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, err := Load(strings.NewReader(`{"format":"other"}`)); err == nil {
+		t.Error("expected format error")
+	}
+	if _, err := Load(strings.NewReader(`{"format":"comet-ithemal-v1","arch":"P4"}`)); err == nil {
+		t.Error("expected arch error")
+	}
+	if _, err := Load(strings.NewReader(`{"format":"comet-ithemal-v1","arch":"HSW","embed_dim":4,"hidden":4,"params":{}}`)); err == nil {
+		t.Error("expected missing-parameter error")
+	}
+}

@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is a trainable matrix (rows×cols, row-major) or vector (cols == 1).
+// Parameters are shared across tapes; gradients live on the tapes.
+type Param struct {
+	Name       string
+	Rows, Cols int
+	W          []float64
+	// Adam state (owned by the optimizer).
+	m, v []float64
+}
+
+// NewParam allocates a zero parameter.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, Rows: rows, Cols: cols, W: make([]float64, rows*cols)}
+}
+
+// InitXavier fills the parameter with Xavier/Glorot-uniform noise.
+func (p *Param) InitXavier(rng *rand.Rand) *Param {
+	limit := math.Sqrt(6.0 / float64(p.Rows+p.Cols))
+	for i := range p.W {
+		p.W[i] = (2*rng.Float64() - 1) * limit
+	}
+	return p
+}
+
+// MatVec returns p·x where p is rows×cols and x has length cols.
+func (t *Tape) MatVec(p *Param, x V) V {
+	xv := x.Value()
+	if len(xv) != p.Cols {
+		panic("nn: MatVec dimension mismatch: " + p.Name)
+	}
+	out := make([]float64, p.Rows)
+	for r := 0; r < p.Rows; r++ {
+		row := p.W[r*p.Cols : (r+1)*p.Cols]
+		s := 0.0
+		for c, w := range row {
+			s += w * xv[c]
+		}
+		out[r] = s
+	}
+	v := t.push(out, nil)
+	t.nodes[v.i].backward = func() {
+		g := t.nodes[v.i].grad
+		xg := t.nodes[x.i].grad
+		pg := t.paramGrad(p)
+		for r := 0; r < p.Rows; r++ {
+			gr := g[r]
+			if gr == 0 {
+				continue
+			}
+			row := p.W[r*p.Cols : (r+1)*p.Cols]
+			prow := pg[r*p.Cols : (r+1)*p.Cols]
+			for c := 0; c < p.Cols; c++ {
+				prow[c] += gr * xv[c]
+				xg[c] += gr * row[c]
+			}
+		}
+	}
+	return v
+}
+
+// AddBias returns x + b where b is a vector parameter of x's length.
+func (t *Tape) AddBias(x V, b *Param) V {
+	xv := x.Value()
+	if len(xv) != b.Rows*b.Cols {
+		panic("nn: AddBias dimension mismatch: " + b.Name)
+	}
+	out := make([]float64, len(xv))
+	for i := range xv {
+		out[i] = xv[i] + b.W[i]
+	}
+	v := t.push(out, nil)
+	t.nodes[v.i].backward = func() {
+		g := t.nodes[v.i].grad
+		xg := t.nodes[x.i].grad
+		bg := t.paramGrad(b)
+		for i := range g {
+			xg[i] += g[i]
+			bg[i] += g[i]
+		}
+	}
+	return v
+}
+
+// Lookup returns row idx of the embedding table as a vector.
+func (t *Tape) Lookup(emb *Param, idx int) V {
+	if idx < 0 || idx >= emb.Rows {
+		idx = 0 // out-of-vocabulary bucket
+	}
+	out := make([]float64, emb.Cols)
+	copy(out, emb.W[idx*emb.Cols:(idx+1)*emb.Cols])
+	v := t.push(out, nil)
+	t.nodes[v.i].backward = func() {
+		g := t.nodes[v.i].grad
+		eg := t.paramGrad(emb)
+		row := eg[idx*emb.Cols : (idx+1)*emb.Cols]
+		for i := range g {
+			row[i] += g[i]
+		}
+	}
+	return v
+}
+
+// LSTM is a standard LSTM cell: gates = Wx·x + Wh·h + b with the i,f,g,o
+// layout stacked along the rows.
+type LSTM struct {
+	In, Hidden int
+	Wx, Wh, B  *Param
+}
+
+// NewLSTM allocates and initializes an LSTM cell. The forget-gate bias is
+// initialized to 1, the usual trick for stable training.
+func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		In:     in,
+		Hidden: hidden,
+		Wx:     NewParam(name+".wx", 4*hidden, in).InitXavier(rng),
+		Wh:     NewParam(name+".wh", 4*hidden, hidden).InitXavier(rng),
+		B:      NewParam(name+".b", 4*hidden, 1),
+	}
+	for i := hidden; i < 2*hidden; i++ {
+		l.B.W[i] = 1
+	}
+	return l
+}
+
+// Params returns the cell's trainable parameters.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// Step advances the cell by one input, returning the new hidden and cell
+// states.
+func (l *LSTM) Step(t *Tape, x, h, c V) (hNext, cNext V) {
+	z := t.Add(t.MatVec(l.Wx, x), t.MatVec(l.Wh, h))
+	z = t.AddBias(z, l.B)
+	H := l.Hidden
+	i := t.Sigmoid(t.Slice(z, 0, H))
+	f := t.Sigmoid(t.Slice(z, H, 2*H))
+	g := t.Tanh(t.Slice(z, 2*H, 3*H))
+	o := t.Sigmoid(t.Slice(z, 3*H, 4*H))
+	cNext = t.Add(t.Mul(f, c), t.Mul(i, g))
+	hNext = t.Mul(o, t.Tanh(cNext))
+	return hNext, cNext
+}
+
+// Run folds the cell over a sequence, returning the final hidden state.
+// An empty sequence returns the zero state.
+func (l *LSTM) Run(t *Tape, xs []V) V {
+	h, c := t.Zeros(l.Hidden), t.Zeros(l.Hidden)
+	for _, x := range xs {
+		h, c = l.Step(t, x, h, c)
+	}
+	return h
+}

@@ -1,0 +1,180 @@
+// Package stats provides the statistical utilities COMET builds on:
+// summary statistics (mean, standard deviation, MAPE), the Bernoulli
+// KL divergence, and the KL confidence bounds of Kaufmann &
+// Kalyanakrishnan (2013) that the anchor search uses to certify
+// explanation precision.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation of xs (0 when len < 2).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// MeanStd returns both the mean and sample standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	return Mean(xs), Std(xs)
+}
+
+// MAPE returns the mean absolute percentage error of predictions against
+// reference values, in percent. Pairs with a zero reference are skipped.
+func MAPE(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic("stats: MAPE length mismatch")
+	}
+	s, n := 0.0, 0
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		s += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * s / float64(n)
+}
+
+// KLBern returns the KL divergence KL(p ‖ q) between Bernoulli
+// distributions, with the conventional 0·log0 = 0 limits.
+func KLBern(p, q float64) float64 {
+	const eps = 1e-12
+	p = math.Min(math.Max(p, 0), 1)
+	q = math.Min(math.Max(q, eps), 1-eps)
+	kl := 0.0
+	if p > 0 {
+		kl += p * math.Log(p/q)
+	}
+	if p < 1 {
+		kl += (1 - p) * math.Log((1-p)/(1-q))
+	}
+	return kl
+}
+
+// KLUpperBound returns the largest q ≥ p̂ with n·KL(p̂ ‖ q) ≤ level: the
+// upper confidence bound of the KL-LUCB procedure.
+func KLUpperBound(phat float64, n int, level float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	budget := level / float64(n)
+	lo, hi := phat, 1.0
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if KLBern(phat, mid) > budget {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// KLLowerBound returns the smallest q ≤ p̂ with n·KL(p̂ ‖ q) ≤ level: the
+// lower confidence bound of the KL-LUCB procedure.
+func KLLowerBound(phat float64, n int, level float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	budget := level / float64(n)
+	lo, hi := 0.0, phat
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if KLBern(phat, mid) > budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// HoeffdingLowerBound returns the classical Hoeffding lower confidence
+// bound p̂ − sqrt(level / 2n), clamped to [0, 1]. Kept alongside the KL
+// bounds as an ablation: Hoeffding's interval is far looser near p̂ = 1,
+// which is exactly where anchor certification operates.
+func HoeffdingLowerBound(phat float64, n int, level float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	lb := phat - math.Sqrt(level/(2*float64(n)))
+	if lb < 0 {
+		return 0
+	}
+	return lb
+}
+
+// HoeffdingUpperBound returns p̂ + sqrt(level / 2n), clamped to [0, 1].
+func HoeffdingUpperBound(phat float64, n int, level float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	ub := phat + math.Sqrt(level/(2*float64(n)))
+	if ub > 1 {
+		return 1
+	}
+	return ub
+}
+
+// Beta returns the exploration level β(t, δ) used by KL-LUCB with k arms
+// after t rounds, following the Anchors reference implementation
+// (α = 1.1, k₁ = 405.5).
+func Beta(k, t int, delta float64) float64 {
+	const alpha = 1.1
+	const k1 = 405.5
+	if k < 1 {
+		k = 1
+	}
+	if t < 1 {
+		t = 1
+	}
+	temp := math.Log(k1 * float64(k) * math.Pow(float64(t), alpha) / delta)
+	if temp < 1 {
+		temp = 1
+	}
+	return temp + math.Log(temp)
+}
+
+// PearsonR returns the Pearson correlation coefficient of two series
+// (0 when undefined). The utility experiments use it to quantify the
+// paper's inverse error/granularity correlation.
+func PearsonR(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

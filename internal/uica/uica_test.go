@@ -1,0 +1,67 @@
+package uica
+
+import (
+	"testing"
+
+	"github.com/comet-explain/comet/internal/hwsim"
+	"github.com/comet-explain/comet/internal/stats"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+func TestUICAIsAccurateButNotPerfect(t *testing.T) {
+	// uiCA's defining property (its MAPE is ~1% on real hardware): the
+	// surrogate should be within a few percent of the hardware-grade
+	// simulator on average, but not identical everywhere.
+	hw := hwsim.New(hwsim.HardwareConfig(x86.Haswell))
+	m := New(x86.Haswell)
+
+	blocks := []string{
+		"add rcx, rax\nmov rdx, rcx\npop rbx",
+		"imul rax, rbx\nimul rax, rcx\nimul rax, rdx",
+		"mov qword ptr [rdi], rax\nmov qword ptr [rsi + 8], rbx",
+		"mov rax, qword ptr [rbx]\nadd rax, rcx\nmov qword ptr [rbx], rax",
+		"div rcx\nadd rax, rbx",
+		"vaddss xmm0, xmm1, xmm2\nvmulss xmm3, xmm0, xmm0\nvdivss xmm4, xmm3, xmm1",
+		"shl eax, 3\nadd rbx, rax\nxor rcx, rcx\nlea rdx, [rbx + 8]",
+	}
+	var preds, actuals []float64
+	different := false
+	for _, src := range blocks {
+		b := x86.MustParseBlock(src)
+		h, p := hw.Throughput(b), m.Predict(b)
+		preds = append(preds, p)
+		actuals = append(actuals, h)
+		if h != p {
+			different = true
+		}
+	}
+	mape := stats.MAPE(preds, actuals)
+	if mape > 15 {
+		t.Errorf("uiCA surrogate MAPE %.1f%% too high — it must be a low-error model", mape)
+	}
+	if !different {
+		t.Error("surrogate identical to hardware everywhere; it must have residual error")
+	}
+}
+
+func TestUICAInterface(t *testing.T) {
+	m := New(x86.Skylake)
+	if m.Name() != "uica" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if m.Arch() != x86.Skylake {
+		t.Errorf("Arch = %v", m.Arch())
+	}
+	b := x86.MustParseBlock("add rax, rbx")
+	if p := m.Predict(b); p <= 0 {
+		t.Errorf("Predict = %v", p)
+	}
+}
+
+func TestUICADeterministic(t *testing.T) {
+	m := New(x86.Haswell)
+	b := x86.MustParseBlock("imul rax, rbx\nadd rcx, rax")
+	if m.Predict(b) != m.Predict(b) {
+		t.Error("prediction must be deterministic")
+	}
+}

@@ -1,0 +1,161 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OperandKind classifies an instruction operand.
+type OperandKind int
+
+const (
+	// KindReg is a register operand.
+	KindReg OperandKind = iota
+	// KindMem is a memory operand with an explicit width ("qword ptr [...]").
+	KindMem
+	// KindImm is an immediate (constant) operand.
+	KindImm
+	// KindAddr is an effective-address operand: the bracketed operand of
+	// lea. It reads the address components but never touches memory, and —
+	// deliberately — no other opcode in the table accepts it, so lea has no
+	// valid opcode replacement (Appendix D of the paper).
+	KindAddr
+)
+
+// String returns a short human-readable kind name.
+func (k OperandKind) String() string {
+	switch k {
+	case KindReg:
+		return "reg"
+	case KindMem:
+		return "mem"
+	case KindImm:
+		return "imm"
+	case KindAddr:
+		return "addr"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// MemRef is an x86 addressing expression base + index*scale + disp.
+type MemRef struct {
+	Base  Reg   // zero if absent
+	Index Reg   // zero if absent
+	Scale int   // 1, 2, 4 or 8; 0 when Index is absent
+	Disp  int64 // signed displacement
+}
+
+// LocKey returns a canonical identity for the addressed location, at
+// register-family granularity. Two memory operands are considered to alias
+// exactly when their keys are equal (syntactic aliasing, as in the paper's
+// multigraph construction).
+func (m MemRef) LocKey() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	if !m.Base.IsZero() {
+		b.WriteString(FamilyName(m.Base.Family))
+	}
+	if !m.Index.IsZero() {
+		fmt.Fprintf(&b, "+%s*%d", FamilyName(m.Index.Family), m.Scale)
+	}
+	fmt.Fprintf(&b, "%+d]", m.Disp)
+	return b.String()
+}
+
+// String renders the bracketed addressing expression in Intel syntax.
+func (m MemRef) String() string {
+	var parts []string
+	if !m.Base.IsZero() {
+		parts = append(parts, m.Base.String())
+	}
+	if !m.Index.IsZero() {
+		if m.Scale > 1 {
+			parts = append(parts, fmt.Sprintf("%s*%d", m.Index, m.Scale))
+		} else {
+			parts = append(parts, m.Index.String())
+		}
+	}
+	expr := strings.Join(parts, " + ")
+	switch {
+	case m.Disp < 0:
+		expr = fmt.Sprintf("%s - %d", expr, -m.Disp)
+	case m.Disp > 0 && expr != "":
+		expr = fmt.Sprintf("%s + %d", expr, m.Disp)
+	case expr == "":
+		expr = fmt.Sprintf("%d", m.Disp)
+	}
+	return "[" + expr + "]"
+}
+
+// Regs returns the register families the address expression reads.
+func (m MemRef) Regs() []RegFamily {
+	var fams []RegFamily
+	if !m.Base.IsZero() {
+		fams = append(fams, m.Base.Family)
+	}
+	if !m.Index.IsZero() {
+		fams = append(fams, m.Index.Family)
+	}
+	return fams
+}
+
+// Operand is a single instruction operand.
+type Operand struct {
+	Kind OperandKind
+	Reg  Reg    // valid when Kind == KindReg
+	Mem  MemRef // valid when Kind == KindMem or KindAddr
+	Imm  int64  // valid when Kind == KindImm
+	Size int    // operand width in bits
+}
+
+// NewReg returns a register operand.
+func NewReg(r Reg) Operand { return Operand{Kind: KindReg, Reg: r, Size: r.Size} }
+
+// NewImm returns an immediate operand of the given width.
+func NewImm(v int64, size int) Operand { return Operand{Kind: KindImm, Imm: v, Size: size} }
+
+// NewMem returns a memory operand of the given width.
+func NewMem(m MemRef, size int) Operand { return Operand{Kind: KindMem, Mem: m, Size: size} }
+
+// NewAddr returns a lea-style effective-address operand.
+func NewAddr(m MemRef) Operand { return Operand{Kind: KindAddr, Mem: m, Size: Size64} }
+
+var sizeQualifier = map[int]string{
+	Size8:   "byte ptr",
+	Size16:  "word ptr",
+	Size32:  "dword ptr",
+	Size64:  "qword ptr",
+	Size128: "xmmword ptr",
+	Size256: "ymmword ptr",
+}
+
+var qualifierSize = map[string]int{
+	"byte":    Size8,
+	"word":    Size16,
+	"dword":   Size32,
+	"qword":   Size64,
+	"xmmword": Size128,
+	"ymmword": Size256,
+}
+
+// String renders the operand in Intel syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindReg:
+		return o.Reg.String()
+	case KindImm:
+		return fmt.Sprintf("%d", o.Imm)
+	case KindMem:
+		q, ok := sizeQualifier[o.Size]
+		if !ok {
+			q = fmt.Sprintf("size%d ptr", o.Size)
+		}
+		return q + " " + o.Mem.String()
+	case KindAddr:
+		return o.Mem.String()
+	}
+	return "<bad operand>"
+}
+
+// Equal reports structural equality of two operands.
+func (o Operand) Equal(p Operand) bool { return o == p }
