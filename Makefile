@@ -1,0 +1,37 @@
+# Local and CI invocations stay identical: .github/workflows/ci.yml calls
+# these targets and nothing else.
+
+GO ?= go
+
+.PHONY: build test test-race bench bench-smoke lint vet fmt fmt-check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Full benchmark suite (regenerates the paper's tables at benchmark scale).
+bench:
+	$(GO) test -bench=. -benchtime=1s -run='^$$' ./...
+
+# One iteration of every benchmark: catches bit-rot without the cost.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+lint: fmt-check vet
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .

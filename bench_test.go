@@ -182,6 +182,67 @@ func BenchmarkExplainUICA(b *testing.B) {
 	}
 }
 
+// ---- corpus-scale explanation engine ----------------------------------------
+
+func corpusBenchConfig() comet.Config {
+	cfg := comet.DefaultConfig()
+	cfg.CoverageSamples = 150
+	cfg.Parallelism = 1
+	return cfg
+}
+
+// BenchmarkCorpusSequentialExplain is the baseline: one Explain call per
+// block with caching disabled — i.e. the pre-batching query path. (Note
+// a default NewExplainer now caches within a block too, so this measures
+// the full batching+caching win, not ExplainAll alone. Per-block seeds
+// match the corpus engine, so both benchmarks do identical explanatory
+// work.)
+func BenchmarkCorpusSequentialExplain(b *testing.B) {
+	blocks := comet.GenerateBlocks(8, 1)
+	model := comet.NewUICAModel(comet.Haswell)
+	cfg := corpusBenchConfig()
+	cfg.CacheSize = -1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, blk := range blocks {
+			c := cfg
+			c.Seed = comet.BlockSeed(cfg.Seed, j)
+			if _, err := comet.NewExplainer(model, c).Explain(blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCorpusExplainAll measures the batched engine on the same
+// corpus: worker pool across blocks plus the shared prediction cache.
+// Explanations are identical to the sequential baseline's.
+func BenchmarkCorpusExplainAll(b *testing.B) {
+	blocks := comet.GenerateBlocks(8, 1)
+	model := comet.NewUICAModel(comet.Haswell)
+	cfg := corpusBenchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := comet.NewExplainer(model, cfg).ExplainCorpus(blocks, comet.CorpusOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIthemalPredictBatch measures the neural model's native padded
+// lockstep forward (compare per-block against BenchmarkIthemalPredict ×32:
+// the lockstep pass skips the autograd tape and streams each weight row
+// across the whole batch).
+func BenchmarkIthemalPredictBatch(b *testing.B) {
+	cfg := comet.DefaultIthemalConfig(comet.Haswell)
+	model := comet.NewIthemalModel(cfg)
+	blocks := comet.GenerateBlocks(32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = model.PredictBatch(blocks)
+	}
+}
+
 // BenchmarkDatasetGeneration measures labeled dataset synthesis.
 func BenchmarkDatasetGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,11 +1,13 @@
 // Command comet-bench regenerates the paper's tables and figures (see the
-// per-experiment index in DESIGN.md).
+// per-experiment index in DESIGN.md) and benchmarks the corpus-scale
+// explanation engine.
 //
 // Examples:
 //
 //	comet-bench -experiment table2
 //	comet-bench -all
-//	comet-bench -all -full        # paper-scale parameters (slow)
+//	comet-bench -all -full        # paper-scale parameters (hours)
+//	comet-bench -corpus 50        # batched ExplainAll vs sequential Explain
 package main
 
 import (
@@ -13,7 +15,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"github.com/comet-explain/comet"
 	"github.com/comet-explain/comet/internal/experiments"
 )
 
@@ -27,8 +31,20 @@ func main() {
 		coverage   = flag.Int("coverage-samples", 0, "override coverage pool size")
 		train      = flag.Int("train-blocks", 0, "override ithemal training-set size")
 		quiet      = flag.Bool("q", false, "suppress progress output")
+
+		corpusN     = flag.Int("corpus", 0, "corpus benchmark: explain N synthetic blocks sequentially and with ExplainAll, and report the speedup")
+		corpusModel = flag.String("corpus-model", "uica", "corpus benchmark model: c | uica | mca | hwsim | ithemal")
+		workers     = flag.Int("workers", 0, "corpus benchmark ExplainAll workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *corpusN > 0 {
+		if err := corpusBench(*corpusModel, *corpusN, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "comet-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	params := experiments.DefaultParams()
 	if *full {
@@ -70,4 +86,87 @@ func main() {
 		}
 		table.Render(os.Stdout)
 	}
+}
+
+// corpusBench measures the batched, cached ExplainAll engine against a
+// sequential Explain loop (prediction cache disabled, i.e. the
+// pre-batching query path) over the same synthetic corpus, and verifies
+// the two produce identical explanations block for block.
+func corpusBench(modelName string, n, workers int) error {
+	model, eps, err := corpusBenchModel(modelName)
+	if err != nil {
+		return err
+	}
+	blocks := comet.GenerateBlocks(n, 1)
+
+	cfg := comet.DefaultConfig()
+	cfg.Epsilon = eps
+	cfg.CoverageSamples = 500
+	// Pinned so the sequential and corpus runs draw identical samples
+	// (per-block sampling is deterministic per worker count).
+	cfg.Parallelism = 1
+
+	// Sequential baseline: one block at a time, no shared cache.
+	seqCfg := cfg
+	seqCfg.CacheSize = -1
+	seqStart := time.Now()
+	seqExpls := make([]*comet.Explanation, len(blocks))
+	for i, b := range blocks {
+		c := seqCfg
+		c.Seed = comet.BlockSeed(cfg.Seed, i)
+		expl, err := comet.NewExplainer(model, c).Explain(b)
+		if err != nil {
+			return fmt.Errorf("sequential block %d: %w", i, err)
+		}
+		seqExpls[i] = expl
+	}
+	seqElapsed := time.Since(seqStart)
+
+	// Batched corpus engine: worker pool + shared prediction cache.
+	e := comet.NewExplainer(model, cfg)
+	corpusStart := time.Now()
+	corpusExpls, err := e.ExplainCorpus(blocks, comet.CorpusOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	corpusElapsed := time.Since(corpusStart)
+
+	var queries, hits, calls int
+	for i := range blocks {
+		if corpusExpls[i].Features.Key() != seqExpls[i].Features.Key() {
+			return fmt.Errorf("block %d: corpus explanation %v != sequential %v",
+				i, corpusExpls[i].Features, seqExpls[i].Features)
+		}
+		queries += corpusExpls[i].Queries
+		hits += corpusExpls[i].CacheHits
+		calls += corpusExpls[i].ModelCalls
+	}
+
+	fmt.Printf("corpus benchmark: %d blocks, model %s\n", n, model.Name())
+	fmt.Printf("  sequential Explain (no cache):  %10v  (%.2f blocks/s)\n",
+		seqElapsed.Round(time.Millisecond), float64(n)/seqElapsed.Seconds())
+	fmt.Printf("  batched ExplainAll:             %10v  (%.2f blocks/s)\n",
+		corpusElapsed.Round(time.Millisecond), float64(n)/corpusElapsed.Seconds())
+	fmt.Printf("  speedup:                        %.2fx (identical explanations)\n",
+		seqElapsed.Seconds()/corpusElapsed.Seconds())
+	fmt.Printf("  queries:                        %d total, %d cache/dedup hits (%.1f%%), %d model evaluations\n",
+		queries, hits, 100*float64(hits)/float64(queries), calls)
+	return nil
+}
+
+func corpusBenchModel(name string) (comet.CostModel, float64, error) {
+	switch strings.ToLower(name) {
+	case "c", "analytical":
+		return comet.NewAnalyticalModel(comet.Haswell), comet.AnalyticalEpsilon, nil
+	case "uica":
+		return comet.NewUICAModel(comet.Haswell), 0.5, nil
+	case "mca":
+		return comet.NewMCAModel(comet.Haswell), 0.5, nil
+	case "hwsim", "hardware":
+		return comet.NewHardwareSimulator(comet.Haswell), 0.5, nil
+	case "ithemal", "neural":
+		fmt.Fprintln(os.Stderr, "training ithemal surrogate...")
+		return comet.TrainIthemalOnDataset(comet.DefaultIthemalConfig(comet.Haswell), 400, 42), 0.5, nil
+	}
+	return nil, 0, fmt.Errorf("unknown corpus model %q", name)
 }

@@ -1,15 +1,25 @@
-// Command comet explains a cost model's prediction for one basic block.
+// Command comet explains a cost model's prediction for one basic block or
+// for a whole corpus of blocks.
 //
-// The block is read from a file (-in) or stdin, in Intel syntax, one
-// instruction per line. The model is chosen with -model: the analytical
-// model C, the uiCA-like simulator, the hardware-grade simulator, or a
-// freshly trained Ithemal-style neural model.
+// In single-block mode the block is read from a file (-in) or stdin, in
+// Intel syntax, one instruction per line. The model is chosen with -model:
+// the analytical model C, the uiCA-like simulator, the hardware-grade
+// simulator, or a freshly trained Ithemal-style neural model.
 //
-// Example:
+// In corpus mode (-corpus) every block of a corpus file — blocks in Intel
+// syntax separated by lines containing only "---" — is explained through
+// the batched worker-pool engine with a shared prediction cache;
+// "-corpus gen:N" generates a synthetic BHive-like corpus of N blocks
+// instead. Results stream as they complete, followed by a throughput and
+// cache summary.
+//
+// Examples:
 //
 //	echo 'add rcx, rax
 //	mov rdx, rcx
 //	pop rbx' | comet -model uica -arch hsw
+//
+//	comet -model uica -corpus gen:100 -workers 8
 package main
 
 import (
@@ -18,6 +28,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/comet-explain/comet"
 )
@@ -35,6 +46,10 @@ func main() {
 		saveModel = flag.String("save-model", "", "save the trained ithemal model to this file")
 		loadModel = flag.String("load-model", "", "load a previously saved ithemal model")
 		report    = flag.Bool("report", false, "also print the pipeline bottleneck report")
+		corpus    = flag.String("corpus", "", `corpus mode: a file of "---"-separated blocks, or gen:N for a synthetic corpus`)
+		workers   = flag.Int("workers", 0, "corpus mode: concurrent blocks (0 = GOMAXPROCS)")
+		batchSize = flag.Int("batch", 0, "model query batch size (0 = default 64)")
+		noCache   = flag.Bool("no-cache", false, "disable the prediction cache")
 	)
 	flag.Parse()
 
@@ -47,6 +62,26 @@ func main() {
 		fatal(err)
 	}
 
+	cfg := comet.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.CoverageSamples = *coverage
+	cfg.PrecisionThreshold = *threshold
+	cfg.BatchSize = *batchSize
+	if *noCache {
+		cfg.CacheSize = -1
+	}
+	cfg.Epsilon = defEps
+	if *epsilon > 0 {
+		cfg.Epsilon = *epsilon
+	}
+
+	if *corpus != "" {
+		if err := explainCorpus(model, cfg, *corpus, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	src, err := readInput(*inPath)
 	if err != nil {
 		fatal(err)
@@ -54,15 +89,6 @@ func main() {
 	block, err := comet.ParseBlock(src)
 	if err != nil {
 		fatal(fmt.Errorf("parsing block: %w", err))
-	}
-
-	cfg := comet.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.CoverageSamples = *coverage
-	cfg.PrecisionThreshold = *threshold
-	cfg.Epsilon = defEps
-	if *epsilon > 0 {
-		cfg.Epsilon = *epsilon
 	}
 
 	expl, err := comet.NewExplainer(model, cfg).Explain(block)
@@ -76,7 +102,8 @@ func main() {
 	fmt.Printf("explanation: %s\n", expl.Features)
 	fmt.Printf("precision:   %.2f (threshold %.2f, certified=%v)\n", expl.Precision, cfg.PrecisionThreshold, expl.Certified)
 	fmt.Printf("coverage:    %.2f\n", expl.Coverage)
-	fmt.Printf("queries:     %d\n", expl.Queries)
+	fmt.Printf("queries:     %d (%d cache hits, %d model evaluations)\n",
+		expl.Queries, expl.CacheHits, expl.ModelCalls)
 
 	if *report {
 		rep, err := comet.AnalyzeBlock(arch, block)
@@ -85,6 +112,102 @@ func main() {
 		}
 		fmt.Printf("\npipeline report (hardware-grade simulator):\n%s", rep)
 	}
+}
+
+// explainCorpus runs the batched corpus engine and prints one line per
+// block as results stream in, then a throughput/cache summary.
+func explainCorpus(model comet.CostModel, cfg comet.Config, spec string, workers int) error {
+	blocks, err := loadCorpus(spec)
+	if err != nil {
+		return err
+	}
+	e := comet.NewExplainer(model, cfg)
+	start := time.Now()
+	var queries, hits, calls, failed, certified int
+	for res := range e.ExplainAll(blocks, comet.CorpusOptions{
+		Workers: workers,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d blocks", done, total)
+		},
+	}) {
+		if res.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "\ncomet: %v\n", res.Err)
+			continue
+		}
+		expl := res.Explanation
+		queries += expl.Queries
+		hits += expl.CacheHits
+		calls += expl.ModelCalls
+		if expl.Certified {
+			certified++
+		}
+		fmt.Printf("[%4d] %s\n", res.Index, expl)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintln(os.Stderr)
+	fmt.Printf("\ncorpus: %d blocks (%d certified, %d failed) in %v (%.1f blocks/s)\n",
+		len(blocks), certified, failed, elapsed.Round(time.Millisecond),
+		float64(len(blocks))/elapsed.Seconds())
+	hitRate := 0.0
+	if queries > 0 {
+		hitRate = float64(hits) / float64(queries)
+	}
+	fmt.Printf("queries: %d total, %d cache/dedup hits (%.1f%%), %d model evaluations\n",
+		queries, hits, 100*hitRate, calls)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d blocks failed", failed, len(blocks))
+	}
+	return nil
+}
+
+// loadCorpus reads a corpus: "gen:N" generates N synthetic BHive-like
+// blocks; anything else is a file of Intel-syntax blocks separated by
+// lines containing only "---".
+func loadCorpus(spec string) ([]*comet.BasicBlock, error) {
+	if strings.HasPrefix(spec, "gen:") {
+		n := 0
+		if _, err := fmt.Sscanf(spec, "gen:%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad corpus spec %q (want gen:N)", spec)
+		}
+		return comet.GenerateBlocks(n, 1), nil
+	}
+	data, err := os.ReadFile(spec)
+	if err != nil {
+		return nil, err
+	}
+	// Blocks are separated by lines containing only "---" (exactly).
+	var blocks []*comet.BasicBlock
+	var chunk []string
+	flush := func() error {
+		src := strings.TrimSpace(strings.Join(chunk, "\n"))
+		chunk = chunk[:0]
+		if src == "" {
+			return nil
+		}
+		b, err := comet.ParseBlock(src)
+		if err != nil {
+			return fmt.Errorf("corpus block %d: %w", len(blocks), err)
+		}
+		blocks = append(blocks, b)
+		return nil
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "---" {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		chunk = append(chunk, line)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("corpus %s contains no blocks", spec)
+	}
+	return blocks, nil
 }
 
 func parseArch(name string) (comet.Arch, error) {

@@ -18,6 +18,15 @@
 //	model := comet.NewUICAModel(comet.Haswell)
 //	expl, err := comet.NewExplainer(model, comet.DefaultConfig()).Explain(block)
 //	fmt.Println(expl)
+//
+// Corpus-scale explanation streams results from a worker pool whose
+// queries are batched through the model (BatchCostModel) and deduplicated
+// by a shared prediction cache; per-block seeds are deterministic, so runs
+// are reproducible at any worker count:
+//
+//	for res := range comet.NewExplainer(model, cfg).ExplainAll(blocks, comet.CorpusOptions{}) {
+//		fmt.Println(res.Index, res.Explanation, res.Explanation.CacheHitRate())
+//	}
 package comet
 
 import (
@@ -52,12 +61,26 @@ type (
 	DependencyGraph = deps.Graph
 	// CostModel is the query-only model interface COMET explains.
 	CostModel = costmodel.Model
+	// BatchCostModel is a cost model that answers many queries per
+	// invocation; PredictBatch must agree with Predict exactly.
+	BatchCostModel = costmodel.BatchModel
+	// PredictionCache is the sharded, canonical-block-keyed prediction
+	// cache shared by corpus runs.
+	PredictionCache = costmodel.Cache
+	// PredictionCacheStats snapshots cache effectiveness.
+	PredictionCacheStats = costmodel.CacheStats
+	// CachedCostModel wraps any BatchCostModel with a prediction cache.
+	CachedCostModel = costmodel.CachedModel
 	// Explainer generates explanations for one cost model.
 	Explainer = core.Explainer
 	// Explanation is COMET's output for one (model, block) pair.
 	Explanation = core.Explanation
 	// Config collects COMET's hyperparameters.
 	Config = core.Config
+	// CorpusOptions configures Explainer.ExplainAll.
+	CorpusOptions = core.CorpusOptions
+	// CorpusResult is one streamed ExplainAll outcome.
+	CorpusResult = core.CorpusResult
 	// PerturbConfig configures the Γ perturbation algorithm.
 	PerturbConfig = perturb.Config
 	// Perturber samples perturbations of a fixed block (advanced use).
@@ -100,10 +123,31 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 func DefaultPerturbConfig() PerturbConfig { return perturb.DefaultConfig() }
 
 // NewExplainer builds an explainer for a cost model. The model must be
-// safe for concurrent Predict calls.
+// safe for concurrent Predict calls; models implementing BatchCostModel
+// (every built-in model) use their native batch path.
 func NewExplainer(model CostModel, cfg Config) *Explainer {
 	return core.NewExplainer(model, cfg)
 }
+
+// AsBatchModel returns model itself when it already batches natively, and
+// otherwise adapts it with a parallel fan-out Batcher.
+func AsBatchModel(model CostModel) BatchCostModel { return costmodel.AsBatch(model) }
+
+// NewPredictionCache allocates a prediction cache bounded to roughly
+// maxEntries predictions (0 = default of about a million).
+func NewPredictionCache(maxEntries int) *PredictionCache { return costmodel.NewCache(maxEntries) }
+
+// WithPredictionCache wraps a batched model with a cache (nil allocates a
+// default-sized one). Cached values are exact prior predictions, so
+// caching never changes results, only their cost.
+func WithPredictionCache(model BatchCostModel, cache *PredictionCache) *CachedCostModel {
+	return costmodel.WithCache(model, cache)
+}
+
+// BlockSeed derives the deterministic per-block seed ExplainAll uses for
+// corpus block index; Explain with cfg.Seed = BlockSeed(base, i)
+// reproduces ExplainAll's block i exactly.
+func BlockSeed(base int64, index int) int64 { return core.BlockSeed(base, index) }
 
 // NewPerturber prepares Γ for one block (advanced: direct access to the
 // perturbation distributions D_F).

@@ -144,6 +144,72 @@ func TestPublicAPIPrecisionCoverageEstimators(t *testing.T) {
 	}
 }
 
+func TestPublicAPIBatchModelsAndCache(t *testing.T) {
+	block := comet.MustParseBlock("add rcx, rax\nmov rdx, rcx\npop rbx")
+	models := []comet.CostModel{
+		comet.NewAnalyticalModel(comet.Haswell),
+		comet.NewUICAModel(comet.Haswell),
+		comet.NewMCAModel(comet.Haswell),
+		comet.NewHardwareSimulator(comet.Haswell),
+	}
+	for _, m := range models {
+		bm, ok := m.(comet.BatchCostModel)
+		if !ok {
+			t.Fatalf("%s does not batch natively", m.Name())
+		}
+		batch := bm.PredictBatch([]*comet.BasicBlock{block, block})
+		if want := m.Predict(block); batch[0] != want || batch[1] != want {
+			t.Errorf("%s: batch %v != sequential %v", m.Name(), batch, want)
+		}
+	}
+
+	cache := comet.NewPredictionCache(0)
+	cached := comet.WithPredictionCache(comet.AsBatchModel(models[1]), cache)
+	first := cached.Predict(block)
+	if again := cached.Predict(block); again != first {
+		t.Errorf("cached prediction changed: %v vs %v", again, first)
+	}
+	if st := cache.Stats(); st.Hits == 0 || st.Entries == 0 {
+		t.Errorf("cache unused: %+v", st)
+	}
+}
+
+func TestPublicAPIExplainAllCorpus(t *testing.T) {
+	gen := comet.GenerateDataset(comet.DatasetConfig{N: 4, Seed: 5, SkipLabels: true})
+	blocks := make([]*comet.BasicBlock, len(gen))
+	for i, g := range gen {
+		blocks[i] = g.Block
+	}
+	model := comet.NewAnalyticalModel(comet.Haswell)
+	cfg := comet.DefaultConfig()
+	cfg.Epsilon = comet.AnalyticalEpsilon
+	cfg.CoverageSamples = 150
+	cfg.Parallelism = 2
+
+	e := comet.NewExplainer(model, cfg)
+	seen := 0
+	for res := range e.ExplainAll(blocks, comet.CorpusOptions{Workers: 2}) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		seen++
+		// Each corpus block must match a standalone Explain at its
+		// derived seed — batching and caching change cost, not results.
+		solo := cfg
+		solo.Seed = comet.BlockSeed(cfg.Seed, res.Index)
+		ref, err := comet.NewExplainer(model, solo).Explain(blocks[res.Index])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Explanation.Features.Key() != ref.Features.Key() {
+			t.Errorf("block %d: corpus %v != solo %v", res.Index, res.Explanation.Features, ref.Features)
+		}
+	}
+	if seen != len(blocks) {
+		t.Errorf("streamed %d of %d results", seen, len(blocks))
+	}
+}
+
 func TestPublicAPIInstructionThroughput(t *testing.T) {
 	div := comet.MustParseBlock("div rcx").Instructions[0]
 	add := comet.MustParseBlock("add rax, rbx").Instructions[0]

@@ -41,3 +41,14 @@ func Sources() []BlockSource { return bhive.Sources() }
 
 // GenerateDataset produces a deterministic synthetic dataset.
 func GenerateDataset(cfg DatasetConfig) []DatasetBlock { return bhive.Generate(cfg) }
+
+// GenerateBlocks produces an unlabeled synthetic corpus of n blocks — the
+// shared recipe behind the corpus CLI modes and benchmarks.
+func GenerateBlocks(n int, seed int64) []*BasicBlock {
+	gen := bhive.Generate(bhive.Config{N: n, Seed: seed, SkipLabels: true})
+	blocks := make([]*BasicBlock, len(gen))
+	for i, g := range gen {
+		blocks[i] = g.Block
+	}
+	return blocks
+}

@@ -1,0 +1,3 @@
+module github.com/comet-explain/comet
+
+go 1.21

@@ -30,7 +30,10 @@ type Model struct {
 	depOpts deps.Options
 }
 
-var _ costmodel.Model = (*Model)(nil)
+var (
+	_ costmodel.Model      = (*Model)(nil)
+	_ costmodel.BatchModel = (*Model)(nil)
+)
 
 // New builds C for the given microarchitecture.
 func New(arch x86.Arch) *Model {
@@ -71,6 +74,12 @@ func (m *Model) Predict(b *x86.BasicBlock) float64 {
 		return 0
 	}
 	return cost
+}
+
+// PredictBatch implements costmodel.BatchModel by parallel fan-out; the
+// model is stateless, so evaluations are independent.
+func (m *Model) PredictBatch(blocks []*x86.BasicBlock) []float64 {
+	return costmodel.FanOut(blocks, 0, m.Predict)
 }
 
 // GroundTruth returns GT(β): every feature of ˆP whose cost equals C(β)

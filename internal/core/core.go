@@ -43,6 +43,16 @@ type Config struct {
 	CoverageSamples int
 	// Parallelism bounds the precision-sampling workers (0 = GOMAXPROCS).
 	Parallelism int
+	// BatchSize is how many perturbed blocks are sent to the cost model
+	// per PredictBatch call (default 64). Models with native batching
+	// (the neural model's padded lockstep forward) amortize per-call
+	// overhead across the whole batch.
+	BatchSize int
+	// CacheSize bounds the shared prediction cache in entries (0 =
+	// default of about a million; negative disables caching). Perturbation
+	// draws collide constantly, and a hit skips the model query entirely;
+	// cached values are exact, so caching never changes an explanation.
+	CacheSize int
 	// Seed makes explanations reproducible.
 	Seed int64
 }
@@ -55,6 +65,7 @@ func DefaultConfig() Config {
 		PrecisionThreshold: 0.7,
 		Perturb:            perturb.DefaultConfig(),
 		CoverageSamples:    1000,
+		BatchSize:          64,
 		Seed:               1,
 	}
 }
@@ -68,7 +79,18 @@ type Explanation struct {
 	Precision  float64      // empirical Prec(F)
 	Coverage   float64      // empirical Cov(F)
 	Certified  bool         // KL lower bound cleared 1−δ
-	Queries    int          // cost-model queries spent
+	Queries    int          // cost-model queries issued by the search
+	CacheHits  int          // queries served without a model evaluation
+	ModelCalls int          // blocks the model actually evaluated
+}
+
+// CacheHitRate reports the fraction of queries the prediction cache (plus
+// within-batch deduplication) absorbed.
+func (e *Explanation) CacheHitRate() float64 {
+	if e.Queries == 0 {
+		return 0
+	}
+	return float64(e.CacheHits) / float64(e.Queries)
 }
 
 // String renders the explanation in the paper's set notation.
@@ -77,14 +99,24 @@ func (e *Explanation) String() string {
 		e.Model, e.Prediction, e.Features, e.Precision, e.Coverage)
 }
 
-// Explainer generates explanations for one cost model.
+// Explainer generates explanations for one cost model. All queries flow
+// through a batched view of the model (costmodel.BatchModel) and a shared
+// prediction cache, so repeated perturbation draws — within one block's
+// search and across a corpus run — are answered without model evaluations.
 type Explainer struct {
 	model costmodel.Model
+	batch costmodel.BatchModel
+	cache *costmodel.Cache
 	cfg   Config
+	// autoParallel records that cfg.Parallelism was defaulted rather than
+	// set by the caller; ExplainAll then drops per-block sampling to one
+	// goroutine and lets block-level workers saturate the machine.
+	autoParallel bool
 }
 
 // NewExplainer builds an explainer. The model must be safe for concurrent
-// Predict calls.
+// Predict calls; if it implements costmodel.BatchModel its native batch
+// path is used, otherwise queries fan out over cfg.Parallelism workers.
 func NewExplainer(model costmodel.Model, cfg Config) *Explainer {
 	if cfg.Epsilon == 0 {
 		cfg.Epsilon = 0.5
@@ -98,11 +130,24 @@ func NewExplainer(model costmodel.Model, cfg Config) *Explainer {
 	if cfg.CoverageSamples == 0 {
 		cfg.CoverageSamples = 1000
 	}
-	if cfg.Parallelism <= 0 {
+	autoParallel := cfg.Parallelism <= 0
+	if autoParallel {
 		cfg.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
 	cfg.Anchor.PrecisionThreshold = cfg.PrecisionThreshold
-	return &Explainer{model: model, cfg: cfg}
+	e := &Explainer{model: model, cfg: cfg, autoParallel: autoParallel}
+	if bm, ok := model.(costmodel.BatchModel); ok {
+		e.batch = bm
+	} else {
+		e.batch = costmodel.NewBatcher(model, cfg.Parallelism)
+	}
+	if cfg.CacheSize >= 0 {
+		e.cache = costmodel.NewCache(cfg.CacheSize)
+	}
+	return e
 }
 
 // Model returns the underlying cost model.
@@ -111,14 +156,29 @@ func (e *Explainer) Model() costmodel.Model { return e.model }
 // Config returns the effective configuration.
 func (e *Explainer) Config() Config { return e.cfg }
 
+// CacheStats snapshots the shared prediction cache (zero value when
+// caching is disabled).
+func (e *Explainer) CacheStats() costmodel.CacheStats {
+	if e.cache == nil {
+		return costmodel.CacheStats{}
+	}
+	return e.cache.Stats()
+}
+
 // Explain runs COMET on one block.
 func (e *Explainer) Explain(b *x86.BasicBlock) (*Explanation, error) {
+	return e.explainSeeded(b, e.cfg.Seed)
+}
+
+// explainSeeded runs COMET on one block with an explicit seed (ExplainAll
+// derives a distinct deterministic seed per corpus block).
+func (e *Explainer) explainSeeded(b *x86.BasicBlock, seed int64) (*Explanation, error) {
 	p, err := perturb.New(b, e.cfg.Perturb)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	rng := rand.New(rand.NewSource(e.cfg.Seed))
-	space, err := newBlockSpace(e.model, p, e.cfg, rng)
+	rng := rand.New(rand.NewSource(seed))
+	space, err := newBlockSpace(e.batch, e.cache, p, e.cfg, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +196,9 @@ func (e *Explainer) Explain(b *x86.BasicBlock) (*Explanation, error) {
 		Precision:  res.Precision,
 		Coverage:   res.Coverage,
 		Certified:  res.Certified,
-		Queries:    res.Queries + space.extraQueries,
+		Queries:    space.queries,
+		CacheHits:  space.cacheHits,
+		ModelCalls: space.modelCalls,
 	}, nil
 }
 
@@ -147,17 +209,27 @@ func perturbFor(b *x86.BasicBlock, cfg Config) (*perturb.Perturber, error) {
 
 // EstimatePrecision re-estimates Prec(F) for a given feature set on n fresh
 // perturbations (used by Table 3 to report held-out precision of final
-// explanations rather than the search's optimistic estimate).
+// explanations rather than the search's optimistic estimate). Queries are
+// deduplicated and batched through the model's batch path.
 func EstimatePrecision(model costmodel.Model, b *x86.BasicBlock, set features.Set, cfg Config, n int, rng *rand.Rand) (float64, error) {
 	p, err := perturbFor(b, cfg)
 	if err != nil {
 		return 0, err
 	}
 	orig := model.Predict(b)
-	succ := 0
+	blocks := make([]*x86.BasicBlock, n)
 	for i := 0; i < n; i++ {
-		res := p.Sample(rng, set)
-		if inBall(model.Predict(res.Block), orig, cfg.Epsilon) {
+		blocks[i] = p.Sample(rng, set).Block
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 64
+	}
+	preds := make([]float64, n)
+	costmodel.PredictThrough(nil, costmodel.AsBatch(model), blocks, batch, preds)
+	succ := 0
+	for _, pred := range preds {
+		if inBall(pred, orig, cfg.Epsilon) {
 			succ++
 		}
 	}
@@ -194,39 +266,65 @@ func EstimateCoverage(b *x86.BasicBlock, set features.Set, cfg Config, n int, rn
 }
 
 // blockSpace adapts a (model, block) pair to the anchors.Space interface.
+// Model queries flow through predictAll: perturbations are generated in
+// parallel, then resolved against the prediction cache and the batched
+// model in cfg.BatchSize chunks.
 type blockSpace struct {
-	model    costmodel.Model
+	model    costmodel.BatchModel
+	cache    *costmodel.Cache
 	perturb  *perturb.Perturber
 	feats    features.Set
 	origPred float64
 	epsilon  float64
 	workers  int
+	batch    int
 	depOpts  deps.Options
 
 	// coverage[i][j] reports whether coverage sample i contains feature j.
-	coverage     [][]bool
-	extraQueries int
+	coverage [][]bool
+
+	// Query accounting (single search goroutine; prediction fan-out
+	// happens inside PredictBatch and never touches these).
+	queries    int // queries issued
+	cacheHits  int // queries served by the cache or within-batch dedup
+	modelCalls int // blocks the model actually evaluated
 }
 
-func newBlockSpace(model costmodel.Model, p *perturb.Perturber, cfg Config, rng *rand.Rand) (*blockSpace, error) {
+func newBlockSpace(model costmodel.BatchModel, cache *costmodel.Cache, p *perturb.Perturber, cfg Config, rng *rand.Rand) (*blockSpace, error) {
 	workers := cfg.Parallelism
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	s := &blockSpace{
-		model:    model,
-		perturb:  p,
-		feats:    p.Features(),
-		origPred: model.Predict(p.Block()),
-		epsilon:  cfg.Epsilon,
-		workers:  workers,
-		depOpts:  cfg.Perturb.DepOptions,
+	batch := cfg.BatchSize
+	if batch < 1 {
+		batch = 64
 	}
-	s.extraQueries = 1
+	s := &blockSpace{
+		model:   model,
+		cache:   cache,
+		perturb: p,
+		feats:   p.Features(),
+		epsilon: cfg.Epsilon,
+		workers: workers,
+		batch:   batch,
+		depOpts: cfg.Perturb.DepOptions,
+	}
+	s.origPred = s.predictAll([]*x86.BasicBlock{p.Block()})[0]
 	if err := s.buildCoveragePool(cfg.CoverageSamples, rng); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// predictAll resolves one prediction per block through the cache and the
+// batched model, updating the space's query accounting.
+func (s *blockSpace) predictAll(blocks []*x86.BasicBlock) []float64 {
+	preds := make([]float64, len(blocks))
+	saved, evaluated := costmodel.PredictThrough(s.cache, s.model, blocks, s.batch, preds)
+	s.queries += len(blocks)
+	s.cacheHits += saved
+	s.modelCalls += evaluated
+	return preds
 }
 
 // buildCoveragePool samples Γ(∅) once and records, per sample, which
@@ -294,9 +392,11 @@ func (s *blockSpace) Coverage(candidate []int) float64 {
 }
 
 // SamplePrecision implements anchors.Space: draw n perturbations retaining
-// the candidate features and count predictions inside the ε-ball. Work is
-// split across workers with seeds derived from the search rng, keeping
-// results deterministic for a fixed worker count.
+// the candidate features and count predictions inside the ε-ball.
+// Perturbation generation is split across workers with seeds derived from
+// the search rng (deterministic for a fixed worker count, and identical to
+// the pre-batching sampling scheme); predictions are then resolved in one
+// batched, cached pass instead of one model query per sample.
 func (s *blockSpace) SamplePrecision(rng *rand.Rand, candidate []int, n int) int {
 	preserve := features.NewSet()
 	for _, j := range candidate {
@@ -310,7 +410,7 @@ func (s *blockSpace) SamplePrecision(rng *rand.Rand, candidate []int, n int) int
 	for i := range seeds {
 		seeds[i] = rng.Int63()
 	}
-	succ := make([]int, workers)
+	blocks := make([]*x86.BasicBlock, n)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -318,17 +418,16 @@ func (s *blockSpace) SamplePrecision(rng *rand.Rand, candidate []int, n int) int
 			defer wg.Done()
 			wrng := rand.New(rand.NewSource(seeds[w]))
 			for k := w; k < n; k += workers {
-				res := s.perturb.Sample(wrng, preserve)
-				if inBall(s.model.Predict(res.Block), s.origPred, s.epsilon) {
-					succ[w]++
-				}
+				blocks[k] = s.perturb.Sample(wrng, preserve).Block
 			}
 		}(w)
 	}
 	wg.Wait()
 	total := 0
-	for _, c := range succ {
-		total += c
+	for _, pred := range s.predictAll(blocks) {
+		if inBall(pred, s.origPred, s.epsilon) {
+			total++
+		}
 	}
 	return total
 }

@@ -137,7 +137,7 @@ func TestCoverageMonotoneInExplanationSize(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(7))
-	space, err := newBlockSpace(e.model, p, cfg, rng)
+	space, err := newBlockSpace(e.batch, e.cache, p, cfg, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

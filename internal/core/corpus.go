@@ -1,0 +1,141 @@
+package core
+
+// Corpus-scale explanation: the paper's evaluation (and any production
+// deployment) explains whole BHive-style corpora, not single blocks.
+// ExplainAll drives a worker pool over the corpus with deterministic
+// per-block seeding, streaming results as they complete. All workers share
+// the explainer's prediction cache, so perturbation collisions are
+// amortized across the entire run.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// CorpusOptions configures ExplainAll.
+type CorpusOptions struct {
+	// Workers is the number of blocks explained concurrently
+	// (0 = GOMAXPROCS). When Config.Parallelism was left unset, corpus
+	// blocks sample single-threaded and block-level workers saturate the
+	// machine; an explicitly set Parallelism is honored per block (and
+	// multiplies with Workers — watch for oversubscription).
+	Workers int
+	// Progress, if non-nil, is called after each block completes, from a
+	// single goroutine, with the running completion count.
+	Progress func(done, total int)
+	// Buffer is the result channel's capacity (0 = one slot per corpus
+	// block, so the run always drains to completion and its goroutines
+	// exit even if the consumer stops receiving early). Setting a smaller
+	// buffer saves memory on huge corpora but obliges the consumer to
+	// drain the channel fully.
+	Buffer int
+}
+
+// CorpusResult is one streamed ExplainAll outcome. Results arrive in
+// completion order; Index identifies the input block.
+type CorpusResult struct {
+	Index       int
+	Block       *x86.BasicBlock
+	Explanation *Explanation
+	Err         error
+}
+
+// BlockSeed derives the deterministic seed ExplainAll uses for corpus
+// block index (a splitmix64 mix of the base seed, so per-block rngs are
+// decorrelated but reproducible). Explaining a single block with
+// cfg.Seed = BlockSeed(base, i) yields the identical explanation to
+// ExplainAll's block i under cfg.Seed = base, provided cfg.Parallelism
+// matches the corpus run's per-block sampling parallelism (set it
+// explicitly — sampling is deterministic per worker count).
+func BlockSeed(base int64, index int) int64 {
+	z := uint64(base) + (uint64(index)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// ExplainAll explains every block of a corpus through a worker pool and
+// streams the results. The channel closes after the last result; failures
+// surface per block in CorpusResult.Err and never abort the run.
+func (e *Explainer) ExplainAll(blocks []*x86.BasicBlock, opts CorpusOptions) <-chan CorpusResult {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = len(blocks)
+	}
+	out := make(chan CorpusResult, buffer)
+	internal := make(chan CorpusResult, workers)
+	work := make(chan int)
+
+	// With several blocks in flight, per-block sampling parallelism is
+	// pure oversubscription — drop it to one goroutine per block unless
+	// the caller pinned Parallelism explicitly.
+	pe := e
+	if e.autoParallel && workers > 1 {
+		derived := *e
+		derived.cfg.Parallelism = 1
+		pe = &derived
+	}
+
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range work {
+				expl, err := pe.explainSeeded(blocks[i], BlockSeed(e.cfg.Seed, i))
+				if err != nil {
+					err = fmt.Errorf("block %d: %w", i, err)
+				}
+				internal <- CorpusResult{Index: i, Block: blocks[i], Explanation: expl, Err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range blocks {
+			work <- i
+		}
+		close(work)
+	}()
+	// Single collector goroutine: serializes Progress callbacks and
+	// forwards results in completion order.
+	go func() {
+		defer close(out)
+		for done := 1; done <= len(blocks); done++ {
+			res := <-internal
+			if opts.Progress != nil {
+				opts.Progress(done, len(blocks))
+			}
+			out <- res
+		}
+	}()
+	return out
+}
+
+// ExplainCorpus is the collecting convenience over ExplainAll: it returns
+// explanations in input order and the first per-block error encountered
+// (lowest index wins), with every block still attempted.
+func (e *Explainer) ExplainCorpus(blocks []*x86.BasicBlock, opts CorpusOptions) ([]*Explanation, error) {
+	expls := make([]*Explanation, len(blocks))
+	var errs []CorpusResult
+	for res := range e.ExplainAll(blocks, opts) {
+		expls[res.Index] = res.Explanation
+		if res.Err != nil {
+			errs = append(errs, res)
+		}
+	}
+	if len(errs) > 0 {
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Index < errs[j].Index })
+		return expls, errs[0].Err
+	}
+	return expls, nil
+}

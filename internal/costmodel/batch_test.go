@@ -1,0 +1,176 @@
+package costmodel
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// lenModel is a deterministic toy model that counts its evaluations.
+type lenModel struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (m *lenModel) Name() string   { return "len" }
+func (m *lenModel) Arch() x86.Arch { return x86.Haswell }
+func (m *lenModel) Predict(b *x86.BasicBlock) float64 {
+	m.mu.Lock()
+	m.calls++
+	m.mu.Unlock()
+	return float64(b.Len()) / 4
+}
+
+func testBlocks(t testing.TB, n int) []*x86.BasicBlock {
+	t.Helper()
+	blocks := make([]*x86.BasicBlock, n)
+	for i := range blocks {
+		src := "add rax, rbx"
+		for j := 0; j < i%5; j++ {
+			src += fmt.Sprintf("\nadd rcx, %d", j)
+		}
+		blocks[i] = x86.MustParseBlock(src)
+	}
+	return blocks
+}
+
+func TestBatcherMatchesSequential(t *testing.T) {
+	model := &lenModel{}
+	blocks := testBlocks(t, 37)
+	batched := NewBatcher(model, 4).PredictBatch(blocks)
+	for i, b := range blocks {
+		if want := model.Predict(b); batched[i] != want {
+			t.Errorf("block %d: batched %v != sequential %v", i, batched[i], want)
+		}
+	}
+	if got := NewBatcher(model, 4).Name(); got != "len" {
+		t.Errorf("Name() = %q", got)
+	}
+}
+
+func TestAsBatchPassesThroughNativeImplementations(t *testing.T) {
+	model := &lenModel{}
+	wrapped := NewBatcher(model, 2)
+	if AsBatch(wrapped) != BatchModel(wrapped) {
+		t.Error("AsBatch should return a BatchModel unchanged")
+	}
+	if _, ok := AsBatch(model).(*Batcher); !ok {
+		t.Error("AsBatch should wrap a plain Model in a Batcher")
+	}
+}
+
+func TestFanOutSmallAndEmpty(t *testing.T) {
+	model := &lenModel{}
+	if out := FanOut(nil, 4, model.Predict); len(out) != 0 {
+		t.Errorf("empty fan-out returned %v", out)
+	}
+	blocks := testBlocks(t, 2)
+	out := FanOut(blocks, 8, model.Predict)
+	for i, b := range blocks {
+		if out[i] != model.Predict(b) {
+			t.Errorf("block %d mismatch", i)
+		}
+	}
+}
+
+func TestCacheGetPutStats(t *testing.T) {
+	c := NewCache(0)
+	b := x86.MustParseBlock("add rax, rbx\nmov rcx, rax")
+	key := BlockKey(b)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.Put(key, 1.25)
+	v, ok := c.Get(key)
+	if !ok || v != 1.25 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestCacheEvictsWhenFull(t *testing.T) {
+	c := NewCache(cacheShards) // one entry per shard
+	blocks := testBlocks(t, 64)
+	for i, b := range blocks {
+		c.Put(BlockKey(b), float64(i))
+	}
+	if n := c.Len(); n > 2*cacheShards {
+		t.Errorf("cache grew past its bound: %d entries", n)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(0)
+	blocks := testBlocks(t, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, b := range blocks {
+				key := BlockKey(b)
+				if v, ok := c.Get(key); ok && v != float64(b.Len()) {
+					t.Errorf("block %d: stale value %v", i, v)
+				}
+				c.Put(key, float64(b.Len()))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPredictThroughDeduplicatesAndCounts(t *testing.T) {
+	model := &lenModel{}
+	c := NewCache(0)
+	b1 := x86.MustParseBlock("add rax, rbx")
+	b2 := x86.MustParseBlock("mov rcx, rdx")
+	blocks := []*x86.BasicBlock{b1, b2, b1, b1, b2}
+	preds := make([]float64, len(blocks))
+	saved, evaluated := PredictThrough(c, NewBatcher(model, 2), blocks, 2, preds)
+	if evaluated != 2 {
+		t.Errorf("evaluated = %d, want 2 (unique blocks)", evaluated)
+	}
+	if saved != 3 {
+		t.Errorf("saved = %d, want 3 (duplicates)", saved)
+	}
+	for i, b := range blocks {
+		if want := float64(b.Len()) / 4; preds[i] != want {
+			t.Errorf("preds[%d] = %v, want %v", i, preds[i], want)
+		}
+	}
+	// A second pass over the same blocks is all cache hits.
+	saved, evaluated = PredictThrough(c, NewBatcher(model, 2), blocks, 2, preds)
+	if saved != len(blocks) || evaluated != 0 {
+		t.Errorf("warm pass: saved=%d evaluated=%d", saved, evaluated)
+	}
+}
+
+func TestCachedModelMatchesUnderlying(t *testing.T) {
+	model := &lenModel{}
+	cached := WithCache(AsBatch(model), nil)
+	blocks := testBlocks(t, 20)
+	out := cached.PredictBatch(blocks)
+	for i, b := range blocks {
+		want := float64(b.Len()) / 4
+		if out[i] != want {
+			t.Errorf("batch preds[%d] = %v, want %v", i, out[i], want)
+		}
+		if got := cached.Predict(b); got != want {
+			t.Errorf("Predict(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if cached.Cache().Len() == 0 {
+		t.Error("cache should have been populated")
+	}
+	if cached.Name() != "len" || cached.Arch() != x86.Haswell {
+		t.Error("CachedModel must pass through identity")
+	}
+}

@@ -1,0 +1,234 @@
+package costmodel
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// Cache is a sharded prediction cache keyed by the canonical text of a
+// basic block. Perturbation draws collide constantly — deleting different
+// subsets of a block, or renaming registers back to the same choice,
+// frequently reproduces a block already queried — so a hit skips the model
+// entirely. Cached values are exact previous predictions of a deterministic
+// model, so caching never changes an explanation, only its cost.
+//
+// The cache is safe for concurrent use; sharding keeps lock contention
+// negligible when a corpus run explains many blocks at once.
+type Cache struct {
+	shards      []cacheShard
+	maxPerShard int
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	evictions   atomic.Uint64
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]float64
+}
+
+const (
+	cacheShards         = 64
+	defaultCacheEntries = 1 << 20
+)
+
+// NewCache allocates a cache bounded to roughly maxEntries predictions
+// (0 = default of about one million). When a shard fills up it is dropped
+// wholesale — crude epoch eviction, but eviction only ever costs recompute,
+// never correctness.
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = defaultCacheEntries
+	}
+	perShard := maxEntries / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{shards: make([]cacheShard, cacheShards), maxPerShard: perShard}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]float64)
+	}
+	return c
+}
+
+// BlockKey returns the canonical cache key for a block: its rendered
+// instruction text, which is exactly the information a cost model sees.
+func BlockKey(b *x86.BasicBlock) string { return b.String() }
+
+func (c *Cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%cacheShards]
+}
+
+// Get returns the cached prediction for key, if present.
+func (c *Cache) Get(key string) (float64, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores a prediction. Concurrent Puts of the same key are idempotent
+// because predictions are deterministic per block.
+func (c *Cache) Put(key string, pred float64) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if len(s.m) >= c.maxPerShard {
+		c.evictions.Add(uint64(len(s.m)))
+		s.m = make(map[string]float64)
+	}
+	s.m[key] = pred
+	s.mu.Unlock()
+}
+
+// Len returns the number of cached predictions.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the global hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}
+
+// PredictThrough resolves a prediction for every block through the cache
+// (which may be nil) and then the model, issuing at most batch blocks per
+// PredictBatch call (batch <= 0 means one call for all misses). Duplicate
+// blocks within the slice are predicted once. Results are written into
+// preds, which must have len(blocks) elements. It returns how many of the
+// queries were answered without a model evaluation (cache hits plus
+// within-batch duplicates) and how many blocks the model actually evaluated.
+func PredictThrough(cache *Cache, model BatchModel, blocks []*x86.BasicBlock, batch int, preds []float64) (saved, evaluated int) {
+	if len(blocks) == 0 {
+		return 0, 0
+	}
+	if batch <= 0 {
+		batch = len(blocks)
+	}
+	// pending maps a canonical key awaiting prediction to every result slot
+	// that needs it.
+	pending := make(map[string][]int)
+	var missKeys []string
+	var missBlocks []*x86.BasicBlock
+	for i, b := range blocks {
+		key := BlockKey(b)
+		if cache != nil {
+			if v, ok := cache.Get(key); ok {
+				preds[i] = v
+				saved++
+				continue
+			}
+		}
+		if slots, ok := pending[key]; ok {
+			pending[key] = append(slots, i)
+			saved++
+			continue
+		}
+		pending[key] = []int{i}
+		missKeys = append(missKeys, key)
+		missBlocks = append(missBlocks, b)
+	}
+	for start := 0; start < len(missBlocks); start += batch {
+		end := start + batch
+		if end > len(missBlocks) {
+			end = len(missBlocks)
+		}
+		out := model.PredictBatch(missBlocks[start:end])
+		for j, v := range out {
+			key := missKeys[start+j]
+			if cache != nil {
+				cache.Put(key, v)
+			}
+			for _, slot := range pending[key] {
+				preds[slot] = v
+			}
+		}
+	}
+	return saved, len(missBlocks)
+}
+
+// CachedModel wraps a BatchModel with a prediction cache. It implements
+// BatchModel itself, so caching composes with any explainer or pipeline
+// that consumes the interface.
+type CachedModel struct {
+	model BatchModel
+	cache *Cache
+}
+
+var _ BatchModel = (*CachedModel)(nil)
+
+// WithCache wraps model. A nil cache allocates a default-sized one.
+func WithCache(model BatchModel, cache *Cache) *CachedModel {
+	if cache == nil {
+		cache = NewCache(0)
+	}
+	return &CachedModel{model: model, cache: cache}
+}
+
+// Name implements Model.
+func (m *CachedModel) Name() string { return m.model.Name() }
+
+// Arch implements Model.
+func (m *CachedModel) Arch() x86.Arch { return m.model.Arch() }
+
+// Cache returns the underlying cache (for stats).
+func (m *CachedModel) Cache() *Cache { return m.cache }
+
+// Unwrap returns the wrapped model.
+func (m *CachedModel) Unwrap() BatchModel { return m.model }
+
+// Predict implements Model with a cache lookup first.
+func (m *CachedModel) Predict(b *x86.BasicBlock) float64 {
+	key := BlockKey(b)
+	if v, ok := m.cache.Get(key); ok {
+		return v
+	}
+	v := m.model.Predict(b)
+	m.cache.Put(key, v)
+	return v
+}
+
+// PredictBatch implements BatchModel: hits are served from the cache,
+// misses are deduplicated and forwarded in one batch.
+func (m *CachedModel) PredictBatch(blocks []*x86.BasicBlock) []float64 {
+	preds := make([]float64, len(blocks))
+	PredictThrough(m.cache, m.model, blocks, 0, preds)
+	return preds
+}

@@ -224,7 +224,11 @@ func (s *Session) explainConfig(seed int64) core.Config {
 }
 
 // explainAll runs COMET for a model on a set of blocks, caching by key.
-// Blocks are processed in parallel.
+// Blocks flow through the batched corpus engine: block-level workers
+// saturate the machine and all blocks share one prediction cache. Each
+// block's perturbation sampling runs single-threaded (Parallelism 1);
+// native PredictBatch implementations may still fan out briefly per
+// batch, which the scheduler absorbs.
 func (s *Session) explainAll(key string, model costmodel.Model, blocks []bhive.Block, seed int64) ([]*core.Explanation, error) {
 	s.mu.Lock()
 	if cached, ok := s.explains[key]; ok {
@@ -234,47 +238,17 @@ func (s *Session) explainAll(key string, model costmodel.Model, blocks []bhive.B
 	s.mu.Unlock()
 
 	s.Params.logf("explaining %d blocks with %s/%v...", len(blocks), model.Name(), model.Arch())
-	out := make([]*core.Explanation, len(blocks))
-	errs := make([]error, len(blocks))
-
-	// Parallelize across blocks; each block's internal sampling then runs
-	// single-threaded to avoid oversubscription.
 	cfg := s.explainConfig(seed)
 	cfg.Parallelism = 1
-	workers := s.Params.parallel()
-	var wg sync.WaitGroup
-	var next int32
-	var nextMu sync.Mutex
-	take := func() int {
-		nextMu.Lock()
-		defer nextMu.Unlock()
-		if int(next) >= len(blocks) {
-			return -1
-		}
-		next++
-		return int(next) - 1
+	raw := make([]*x86.BasicBlock, len(blocks))
+	for i, b := range blocks {
+		raw[i] = b.Block
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := take()
-				if i < 0 {
-					return
-				}
-				c := cfg
-				c.Seed = seed + int64(i)*7919
-				expl, err := core.NewExplainer(model, c).Explain(blocks[i].Block)
-				out[i], errs[i] = expl, err
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	out, err := core.NewExplainer(model, cfg).ExplainCorpus(raw, core.CorpusOptions{
+		Workers: s.Params.parallel(),
+	})
+	if err != nil {
+		return nil, err
 	}
 	s.mu.Lock()
 	s.explains[key] = out

@@ -28,7 +28,10 @@ type Model struct {
 	params x86.ArchParams
 }
 
-var _ costmodel.Model = (*Model)(nil)
+var (
+	_ costmodel.Model      = (*Model)(nil)
+	_ costmodel.BatchModel = (*Model)(nil)
+)
 
 // New builds the static analyzer for a microarchitecture.
 func New(arch x86.Arch) *Model {
@@ -91,6 +94,12 @@ func (m *Model) Predict(b *x86.BasicBlock) float64 {
 		bound = chain
 	}
 	return bound
+}
+
+// PredictBatch implements costmodel.BatchModel by parallel fan-out; the
+// analysis is closed-form and stateless.
+func (m *Model) PredictBatch(blocks []*x86.BasicBlock) []float64 {
+	return costmodel.FanOut(blocks, 0, m.Predict)
 }
 
 // spread divides occupancy evenly across the eligible ports — static

@@ -1,0 +1,102 @@
+package nn
+
+import "math"
+
+// Tape-free batched inference. Training needs the autograd tape; prediction
+// does not, and the explainer's hot path is prediction. InferBatch runs many
+// independent sequences through an LSTM cell in lockstep so each weight row
+// is streamed through the cache once per timestep instead of once per
+// sequence. Every per-item operation replays the tape path's floating-point
+// operations in the same order, so batched inference is bit-identical to
+// Tape-based forward passes — batching is a performance contract only.
+
+// InferBatch holds the hidden/cell state of n independent sequences being
+// advanced through one LSTM cell. Not safe for concurrent use; run one
+// InferBatch per goroutine.
+type InferBatch struct {
+	l *LSTM
+	// H and C are the per-item hidden and cell states.
+	H, C [][]float64
+	z    [][]float64 // per-item preactivation scratch
+}
+
+// NewInferBatch allocates zeroed state for n sequences (the Tape path's
+// Zeros initial state).
+func (l *LSTM) NewInferBatch(n int) *InferBatch {
+	b := &InferBatch{
+		l: l,
+		H: make([][]float64, n),
+		C: make([][]float64, n),
+		z: make([][]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		b.H[i] = make([]float64, l.Hidden)
+		b.C[i] = make([]float64, l.Hidden)
+		b.z[i] = make([]float64, 4*l.Hidden)
+	}
+	return b
+}
+
+// Step advances every listed item by one timestep. xs[item] is the input
+// vector for that item (only entries named in items are read). Items whose
+// sequences have ended are simply left out of items, which reproduces the
+// sequential semantics of LSTM.Run exactly: an item's final H is its
+// sequence embedding.
+func (b *InferBatch) Step(xs [][]float64, items []int) {
+	l := b.l
+	H := l.Hidden
+	// Preactivations: stream each weight row across the whole batch.
+	for r := 0; r < 4*H; r++ {
+		wxRow := l.Wx.W[r*l.In : (r+1)*l.In]
+		whRow := l.Wh.W[r*H : (r+1)*H]
+		bias := l.B.W[r]
+		for _, it := range items {
+			x, h := xs[it], b.H[it]
+			sx := 0.0
+			for c, w := range wxRow {
+				sx += w * x[c]
+			}
+			sh := 0.0
+			for c, w := range whRow {
+				sh += w * h[c]
+			}
+			// Same association as the tape: Add(MatVec, MatVec) then AddBias.
+			b.z[it][r] = (sx + sh) + bias
+		}
+	}
+	// Gates and state update, per item.
+	for _, it := range items {
+		z, c, h := b.z[it], b.C[it], b.H[it]
+		for j := 0; j < H; j++ {
+			i := sigmoid(z[j])
+			f := sigmoid(z[H+j])
+			g := math.Tanh(z[2*H+j])
+			o := sigmoid(z[3*H+j])
+			cn := (f * c[j]) + (i * g)
+			c[j] = cn
+			h[j] = o * math.Tanh(cn)
+		}
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Row returns row idx of the parameter matrix as a read-only view (the
+// inference counterpart of Tape.Lookup; out-of-range indices map to the
+// same row-0 bucket).
+func (p *Param) Row(idx int) []float64 {
+	if idx < 0 || idx >= p.Rows {
+		idx = 0
+	}
+	return p.W[idx*p.Cols : (idx+1)*p.Cols]
+}
+
+// DotRow returns row r of p dotted with x, in MatVec's summation order.
+func (p *Param) DotRow(r int, x []float64) float64 {
+	row := p.W[r*p.Cols : (r+1)*p.Cols]
+	s := 0.0
+	for c, w := range row {
+		s += w * x[c]
+	}
+	return s
+}
