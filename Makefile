@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke lint vet fmt fmt-check
+.PHONY: build test test-race test-e2e bench bench-smoke lint vet fmt fmt-check
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# End-to-end service smoke test: builds the real comet-serve binary (with
+# the race detector), starts it on a random port, drives the HTTP API, and
+# shuts it down gracefully.
+test-e2e:
+	$(GO) test -race -run TestServeEndToEnd -v ./cmd/comet-serve
 
 # Full benchmark suite (regenerates the paper's tables at benchmark scale).
 bench:

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -35,11 +37,12 @@ func main() {
 		corpusN     = flag.Int("corpus", 0, "corpus benchmark: explain N synthetic blocks sequentially and with ExplainAll, and report the speedup")
 		corpusModel = flag.String("corpus-model", "uica", "corpus benchmark model: c | uica | mca | hwsim | ithemal")
 		workers     = flag.Int("workers", 0, "corpus benchmark ExplainAll workers (0 = GOMAXPROCS)")
+		jsonOut     = flag.String("json-out", "", `write a machine-readable corpus benchmark summary to this file (e.g. BENCH_corpus.json) so the repo's perf trajectory is tracked run over run`)
 	)
 	flag.Parse()
 
 	if *corpusN > 0 {
-		if err := corpusBench(*corpusModel, *corpusN, *workers); err != nil {
+		if err := corpusBench(*corpusModel, *corpusN, *workers, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "comet-bench:", err)
 			os.Exit(1)
 		}
@@ -88,11 +91,29 @@ func main() {
 	}
 }
 
+// benchSummary is the machine-readable corpus benchmark record -json-out
+// writes, one file per run, so perf trends are diffable across commits.
+type benchSummary struct {
+	Model             string  `json:"model"`
+	Blocks            int     `json:"blocks"`
+	Workers           int     `json:"workers"`
+	GoMaxProcs        int     `json:"gomaxprocs"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	CorpusSeconds     float64 `json:"corpus_seconds"`
+	SequentialPerSec  float64 `json:"sequential_blocks_per_sec"`
+	CorpusPerSec      float64 `json:"corpus_blocks_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	Queries           int     `json:"queries"`
+	CacheHits         int     `json:"cache_hits"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	ModelCalls        int     `json:"model_calls"`
+}
+
 // corpusBench measures the batched, cached ExplainAll engine against a
 // sequential Explain loop (prediction cache disabled, i.e. the
 // pre-batching query path) over the same synthetic corpus, and verifies
 // the two produce identical explanations block for block.
-func corpusBench(modelName string, n, workers int) error {
+func corpusBench(modelName string, n, workers int, jsonOut string) error {
 	model, eps, err := corpusBenchModel(modelName)
 	if err != nil {
 		return err
@@ -151,6 +172,36 @@ func corpusBench(modelName string, n, workers int) error {
 		seqElapsed.Seconds()/corpusElapsed.Seconds())
 	fmt.Printf("  queries:                        %d total, %d cache/dedup hits (%.1f%%), %d model evaluations\n",
 		queries, hits, 100*float64(hits)/float64(queries), calls)
+
+	if jsonOut != "" {
+		hitRate := 0.0
+		if queries > 0 {
+			hitRate = float64(hits) / float64(queries)
+		}
+		summary := benchSummary{
+			Model:             model.Name(),
+			Blocks:            n,
+			Workers:           workers,
+			GoMaxProcs:        runtime.GOMAXPROCS(0),
+			SequentialSeconds: seqElapsed.Seconds(),
+			CorpusSeconds:     corpusElapsed.Seconds(),
+			SequentialPerSec:  float64(n) / seqElapsed.Seconds(),
+			CorpusPerSec:      float64(n) / corpusElapsed.Seconds(),
+			Speedup:           seqElapsed.Seconds() / corpusElapsed.Seconds(),
+			Queries:           queries,
+			CacheHits:         hits,
+			CacheHitRate:      hitRate,
+			ModelCalls:        calls,
+		}
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", jsonOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonOut)
+	}
 	return nil
 }
 

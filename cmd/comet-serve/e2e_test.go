@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/comet-explain/comet/internal/wire"
+)
+
+// TestServeEndToEnd is the service smoke test CI runs (make test-e2e): it
+// builds the real comet-serve binary with the race detector, starts it on
+// a random port, exercises the API over real HTTP, and shuts it down
+// gracefully with SIGTERM.
+func TestServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping e2e smoke test in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "comet-serve")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building comet-serve: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", // random port
+		"-coverage-samples", "200",
+		"-drain-timeout", "30s",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() {
+		exited <- cmd.Wait()
+		close(exited) // later receives return immediately
+	}()
+	defer func() {
+		_ = cmd.Process.Kill() // no-op if already exited
+		<-exited
+	}()
+
+	// Readiness: parse the "listening on host:port" line.
+	addrc := make(chan string, 1)
+	go func() {
+		scanner := bufio.NewScanner(stdout)
+		for scanner.Scan() {
+			line := scanner.Text()
+			if rest, ok := strings.CutPrefix(line, "comet-serve: listening on "); ok {
+				addrc <- strings.TrimSpace(rest)
+				return
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case err := <-exited:
+		t.Fatalf("server exited before listening: %v\n%s", err, stderr.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never reported its listen address")
+	}
+
+	// Liveness.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	// Explain one block; assert a valid wire explanation comes back.
+	body, _ := json.Marshal(wire.ExplainRequest{
+		Block: "add rcx, rax\nmov rdx, rcx\npop rbx",
+		Model: "uica",
+	})
+	resp, err = http.Post(base+"/v1/explain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	var expl wire.Explanation
+	err = json.NewDecoder(resp.Body).Decode(&expl)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain: status %d, decode err %v", resp.StatusCode, err)
+	}
+	if expl.Model != "uica" || expl.Prediction <= 0 || expl.Queries == 0 {
+		t.Errorf("implausible explanation: %+v", expl)
+	}
+	if _, err := expl.Core(); err != nil {
+		t.Errorf("served explanation does not convert back to a library value: %v", err)
+	}
+
+	// Submit a two-block corpus job and poll it to completion.
+	body, _ = json.Marshal(wire.CorpusRequest{
+		Blocks: []string{"add rcx, rax\nmov rdx, rcx", "imul rax, rbx\nimul rax, rcx"},
+		Model:  "uica",
+	})
+	resp, err = http.Post(base+"/v1/corpus", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("corpus: %v", err)
+	}
+	var acc wire.JobAccepted
+	err = json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("corpus: status %d, decode err %v", resp.StatusCode, err)
+	}
+	var st wire.JobStatus
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished: %+v", acc.ID, st)
+		}
+		resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, acc.ID))
+		if err != nil {
+			t.Fatalf("job poll: %v", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("job poll decode: %v", err)
+		}
+		if st.State == wire.JobDone || st.State == wire.JobFailed {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st.State != wire.JobDone || st.Done != 2 || st.Failed != 0 || len(st.Results) != 2 {
+		t.Fatalf("job did not complete cleanly: %+v", st)
+	}
+
+	// Metrics expose the traffic we just generated.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	var metrics bytes.Buffer
+	_, _ = metrics.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`comet_requests_total{route="explain",code="200"} 1`,
+		`comet_requests_total{route="corpus",code="202"} 1`,
+		"comet_explanations_computed_total",
+		"comet_job_queue_depth 0",
+	} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Graceful shutdown on SIGTERM: clean exit, no panic, no race report.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("server exited uncleanly: %v\n%s", err, stderr.String())
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+	if !strings.Contains(stderr.String(), "comet-serve: bye") {
+		t.Errorf("missing drain farewell in stderr:\n%s", stderr.String())
+	}
+}

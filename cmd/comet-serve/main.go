@@ -1,0 +1,141 @@
+// Command comet-serve runs cometd, the explanation-serving daemon: a
+// stdlib-only HTTP/JSON server that owns the cost-model zoo, the shared
+// prediction caches, and the batched corpus engine.
+//
+// API (see the README's Serving section for a curl quickstart):
+//
+//	POST /v1/explain    explain one block synchronously
+//	POST /v1/corpus     submit an asynchronous corpus job
+//	GET  /v1/jobs/{id}  poll a job (?offset=&limit= paginate results)
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text metrics
+//
+// Identical concurrent requests are coalesced onto one computation,
+// finished explanations are served from a capped LRU store, and overload
+// is shed with 429 instead of unbounded queueing. SIGINT/SIGTERM drain
+// the server gracefully.
+//
+// Example:
+//
+//	comet-serve -addr :8372 -preload uica,c
+//	curl -s localhost:8372/v1/explain -d '{"block":"add rcx, rax\nmov rdx, rcx"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/service"
+	"github.com/comet-explain/comet/internal/wire"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8372", "listen address (host:port; port 0 picks a free port)")
+		defaultModel = flag.String("default-model", "uica", "model used when a request omits one")
+		preload      = flag.String("preload", "", "comma-separated models to warm at boot (e.g. uica,c,ithemal); others warm on first use")
+		preloadArch  = flag.String("preload-arch", "hsw", "microarchitecture for -preload: hsw | skl")
+		trainBlocks  = flag.Int("train-blocks", 1500, "training-set size for the ithemal model's warm-up")
+		coverage     = flag.Int("coverage-samples", 1000, "default coverage pool size (requests may override)")
+		seed         = flag.Int64("seed", 1, "default explanation seed (requests may override)")
+		explains     = flag.Int("max-explains", 0, "max concurrently computing explain requests (0 = GOMAXPROCS)")
+		queued       = flag.Int("max-queued", 0, "max explain requests waiting for a slot before 429 (0 = 4x max-explains)")
+		jobWorkers   = flag.Int("job-workers", 1, "corpus jobs executing concurrently")
+		jobQueue     = flag.Int("job-queue", 16, "queued corpus jobs before 429")
+		maxCorpus    = flag.Int("max-corpus-blocks", 10000, "largest corpus a single job may carry")
+		resultStore  = flag.Int("result-store", 1024, "explanation LRU result-store entries")
+		jobHistory   = flag.Int("job-history", 64, "finished jobs retained for polling")
+		cacheSize    = flag.Int("prediction-cache", 0, "prediction-cache entries per (model, arch) (0 = ~1M)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget")
+	)
+	flag.Parse()
+
+	base := core.DefaultConfig()
+	base.CoverageSamples = *coverage
+	base.Seed = *seed
+
+	srv := service.New(service.Config{
+		Base:                  base,
+		DefaultModel:          *defaultModel,
+		TrainBlocks:           *trainBlocks,
+		PredictionCacheSize:   *cacheSize,
+		MaxConcurrentExplains: *explains,
+		MaxQueuedExplains:     *queued,
+		JobWorkers:            *jobWorkers,
+		JobQueueDepth:         *jobQueue,
+		MaxCorpusBlocks:       *maxCorpus,
+		ResultStoreSize:       *resultStore,
+		JobHistorySize:        *jobHistory,
+	})
+
+	if *preload != "" {
+		arch, err := wire.ParseArch(*preloadArch)
+		if err != nil {
+			fatal(err)
+		}
+		for _, name := range strings.Split(*preload, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "comet-serve: warming %s/%s...\n", name, *preloadArch)
+			if err := srv.WarmModel(name, arch); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The parseable "listening" line is the e2e smoke test's readiness
+	// signal; keep its format stable.
+	fmt.Printf("comet-serve: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "comet-serve: %v, draining (budget %v)...\n", sig, *drainTimeout)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "comet-serve: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "comet-serve: job drain: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "comet-serve: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "comet-serve:", err)
+	os.Exit(1)
+}

@@ -13,6 +13,10 @@
 // instead. Results stream as they complete, followed by a throughput and
 // cache summary.
 //
+// With -json, output switches to the comet-serve wire format — a single
+// explanation object in single-block mode, one corpus-result object per
+// line in corpus mode — so CLI and API outputs are interchangeable.
+//
 // Examples:
 //
 //	echo 'add rcx, rax
@@ -20,9 +24,11 @@
 //	pop rbx' | comet -model uica -arch hsw
 //
 //	comet -model uica -corpus gen:100 -workers 8
+//	comet -model uica -corpus gen:100 -json | jq .explanation.prediction
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +37,7 @@ import (
 	"time"
 
 	"github.com/comet-explain/comet"
+	"github.com/comet-explain/comet/internal/wire"
 )
 
 func main() {
@@ -50,6 +57,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "corpus mode: concurrent blocks (0 = GOMAXPROCS)")
 		batchSize = flag.Int("batch", 0, "model query batch size (0 = default 64)")
 		noCache   = flag.Bool("no-cache", false, "disable the prediction cache")
+		jsonOut   = flag.Bool("json", false, "emit the comet-serve wire format (one explanation object, or one corpus result per line)")
 	)
 	flag.Parse()
 
@@ -76,7 +84,7 @@ func main() {
 	}
 
 	if *corpus != "" {
-		if err := explainCorpus(model, cfg, *corpus, *workers); err != nil {
+		if err := explainCorpus(model, cfg, *corpus, *workers, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -94,6 +102,16 @@ func main() {
 	expl, err := comet.NewExplainer(model, cfg).Explain(block)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *jsonOut {
+		// The same wire format comet-serve's POST /v1/explain returns, so
+		// CLI and API outputs are interchangeable.
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(wire.FromExplanation(expl)); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("block (%d instructions):\n%s\n\n", block.Len(), indent(block.String()))
@@ -115,13 +133,17 @@ func main() {
 }
 
 // explainCorpus runs the batched corpus engine and prints one line per
-// block as results stream in, then a throughput/cache summary.
-func explainCorpus(model comet.CostModel, cfg comet.Config, spec string, workers int) error {
+// block as results stream in — human-readable, or with jsonOut one
+// comet-serve wire CorpusResult object per line (the same schema
+// GET /v1/jobs/{id} pages through) — then a throughput/cache summary
+// (stderr in JSON mode, so stdout stays machine-readable).
+func explainCorpus(model comet.CostModel, cfg comet.Config, spec string, workers int, jsonOut bool) error {
 	blocks, err := loadCorpus(spec)
 	if err != nil {
 		return err
 	}
 	e := comet.NewExplainer(model, cfg)
+	enc := json.NewEncoder(os.Stdout)
 	start := time.Now()
 	var queries, hits, calls, failed, certified int
 	for res := range e.ExplainAll(blocks, comet.CorpusOptions{
@@ -130,6 +152,11 @@ func explainCorpus(model comet.CostModel, cfg comet.Config, spec string, workers
 			fmt.Fprintf(os.Stderr, "\r%d/%d blocks", done, total)
 		},
 	}) {
+		if jsonOut {
+			if err := enc.Encode(wire.FromCorpusResult(res)); err != nil {
+				return err
+			}
+		}
 		if res.Err != nil {
 			failed++
 			fmt.Fprintf(os.Stderr, "\ncomet: %v\n", res.Err)
@@ -142,18 +169,24 @@ func explainCorpus(model comet.CostModel, cfg comet.Config, spec string, workers
 		if expl.Certified {
 			certified++
 		}
-		fmt.Printf("[%4d] %s\n", res.Index, expl)
+		if !jsonOut {
+			fmt.Printf("[%4d] %s\n", res.Index, expl)
+		}
 	}
 	elapsed := time.Since(start)
 	fmt.Fprintln(os.Stderr)
-	fmt.Printf("\ncorpus: %d blocks (%d certified, %d failed) in %v (%.1f blocks/s)\n",
+	summary := os.Stdout
+	if jsonOut {
+		summary = os.Stderr
+	}
+	fmt.Fprintf(summary, "\ncorpus: %d blocks (%d certified, %d failed) in %v (%.1f blocks/s)\n",
 		len(blocks), certified, failed, elapsed.Round(time.Millisecond),
 		float64(len(blocks))/elapsed.Seconds())
 	hitRate := 0.0
 	if queries > 0 {
 		hitRate = float64(hits) / float64(queries)
 	}
-	fmt.Printf("queries: %d total, %d cache/dedup hits (%.1f%%), %d model evaluations\n",
+	fmt.Fprintf(summary, "queries: %d total, %d cache/dedup hits (%.1f%%), %d model evaluations\n",
 		queries, hits, 100*hitRate, calls)
 	if failed > 0 {
 		return fmt.Errorf("%d of %d blocks failed", failed, len(blocks))

@@ -129,6 +129,16 @@ func NewExplainer(model CostModel, cfg Config) *Explainer {
 	return core.NewExplainer(model, cfg)
 }
 
+// NewExplainerWithCache builds an explainer sharing an external prediction
+// cache (nil disables caching). Long-lived processes answering many
+// explanation requests against one model — the cometd service, notebook
+// sessions — share one cache per model so perturbation collisions are
+// amortized across every request; shared cached values are exact, so this
+// never changes an explanation.
+func NewExplainerWithCache(model CostModel, cfg Config, cache *PredictionCache) *Explainer {
+	return core.NewExplainerWithCache(model, cfg, cache)
+}
+
 // AsBatchModel returns model itself when it already batches natively, and
 // otherwise adapts it with a parallel fan-out Batcher.
 func AsBatchModel(model CostModel) BatchCostModel { return costmodel.AsBatch(model) }

@@ -1,0 +1,136 @@
+package comet_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/comet-explain/comet"
+)
+
+// constModel is a toy cost model for exercising the differential-analysis
+// workflow deterministically.
+type constModel struct {
+	name string
+	fn   func(b *comet.BasicBlock) float64
+}
+
+func (m constModel) Name() string                        { return m.name }
+func (m constModel) Arch() comet.Arch                    { return comet.Haswell }
+func (m constModel) Predict(b *comet.BasicBlock) float64 { return m.fn(b) }
+
+func diffPool(t *testing.T) []*comet.BasicBlock {
+	t.Helper()
+	srcs := []string{
+		"add rcx, rax\nmov rdx, rcx\npop rbx",
+		"imul rax, rbx\nimul rax, rcx",
+		"div rcx\nadd rax, rbx",
+		"vaddss xmm0, xmm1, xmm2\nvmulss xmm3, xmm0, xmm0",
+	}
+	blocks := make([]*comet.BasicBlock, len(srcs))
+	for i, src := range srcs {
+		blocks[i] = comet.MustParseBlock(src)
+	}
+	return blocks
+}
+
+func TestFindDisagreementsRanksLargestFirst(t *testing.T) {
+	a := comet.NewHardwareSimulator(comet.Haswell)
+	b := comet.NewMCAModel(comet.Haswell)
+	blocks := diffPool(t)
+	ranked := comet.FindDisagreements(a, b, blocks)
+	if len(ranked) != len(blocks) {
+		t.Fatalf("got %d disagreements for %d blocks", len(ranked), len(blocks))
+	}
+	for i, d := range ranked {
+		if i > 0 && d.Relative > ranked[i-1].Relative {
+			t.Errorf("not sorted at %d: %.3f after %.3f", i, d.Relative, ranked[i-1].Relative)
+		}
+		base := math.Min(d.PredA, d.PredB)
+		if base < 0.25 {
+			base = 0.25
+		}
+		want := math.Abs(d.PredA-d.PredB) / base
+		if math.Abs(d.Relative-want) > 1e-12 {
+			t.Errorf("block %d: Relative = %.6f, want %.6f", i, d.Relative, want)
+		}
+		if d.PredA != a.Predict(d.Block) || d.PredB != b.Predict(d.Block) {
+			t.Errorf("block %d: recorded predictions don't match the models", i)
+		}
+	}
+}
+
+func TestFindDisagreementsSkipsNonFinitePredictions(t *testing.T) {
+	bad := constModel{name: "nan", fn: func(b *comet.BasicBlock) float64 {
+		if b.Len() == 2 {
+			return math.NaN()
+		}
+		return 1
+	}}
+	good := constModel{name: "two", fn: func(*comet.BasicBlock) float64 { return 2 }}
+	blocks := diffPool(t) // three of the four blocks have two instructions
+	ranked := comet.FindDisagreements(bad, good, blocks)
+	if len(ranked) != 1 {
+		t.Fatalf("got %d disagreements, want 1 (NaN blocks skipped)", len(ranked))
+	}
+	for _, d := range ranked {
+		if d.Block.Len() == 2 {
+			t.Errorf("NaN-predicted block survived: %s", d.Block)
+		}
+	}
+}
+
+func TestTopDisagreementsExplainsBothModels(t *testing.T) {
+	a := comet.NewAnalyticalModel(comet.Haswell)
+	b := comet.NewUICAModel(comet.Haswell)
+	cfg := comet.DefaultConfig()
+	cfg.Epsilon = comet.AnalyticalEpsilon
+	cfg.CoverageSamples = 150
+	cfg.Parallelism = 1
+
+	blocks := diffPool(t)
+	top, err := comet.TopDisagreements(a, b, blocks, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("got %d explained disagreements, want 2", len(top))
+	}
+	ranked := comet.FindDisagreements(a, b, blocks)
+	for i, ed := range top {
+		if ed.Relative != ranked[i].Relative {
+			t.Errorf("explained %d is not the %d-th largest disagreement", i, i)
+		}
+		if ed.ModelA != a.Name() || ed.ModelB != b.Name() {
+			t.Errorf("model names: %q/%q, want %q/%q", ed.ModelA, ed.ModelB, a.Name(), b.Name())
+		}
+		if ed.ExplA == nil || ed.ExplB == nil {
+			t.Fatalf("explained %d: missing explanation", i)
+		}
+		if ed.ExplA.Prediction != ed.PredA || ed.ExplB.Prediction != ed.PredB {
+			t.Errorf("explained %d: explanation predictions diverge from the disagreement", i)
+		}
+		if len(ed.ExplA.Features) == 0 && len(ed.ExplB.Features) == 0 {
+			t.Errorf("explained %d: both explanations are empty", i)
+		}
+	}
+
+	// ExplainDisagreement on the same disagreement reproduces the same
+	// explanations (the whole workflow is seed-deterministic).
+	again, err := comet.ExplainDisagreement(a, b, ranked[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ExplA.Features.Key() != top[0].ExplA.Features.Key() ||
+		again.ExplB.Features.Key() != top[0].ExplB.Features.Key() {
+		t.Error("ExplainDisagreement is not deterministic across calls")
+	}
+
+	// TopDisagreements asking for more than exists clamps gracefully.
+	all, err := comet.TopDisagreements(a, b, blocks[:1], 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Errorf("n beyond pool size: got %d, want 1", len(all))
+	}
+}

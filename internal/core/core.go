@@ -150,6 +150,19 @@ func NewExplainer(model costmodel.Model, cfg Config) *Explainer {
 	return e
 }
 
+// NewExplainerWithCache builds an explainer that shares the given
+// prediction cache instead of allocating a private one. A long-lived
+// process serving many explanation requests against the same model (the
+// cometd service, a notebook session) passes one cache per model so
+// perturbation collisions are amortized across every request, not just
+// within one. A nil cache disables caching. Cached values are exact prior
+// predictions, so a shared cache never changes an explanation.
+func NewExplainerWithCache(model costmodel.Model, cfg Config, cache *costmodel.Cache) *Explainer {
+	e := NewExplainer(model, cfg)
+	e.cache = cache
+	return e
+}
+
 // Model returns the underlying cost model.
 func (e *Explainer) Model() costmodel.Model { return e.model }
 

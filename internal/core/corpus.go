@@ -8,9 +8,11 @@ package core
 // amortized across the entire run.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 
 	"github.com/comet-explain/comet/internal/x86"
 )
@@ -32,6 +34,12 @@ type CorpusOptions struct {
 	// buffer saves memory on huge corpora but obliges the consumer to
 	// drain the channel fully.
 	Buffer int
+	// Context, if non-nil, cancels the run: blocks not yet started are
+	// skipped (in-flight blocks finish and are still delivered), and the
+	// result channel closes early. Blocks that were skipped produce no
+	// CorpusResult at all, so a canceled run delivers fewer results than
+	// len(blocks).
+	Context context.Context
 }
 
 // CorpusResult is one streamed ExplainAll outcome. Results arrive in
@@ -89,8 +97,11 @@ func (e *Explainer) ExplainAll(blocks []*x86.BasicBlock, opts CorpusOptions) <-c
 		pe = &derived
 	}
 
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
 			for i := range work {
 				expl, err := pe.explainSeeded(blocks[i], BlockSeed(e.cfg.Seed, i))
 				if err != nil {
@@ -100,18 +111,34 @@ func (e *Explainer) ExplainAll(blocks []*x86.BasicBlock, opts CorpusOptions) <-c
 			}
 		}()
 	}
+	// Feeder: stops handing out blocks once the context is canceled.
 	go func() {
-		for i := range blocks {
-			work <- i
+		defer close(work)
+		var done <-chan struct{}
+		if opts.Context != nil {
+			done = opts.Context.Done()
 		}
-		close(work)
+		for i := range blocks {
+			select {
+			case work <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+	// The internal channel closes once every started block has been
+	// delivered, so a canceled run still terminates cleanly.
+	go func() {
+		wg.Wait()
+		close(internal)
 	}()
 	// Single collector goroutine: serializes Progress callbacks and
 	// forwards results in completion order.
 	go func() {
 		defer close(out)
-		for done := 1; done <= len(blocks); done++ {
-			res := <-internal
+		done := 0
+		for res := range internal {
+			done++
 			if opts.Progress != nil {
 				opts.Progress(done, len(blocks))
 			}

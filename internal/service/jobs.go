@@ -1,0 +1,241 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/wire"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// errQueueFull signals job-queue backpressure; the handler maps it to 429.
+var errQueueFull = errors.New("job queue full")
+
+// errDraining signals shutdown; the handler maps it to 503.
+var errDraining = errors.New("server is shutting down")
+
+// job is one asynchronous corpus-explanation run. Results accumulate in
+// completion order (they only ever append, never reorder), which is what
+// makes offset-based polling of GET /v1/jobs/{id} race-free: a client that
+// resumes from next_offset never misses or re-reads a result. Each result
+// carries its corpus block index for reassembly in input order.
+type job struct {
+	id      string
+	blocks  []*x86.BasicBlock
+	entry   *modelEntry
+	cfg     core.Config
+	workers int
+
+	mu      sync.Mutex
+	state   string
+	done    int
+	failed  int
+	err     string
+	results []wire.CorpusResult
+}
+
+// status snapshots the job with results[offset:offset+limit].
+func (j *job) status(offset, limit int) wire.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(j.results) {
+		offset = len(j.results)
+	}
+	end := len(j.results)
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+	}
+	page := make([]wire.CorpusResult, end-offset)
+	copy(page, j.results[offset:end])
+	return wire.JobStatus{
+		ID:         j.id,
+		State:      j.state,
+		Total:      len(j.blocks),
+		Done:       j.done,
+		Failed:     j.failed,
+		Error:      j.err,
+		Offset:     offset,
+		NextOffset: end,
+		Results:    page,
+	}
+}
+
+// jobManager owns the bounded job queue, the job workers, and the LRU
+// history of finished jobs.
+type jobManager struct {
+	queue   chan *job
+	history *lruStore[*job]
+	active  sync.Map // id → *job, for jobs not yet in (or evicted from) history
+	ctx     context.Context
+	wg      sync.WaitGroup
+	// closeMu serializes queue sends against the one-time close in
+	// shutdown: submissions hold the read side, so a send can never hit a
+	// closed channel.
+	closeMu  sync.RWMutex
+	draining bool
+	seq      atomic.Uint64
+	instance string // random per-process tag so job IDs don't collide across restarts
+
+	queued  atomic.Int64 // jobs waiting in the queue
+	running atomic.Int64 // jobs currently executing
+}
+
+func newJobManager(ctx context.Context, workers, queueDepth, historySize int) *jobManager {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 16
+	}
+	if historySize < 1 {
+		historySize = 64
+	}
+	tag := make([]byte, 4)
+	if _, err := rand.Read(tag); err != nil {
+		// Fall back to a fixed tag; IDs stay unique within the process
+		// through the sequence number.
+		copy(tag, []byte{0xc0, 0x3e, 0x70, 0x01})
+	}
+	m := &jobManager{
+		queue:    make(chan *job, queueDepth),
+		history:  newLRUStore[*job](historySize),
+		ctx:      ctx,
+		instance: hex.EncodeToString(tag),
+	}
+	for w := 0; w < workers; w++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.queued.Add(-1)
+				m.run(j)
+			}
+		}()
+	}
+	return m
+}
+
+// submit enqueues a job, failing fast with errQueueFull when the bounded
+// queue is at capacity (the HTTP layer turns that into 429 backpressure).
+func (m *jobManager) submit(j *job) error {
+	m.closeMu.RLock()
+	defer m.closeMu.RUnlock()
+	if m.draining {
+		return errDraining
+	}
+	j.id = fmt.Sprintf("job-%s-%d", m.instance, m.seq.Add(1))
+	j.state = wire.JobQueued
+	m.active.Store(j.id, j)
+	select {
+	case m.queue <- j:
+		m.queued.Add(1)
+		return nil
+	default:
+		m.active.Delete(j.id)
+		return errQueueFull
+	}
+}
+
+// get finds a job by ID, live or in history.
+func (m *jobManager) get(id string) (*job, bool) {
+	if v, ok := m.active.Load(id); ok {
+		return v.(*job), true
+	}
+	return m.history.get(id)
+}
+
+// run executes one corpus job through the shared explanation engine.
+func (m *jobManager) run(j *job) {
+	m.running.Add(1)
+	defer m.running.Add(-1)
+
+	j.mu.Lock()
+	if m.ctx.Err() != nil {
+		j.state = wire.JobCanceled
+		j.err = "canceled during shutdown"
+		j.mu.Unlock()
+		m.finish(j)
+		return
+	}
+	j.state = wire.JobRunning
+	j.mu.Unlock()
+
+	explainer := core.NewExplainerWithCache(j.entry.model, j.cfg, j.entry.cache)
+	for res := range explainer.ExplainAll(j.blocks, core.CorpusOptions{
+		Workers: j.workers,
+		Context: m.ctx,
+	}) {
+		j.mu.Lock()
+		j.done++
+		if res.Err != nil {
+			j.failed++
+		}
+		j.results = append(j.results, wire.FromCorpusResult(res))
+		j.mu.Unlock()
+	}
+
+	j.mu.Lock()
+	switch {
+	case j.done < len(j.blocks):
+		j.state = wire.JobCanceled
+		j.err = "canceled during shutdown"
+	case j.failed > 0:
+		j.state = wire.JobFailed
+		j.err = fmt.Sprintf("%d of %d blocks failed", j.failed, len(j.blocks))
+	default:
+		j.state = wire.JobDone
+	}
+	j.mu.Unlock()
+	m.finish(j)
+}
+
+// finish moves a terminal job into the LRU history, where it survives
+// polling until evicted by capacity.
+func (m *jobManager) finish(j *job) {
+	m.history.put(j.id, j)
+	m.active.Delete(j.id)
+}
+
+// shutdown stops accepting jobs, marks still-queued jobs canceled, and
+// waits (up to ctx) for running jobs to wind down. The manager's own
+// context — canceled by the server before calling shutdown — makes running
+// jobs skip their remaining blocks.
+func (m *jobManager) shutdown(ctx context.Context) error {
+	m.closeMu.Lock()
+	if m.draining {
+		m.closeMu.Unlock()
+		return nil
+	}
+	m.draining = true
+	close(m.queue)
+	m.closeMu.Unlock()
+	waited := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(waited)
+	}()
+	select {
+	case <-waited:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// gauges reports queue and job-state metrics.
+func (m *jobManager) gauges() []gauge {
+	return []gauge{
+		{name: "comet_job_queue_depth", value: float64(m.queued.Load())},
+		{name: "comet_jobs_running", value: float64(m.running.Load())},
+		{name: "comet_jobs_finished", value: float64(m.history.len())},
+	}
+}

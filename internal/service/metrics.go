@@ -1,0 +1,176 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is cometd's stdlib-only instrumentation: request counters by
+// (route, status), per-route latency histograms, and service-level
+// counters (coalesced requests, result-store hits). Everything renders in
+// the Prometheus text exposition format on GET /metrics; gauges sourced
+// from live structures (queue depth, cache stats, job states) are appended
+// by the server at render time.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]*atomic.Uint64 // "route|code" → count
+	latency  map[string]*histogram     // route → histogram
+
+	coalesced       atomic.Uint64 // explain requests served by single-flight
+	resultStoreHits atomic.Uint64 // explain requests served by the LRU store
+	explanations    atomic.Uint64 // explanations actually computed
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]*atomic.Uint64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(route string, code int, seconds float64) {
+	key := fmt.Sprintf("%s|%d", route, code)
+	m.mu.Lock()
+	c, ok := m.requests[key]
+	if !ok {
+		c = &atomic.Uint64{}
+		m.requests[key] = c
+	}
+	h, ok := m.latency[route]
+	if !ok {
+		h = newHistogram()
+		m.latency[route] = h
+	}
+	m.mu.Unlock()
+	c.Add(1)
+	h.observe(seconds)
+}
+
+// gauge is one extra sample appended by the server at render time.
+type gauge struct {
+	name   string
+	labels string // rendered label set, "" or `model="uica",arch="hsw"`
+	value  float64
+}
+
+// render writes the exposition text. Extra gauges come from the server
+// (queue depth, prediction-cache stats, job states, store sizes).
+func (m *metrics) render(sb *strings.Builder, extra []gauge) {
+	m.mu.Lock()
+	reqKeys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	latKeys := make([]string, 0, len(m.latency))
+	for k := range m.latency {
+		latKeys = append(latKeys, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(reqKeys)
+	sort.Strings(latKeys)
+
+	sb.WriteString("# HELP comet_requests_total HTTP requests served, by route and status code.\n")
+	sb.WriteString("# TYPE comet_requests_total counter\n")
+	for _, k := range reqKeys {
+		route, code, _ := strings.Cut(k, "|")
+		m.mu.Lock()
+		c := m.requests[k]
+		m.mu.Unlock()
+		fmt.Fprintf(sb, "comet_requests_total{route=%q,code=%q} %d\n", route, code, c.Load())
+	}
+
+	sb.WriteString("# HELP comet_request_seconds Request latency, by route.\n")
+	sb.WriteString("# TYPE comet_request_seconds histogram\n")
+	for _, route := range latKeys {
+		m.mu.Lock()
+		h := m.latency[route]
+		m.mu.Unlock()
+		h.render(sb, "comet_request_seconds", fmt.Sprintf("route=%q", route))
+	}
+
+	fmt.Fprintf(sb, "# HELP comet_explain_coalesced_total Explain requests coalesced onto an identical in-flight computation.\n")
+	fmt.Fprintf(sb, "# TYPE comet_explain_coalesced_total counter\n")
+	fmt.Fprintf(sb, "comet_explain_coalesced_total %d\n", m.coalesced.Load())
+	fmt.Fprintf(sb, "# HELP comet_result_store_hits_total Explain requests served from the explanation result store.\n")
+	fmt.Fprintf(sb, "# TYPE comet_result_store_hits_total counter\n")
+	fmt.Fprintf(sb, "comet_result_store_hits_total %d\n", m.resultStoreHits.Load())
+	fmt.Fprintf(sb, "# HELP comet_explanations_computed_total Explanations actually computed (not coalesced or cached).\n")
+	fmt.Fprintf(sb, "# TYPE comet_explanations_computed_total counter\n")
+	fmt.Fprintf(sb, "comet_explanations_computed_total %d\n", m.explanations.Load())
+
+	byName := make(map[string][]gauge)
+	var names []string
+	for _, g := range extra {
+		if _, ok := byName[g.name]; !ok {
+			names = append(names, g.name)
+		}
+		byName[g.name] = append(byName[g.name], g)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(sb, "# TYPE %s gauge\n", name)
+		for _, g := range byName[name] {
+			if g.labels == "" {
+				fmt.Fprintf(sb, "%s %s\n", name, formatFloat(g.value))
+			} else {
+				fmt.Fprintf(sb, "%s{%s} %s\n", name, g.labels, formatFloat(g.value))
+			}
+		}
+	}
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters.
+type histogram struct {
+	bounds []float64 // upper bounds in seconds; +Inf implied
+	counts []atomic.Uint64
+	sumMu  sync.Mutex
+	sum    float64
+	count  atomic.Uint64
+}
+
+// Latency buckets from 1ms to ~2min; explanations of big blocks on slow
+// models legitimately take seconds.
+var latencyBounds = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 120}
+
+func newHistogram() *histogram {
+	return &histogram{
+		bounds: latencyBounds,
+		counts: make([]atomic.Uint64, len(latencyBounds)+1),
+	}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumMu.Lock()
+	h.sum += v
+	h.sumMu.Unlock()
+}
+
+func (h *histogram) render(sb *strings.Builder, name, labels string) {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(sb, "%s_bucket{%s,le=%q} %d\n", name, labels, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(sb, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
+	h.sumMu.Lock()
+	sum := h.sum
+	h.sumMu.Unlock()
+	fmt.Fprintf(sb, "%s_sum{%s} %s\n", name, labels, formatFloat(sum))
+	fmt.Fprintf(sb, "%s_count{%s} %d\n", name, labels, h.count.Load())
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,189 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/comet-explain/comet/internal/analytical"
+	"github.com/comet-explain/comet/internal/bhive"
+	"github.com/comet-explain/comet/internal/costmodel"
+	"github.com/comet-explain/comet/internal/hwsim"
+	"github.com/comet-explain/comet/internal/ithemal"
+	"github.com/comet-explain/comet/internal/mca"
+	"github.com/comet-explain/comet/internal/uica"
+	"github.com/comet-explain/comet/internal/wire"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// modelEntry is one warmed (model, arch) pair: the model instance and the
+// prediction cache every request against it shares. Warm-up (construction,
+// and for the neural model a full training run) happens exactly once, on
+// first use, guarded by the entry's once.
+type modelEntry struct {
+	name    string
+	arch    x86.Arch
+	once    sync.Once
+	warm    atomic.Bool // set after once completes; lets /metrics skip in-flight warm-ups racelessly
+	model   costmodel.Model
+	cache   *costmodel.Cache
+	epsilon float64 // model-recommended ε (analytical models quantize)
+	err     error
+}
+
+// modelRegistry owns the model zoo. Entries are keyed "name|arch" and
+// built lazily; every request for the same (model, arch) shares the same
+// instance and prediction cache for the life of the process.
+type modelRegistry struct {
+	mu          sync.Mutex
+	entries     map[string]*modelEntry
+	cacheSize   int
+	trainBlocks int
+	trainSeed   int64
+}
+
+func newModelRegistry(cacheSize, trainBlocks int) *modelRegistry {
+	if trainBlocks <= 0 {
+		trainBlocks = 1500
+	}
+	return &modelRegistry{
+		entries:     make(map[string]*modelEntry),
+		cacheSize:   cacheSize,
+		trainBlocks: trainBlocks,
+		trainSeed:   42,
+	}
+}
+
+// register installs a ready-made model (tests inject counting models;
+// comet-serve preloads zoo models at boot). Epsilon 0 means the standard
+// 0.5-cycle ball.
+func (r *modelRegistry) register(name string, arch x86.Arch, m costmodel.Model, epsilon float64) {
+	if epsilon <= 0 {
+		epsilon = 0.5
+	}
+	e := &modelEntry{name: name, arch: arch, model: m, cache: costmodel.NewCache(r.cacheSize), epsilon: epsilon}
+	e.once.Do(func() {}) // already warm
+	e.warm.Store(true)
+	r.mu.Lock()
+	r.entries[modelKey(name, arch)] = e
+	r.mu.Unlock()
+}
+
+func modelKey(name string, arch x86.Arch) string {
+	return name + "|" + wire.ArchName(arch)
+}
+
+// get returns the warmed entry for (name, arch), building it on first use.
+// Concurrent callers for the same entry block until the single warm-up
+// finishes; callers for other entries proceed independently.
+func (r *modelRegistry) get(name string, arch x86.Arch) (*modelEntry, error) {
+	name = canonicalModelName(name)
+	key := modelKey(name, arch)
+	r.mu.Lock()
+	e, ok := r.entries[key]
+	if !ok {
+		if !isZooModel(name) {
+			// Refuse to allocate registry entries for arbitrary client
+			// strings; only zoo models build lazily.
+			r.mu.Unlock()
+			return nil, fmt.Errorf("unknown model %q (want c, uica, mca, hwsim, or ithemal)", name)
+		}
+		e = &modelEntry{name: name, arch: arch, cache: costmodel.NewCache(r.cacheSize)}
+		r.entries[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		e.model, e.epsilon, e.err = r.build(name, arch)
+		e.warm.Store(true)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// canonicalModelName folds aliases onto the zoo names; unknown names map
+// to "" unless already registered (custom test models keep their name).
+func canonicalModelName(name string) string {
+	switch strings.ToLower(name) {
+	case "c", "analytical":
+		return "c"
+	case "", "uica":
+		return "uica"
+	case "mca":
+		return "mca"
+	case "hwsim", "hardware":
+		return "hwsim"
+	case "ithemal", "neural":
+		return "ithemal"
+	}
+	return name
+}
+
+// isZooModel reports whether name is one of the built-in zoo models.
+func isZooModel(name string) bool {
+	switch name {
+	case "c", "uica", "mca", "hwsim", "ithemal":
+		return true
+	}
+	return false
+}
+
+// build constructs (and for ithemal, trains) a zoo model.
+func (r *modelRegistry) build(name string, arch x86.Arch) (costmodel.Model, float64, error) {
+	switch name {
+	case "c":
+		return analytical.New(arch), analytical.Epsilon, nil
+	case "uica":
+		return uica.New(arch), 0.5, nil
+	case "mca":
+		return mca.New(arch), 0.5, nil
+	case "hwsim":
+		return hwsim.New(hwsim.HardwareConfig(arch)), 0.5, nil
+	case "ithemal":
+		blocks := bhive.Generate(bhive.Config{
+			N: r.trainBlocks, MinInstrs: 1, MaxInstrs: 12, Seed: r.trainSeed,
+		})
+		samples := make([]ithemal.Sample, len(blocks))
+		for i, b := range blocks {
+			samples[i] = ithemal.Sample{Block: b.Block, Throughput: b.Throughput[arch]}
+		}
+		m := ithemal.New(ithemal.DefaultConfig(arch))
+		m.Train(samples, nil)
+		return m, 0.5, nil
+	}
+	return nil, 0, fmt.Errorf("unknown model %q (want c, uica, mca, hwsim, or ithemal)", name)
+}
+
+// cacheGauges snapshots every warmed entry's prediction cache for
+// /metrics, in stable key order.
+func (r *modelRegistry) cacheGauges() []gauge {
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.entries))
+	byKey := make(map[string]*modelEntry, len(r.entries))
+	for k, e := range r.entries {
+		keys = append(keys, k)
+		byKey[k] = e
+	}
+	r.mu.Unlock()
+	sort.Strings(keys)
+	var out []gauge
+	for _, k := range keys {
+		e := byKey[k]
+		if !e.warm.Load() {
+			// Warm-up still in flight; its cache is empty anyway.
+			continue
+		}
+		stats := e.cache.Stats()
+		labels := fmt.Sprintf("model=%q,arch=%q", e.name, wire.ArchName(e.arch))
+		out = append(out,
+			gauge{name: "comet_prediction_cache_hits_total", labels: labels, value: float64(stats.Hits)},
+			gauge{name: "comet_prediction_cache_misses_total", labels: labels, value: float64(stats.Misses)},
+			gauge{name: "comet_prediction_cache_hit_rate", labels: labels, value: stats.HitRate()},
+			gauge{name: "comet_prediction_cache_entries", labels: labels, value: float64(stats.Entries)},
+		)
+	}
+	return out
+}

@@ -1,0 +1,508 @@
+// Package service implements cometd, the explanation-serving subsystem:
+// a stdlib-only HTTP/JSON server that owns the model zoo, the shared
+// prediction caches, and the batched corpus engine, and exposes them as a
+// long-lived, multi-tenant API.
+//
+// Routes:
+//
+//	POST /v1/explain    synchronous single-block explanation
+//	POST /v1/corpus     asynchronous corpus job (bounded queue, 429 on overflow)
+//	GET  /v1/jobs/{id}  job status + paginated results (?offset=&limit=)
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text metrics
+//
+// Serving invariants:
+//
+//   - One warmed model instance and one prediction cache per (model, arch),
+//     shared by every request for the life of the process.
+//   - Identical in-flight explain requests coalesce onto one computation
+//     (single-flight keyed by model, arch, config, and canonical block text).
+//   - Finished explanations land in a capped LRU result store; repeat
+//     queries are O(1) and cost zero model work.
+//   - Explain concurrency is bounded by a worker-slot semaphore with a
+//     bounded wait queue; overflow is rejected with 429, never buffered
+//     without bound.
+//   - Explanations are reproducible: per-request sampling parallelism
+//     defaults to 1, so the same request body always yields the same
+//     explanation, equal to a library Explain call at the same seed.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/costmodel"
+	"github.com/comet-explain/comet/internal/wire"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// Config sizes the server. Zero values get production-sane defaults.
+type Config struct {
+	// Base is the default explanation configuration; zero means
+	// core.DefaultConfig. Request ConfigOverrides overlay it.
+	Base core.Config
+	// DefaultModel is used when a request omits "model" (default "uica").
+	DefaultModel string
+	// TrainBlocks sizes the ithemal model's warm-up training set.
+	TrainBlocks int
+	// PredictionCacheSize bounds each (model, arch) prediction cache in
+	// entries (0 = package default of about a million).
+	PredictionCacheSize int
+	// MaxConcurrentExplains bounds simultaneously computing explain
+	// requests (0 = GOMAXPROCS).
+	MaxConcurrentExplains int
+	// MaxQueuedExplains bounds explain requests waiting for a slot
+	// beyond the ones computing; overflow gets 429 (0 = 4×concurrent).
+	MaxQueuedExplains int
+	// JobWorkers is the number of corpus jobs executing at once (0 = 1).
+	JobWorkers int
+	// JobQueueDepth bounds queued corpus jobs; overflow gets 429 (0 = 16).
+	JobQueueDepth int
+	// MaxCorpusBlocks caps the corpus size a single job may carry
+	// (0 = 10000); larger requests get 413.
+	MaxCorpusBlocks int
+	// ResultStoreSize caps the explanation LRU result store (0 = 1024).
+	ResultStoreSize int
+	// JobHistorySize caps retained finished jobs (0 = 64).
+	JobHistorySize int
+	// MaxBodyBytes caps request bodies (0 = 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Base.Epsilon == 0 && c.Base.CoverageSamples == 0 {
+		base := core.DefaultConfig()
+		base.Seed = c.Base.Seed
+		if c.Base.Seed == 0 {
+			base.Seed = 1
+		}
+		c.Base = base
+	}
+	if c.DefaultModel == "" {
+		c.DefaultModel = "uica"
+	}
+	if c.MaxConcurrentExplains <= 0 {
+		c.MaxConcurrentExplains = defaultParallelism()
+	}
+	if c.MaxQueuedExplains <= 0 {
+		c.MaxQueuedExplains = 4 * c.MaxConcurrentExplains
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 1
+	}
+	if c.JobQueueDepth <= 0 {
+		c.JobQueueDepth = 16
+	}
+	if c.MaxCorpusBlocks <= 0 {
+		c.MaxCorpusBlocks = 10000
+	}
+	if c.ResultStoreSize <= 0 {
+		c.ResultStoreSize = 1024
+	}
+	if c.JobHistorySize <= 0 {
+		c.JobHistorySize = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+func defaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// Server is the cometd HTTP server. Construct with New, mount Handler,
+// and call Shutdown on the way out.
+type Server struct {
+	cfg     Config
+	models  *modelRegistry
+	flights flightGroup
+	results *lruStore[*wire.Explanation]
+	jobs    *jobManager
+	metrics *metrics
+	mux     *http.ServeMux
+
+	explainSlots   chan struct{}
+	explainWaiting atomic.Int64
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	draining atomic.Bool
+}
+
+// New builds a server. Models warm lazily on first use; use RegisterModel
+// or a warm-up request to front-load expensive construction.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:          cfg,
+		models:       newModelRegistry(cfg.PredictionCacheSize, cfg.TrainBlocks),
+		results:      newLRUStore[*wire.Explanation](cfg.ResultStoreSize),
+		jobs:         newJobManager(ctx, cfg.JobWorkers, cfg.JobQueueDepth, cfg.JobHistorySize),
+		metrics:      newMetrics(),
+		mux:          http.NewServeMux(),
+		explainSlots: make(chan struct{}, cfg.MaxConcurrentExplains),
+		ctx:          ctx,
+		cancel:       cancel,
+	}
+	s.mux.HandleFunc("/v1/explain", s.instrument("explain", s.handleExplain))
+	s.mux.HandleFunc("/v1/corpus", s.instrument("corpus", s.handleCorpus))
+	s.mux.HandleFunc("/v1/jobs/", s.instrument("jobs", s.handleJob))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// RegisterModel installs a ready-made model under (name, arch), replacing
+// any lazily built zoo entry. Tests inject counting models; deployments
+// can preload trained neural models. Epsilon 0 means the standard
+// 0.5-cycle ball.
+func (s *Server) RegisterModel(name string, arch x86.Arch, m costmodel.Model, epsilon float64) {
+	s.models.register(canonicalModelName(name), arch, m, epsilon)
+}
+
+// WarmModel builds (and for the neural model, trains) a zoo model ahead
+// of the first request.
+func (s *Server) WarmModel(name string, arch x86.Arch) error {
+	_, err := s.models.get(name, arch)
+	return err
+}
+
+// Shutdown drains the server: new work is rejected (503), running corpus
+// jobs skip their unstarted blocks and are marked canceled, and the call
+// waits (bounded by ctx) for job workers to wind down. The HTTP listener
+// itself is the caller's to close (http.Server.Shutdown), normally before
+// calling this.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.cancel()
+	return s.jobs.shutdown(ctx)
+}
+
+// instrument wraps a handler with request counting and latency recording.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.metrics.observe(route, rec.code, time.Since(start).Seconds())
+	}
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// writeJSON writes a JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the JSON error envelope.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, wire.Error{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON request body with a size cap. On failure it
+// writes the error response itself — 413 for oversized bodies, 400 for
+// malformed JSON — and reports false.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// requestConfig resolves the effective explanation config for a request:
+// the server base, the model's recommended ε, then the client overrides.
+// Parallelism is pinned to 1 unless the client asks otherwise, so a
+// request's explanation is independent of server load and equal to a
+// library Explain call with the same config and seed.
+func (s *Server) requestConfig(entry *modelEntry, o *wire.ConfigOverrides) core.Config {
+	cfg := s.cfg.Base
+	cfg.Epsilon = entry.epsilon
+	cfg.Parallelism = 1
+	return o.Apply(cfg)
+}
+
+// explainKey is the single-flight / result-store identity of a request:
+// everything that can change the explanation bytes.
+func explainKey(entry *modelEntry, cfg core.Config, blockText string) string {
+	return fmt.Sprintf("%s|%s|eps=%g|thr=%g|cov=%d|batch=%d|par=%d|seed=%d|%s",
+		entry.name, wire.ArchName(entry.arch),
+		cfg.Epsilon, cfg.PrecisionThreshold, cfg.CoverageSamples,
+		cfg.BatchSize, cfg.Parallelism, cfg.Seed, blockText)
+}
+
+// handleExplain serves POST /v1/explain.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		return
+	}
+	var req wire.ExplainRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	arch, err := wire.ParseArch(req.Arch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	block, err := x86.ParseBlock(req.Block)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad block: %v", err)
+		return
+	}
+	modelName := req.Model
+	if modelName == "" {
+		modelName = s.cfg.DefaultModel
+	}
+	entry, err := s.models.get(modelName, arch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg := s.requestConfig(entry, req.Config)
+	key := explainKey(entry, cfg, block.String())
+
+	if expl, ok := s.results.get(key); ok {
+		s.metrics.resultStoreHits.Add(1)
+		writeJSON(w, http.StatusOK, expl)
+		return
+	}
+
+	val, err, shared := s.flights.Do(key, func() (any, error) {
+		// Double-check the store: a previous flight for this key may have
+		// finished (and stored its result) between our store miss and
+		// entering the flight.
+		if expl, ok := s.results.get(key); ok {
+			s.metrics.resultStoreHits.Add(1)
+			return expl, nil
+		}
+		// The flight is shared by every coalesced caller, so its slot wait
+		// is bound to the server's lifetime, not the originating request's
+		// context — one client disconnecting must not fail the followers.
+		if err := s.acquireExplainSlot(); err != nil {
+			return nil, err
+		}
+		defer s.releaseExplainSlot()
+		expl, err := core.NewExplainerWithCache(entry.model, cfg, entry.cache).Explain(block)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.explanations.Add(1)
+		wexpl := wire.FromExplanation(expl)
+		s.results.put(key, wexpl)
+		return wexpl, nil
+	})
+	if shared {
+		s.metrics.coalesced.Add(1)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, errOverloaded):
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, errDraining):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "explain failed: %v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, val.(*wire.Explanation))
+}
+
+// errOverloaded signals explain backpressure; the handler maps it to 429.
+var errOverloaded = errors.New("too many concurrent explain requests")
+
+// acquireExplainSlot takes a computation slot, waiting in a bounded queue.
+// When MaxQueuedExplains callers are already waiting, it fails fast — the
+// server sheds load instead of building an unbounded backlog. The wait is
+// interrupted only by server shutdown.
+func (s *Server) acquireExplainSlot() error {
+	select {
+	case s.explainSlots <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.explainWaiting.Add(1) > int64(s.cfg.MaxQueuedExplains) {
+		s.explainWaiting.Add(-1)
+		return errOverloaded
+	}
+	defer s.explainWaiting.Add(-1)
+	select {
+	case s.explainSlots <- struct{}{}:
+		return nil
+	case <-s.ctx.Done():
+		return errDraining
+	}
+}
+
+func (s *Server) releaseExplainSlot() { <-s.explainSlots }
+
+// handleCorpus serves POST /v1/corpus.
+func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		return
+	}
+	var req wire.CorpusRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Blocks) == 0 {
+		writeError(w, http.StatusBadRequest, "corpus has no blocks")
+		return
+	}
+	if len(req.Blocks) > s.cfg.MaxCorpusBlocks {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"corpus of %d blocks exceeds the limit of %d", len(req.Blocks), s.cfg.MaxCorpusBlocks)
+		return
+	}
+	arch, err := wire.ParseArch(req.Arch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	blocks := make([]*x86.BasicBlock, len(req.Blocks))
+	for i, src := range req.Blocks {
+		b, err := x86.ParseBlock(src)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "block %d: %v", i, err)
+			return
+		}
+		blocks[i] = b
+	}
+	modelName := req.Model
+	if modelName == "" {
+		modelName = s.cfg.DefaultModel
+	}
+	entry, err := s.models.get(modelName, arch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := &job{
+		blocks:  blocks,
+		entry:   entry,
+		cfg:     s.requestConfig(entry, req.Config),
+		workers: req.Workers,
+	}
+	if err := s.jobs.submit(j); err != nil {
+		switch {
+		case errors.Is(err, errQueueFull):
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		default:
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, wire.JobAccepted{ID: j.id, State: wire.JobQueued, Total: len(blocks)})
+}
+
+// handleJob serves GET /v1/jobs/{id}?offset=&limit=.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit, err := queryInt(r, "limit", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q (finished jobs are evicted after %d newer ones)", id, s.cfg.JobHistorySize)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(offset, limit))
+}
+
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return n, nil
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		state = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": state})
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var sb strings.Builder
+	extra := []gauge{
+		{name: "comet_explain_inflight", value: float64(len(s.explainSlots))},
+		{name: "comet_explain_waiting", value: float64(s.explainWaiting.Load())},
+		{name: "comet_result_store_entries", value: float64(s.results.len())},
+	}
+	extra = append(extra, s.jobs.gauges()...)
+	extra = append(extra, s.models.cacheGauges()...)
+	s.metrics.render(&sb, extra)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(sb.String()))
+}

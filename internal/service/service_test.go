@@ -1,0 +1,555 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/costmodel"
+	"github.com/comet-explain/comet/internal/uica"
+	"github.com/comet-explain/comet/internal/wire"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+const testBlock = "add rcx, rax\nmov rdx, rcx\npop rbx"
+
+// fastOverrides keeps test explanations quick.
+func fastOverrides() *wire.ConfigOverrides {
+	return &wire.ConfigOverrides{CoverageSamples: 150, Seed: 1}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// TestExplainMatchesLibraryAndRoundTrips is the core serving acceptance
+// criterion: the served JSON round-trips byte-stably and its content is
+// bit-identical to a library Explain call at the same seed.
+func TestExplainMatchesLibraryAndRoundTrips(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{
+		Block: testBlock, Model: "uica", Arch: "hsw", Config: fastOverrides(),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var served wire.Explanation
+	if err := json.Unmarshal(body, &served); err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte stability: unmarshal → marshal reproduces the served bytes.
+	remarshaled, err := json.Marshal(&served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimRight(body, "\n"), remarshaled) {
+		t.Errorf("served JSON not byte-stable:\n served %s\nremarsh %s", body, remarshaled)
+	}
+
+	// Bit-identical content to the library at the same seed and config.
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = 1
+	cfg.CoverageSamples = 150
+	cfg.Seed = 1
+	lib, err := core.NewExplainer(uica.New(x86.Haswell), cfg).Explain(x86.MustParseBlock(testBlock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wire.FromExplanation(lib)
+	if served.Prediction != want.Prediction || served.Precision != want.Precision ||
+		served.Coverage != want.Coverage || served.Certified != want.Certified ||
+		served.Block != want.Block || served.Model != want.Model {
+		t.Errorf("served explanation differs from library:\n got %+v\nwant %+v", served, want)
+	}
+	gotSet, err := served.Features.Lib()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSet.Key() != lib.Features.Key() {
+		t.Errorf("feature sets differ: %s vs %s", gotSet.Key(), lib.Features.Key())
+	}
+}
+
+// countingModel counts every block evaluation, for single-flight
+// verification by model-call accounting.
+type countingModel struct {
+	inner costmodel.BatchModel
+	calls atomic.Int64
+}
+
+func (m *countingModel) Name() string   { return "counting" }
+func (m *countingModel) Arch() x86.Arch { return m.inner.Arch() }
+func (m *countingModel) Predict(b *x86.BasicBlock) float64 {
+	m.calls.Add(1)
+	return m.inner.Predict(b)
+}
+func (m *countingModel) PredictBatch(blocks []*x86.BasicBlock) []float64 {
+	m.calls.Add(int64(len(blocks)))
+	return m.inner.PredictBatch(blocks)
+}
+
+// TestSingleFlightCoalescesIdenticalRequests: N identical concurrent
+// requests cost exactly one explanation computation.
+func TestSingleFlightCoalescesIdenticalRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	model := &countingModel{inner: uica.New(x86.Haswell)}
+	s.RegisterModel("counting", x86.Haswell, model, 0)
+
+	const n = 8
+	var wg sync.WaitGroup
+	bodies := make([][]byte, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{
+				Block: testBlock, Model: "counting", Config: fastOverrides(),
+			})
+			codes[i], bodies[i] = resp.StatusCode, body
+		}(i)
+	}
+	wg.Wait()
+
+	var first wire.Explanation
+	if err := json.Unmarshal(bodies[0], &first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d: response differs from request 0:\n%s\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if got := s.metrics.explanations.Load(); got != 1 {
+		t.Errorf("computed %d explanations for %d identical requests, want exactly 1", got, n)
+	}
+	// Model-call accounting: the model saw exactly one explanation's
+	// worth of evaluations.
+	if got := model.calls.Load(); got != int64(first.ModelCalls) {
+		t.Errorf("model evaluated %d blocks, want the single explanation's %d", got, first.ModelCalls)
+	}
+}
+
+// TestResultStoreServesRepeatQueries: a repeat query is served from the
+// LRU store with zero model work.
+func TestResultStoreServesRepeatQueries(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	model := &countingModel{inner: uica.New(x86.Haswell)}
+	s.RegisterModel("counting", x86.Haswell, model, 0)
+
+	req := wire.ExplainRequest{Block: testBlock, Model: "counting", Config: fastOverrides()}
+	_, body1 := postJSON(t, ts.URL+"/v1/explain", req)
+	after := model.calls.Load()
+	_, body2 := postJSON(t, ts.URL+"/v1/explain", req)
+	if model.calls.Load() != after {
+		t.Errorf("repeat query cost %d extra model calls, want 0", model.calls.Load()-after)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("repeat query served different bytes:\n%s\n%s", body1, body2)
+	}
+	if s.metrics.resultStoreHits.Load() == 0 {
+		t.Error("result store recorded no hit")
+	}
+}
+
+// submitCorpus submits a job and polls it to a terminal state, collecting
+// results through offset/limit pagination.
+func submitCorpus(t *testing.T, base string, req wire.CorpusRequest) ([]wire.CorpusResult, wire.JobStatus) {
+	t.Helper()
+	resp, body := postJSON(t, base+"/v1/corpus", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("corpus submit: status %d: %s", resp.StatusCode, body)
+	}
+	var acc wire.JobAccepted
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	var collected []wire.CorpusResult
+	offset := 0
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish in time", acc.ID)
+		}
+		var st wire.JobStatus
+		r := getJSON(t, fmt.Sprintf("%s/v1/jobs/%s?offset=%d&limit=2", base, acc.ID, offset), &st)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("job poll: status %d", r.StatusCode)
+		}
+		collected = append(collected, st.Results...)
+		offset = st.NextOffset
+		terminal := st.State == wire.JobDone || st.State == wire.JobFailed || st.State == wire.JobCanceled
+		if terminal && offset >= st.Done {
+			return collected, st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCorpusJobReproducibleAtAnyWorkerCount: identical corpora explained
+// with different worker counts yield identical explanations per block, and
+// results survive polling.
+func TestCorpusJobReproducibleAtAnyWorkerCount(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	srcs := []string{
+		testBlock,
+		"imul rax, rbx\nimul rax, rcx",
+		"mov qword ptr [rdi], rax\nmov rbx, qword ptr [rdi]",
+		"vaddss xmm0, xmm1, xmm2\nvmulss xmm3, xmm0, xmm0",
+		"add rax, rbx\nsub rcx, rdx\nxor rsi, rsi",
+	}
+	byIndex := func(results []wire.CorpusResult) map[int]wire.CorpusResult {
+		m := make(map[int]wire.CorpusResult, len(results))
+		for _, r := range results {
+			m[r.Index] = r
+		}
+		return m
+	}
+
+	req := wire.CorpusRequest{Blocks: srcs, Model: "uica", Config: fastOverrides(), Workers: 1}
+	seq, st := submitCorpus(t, ts.URL, req)
+	if st.State != wire.JobDone || st.Done != len(srcs) || st.Failed != 0 {
+		t.Fatalf("workers=1 job: %+v", st)
+	}
+	req.Workers = 4
+	par, st4 := submitCorpus(t, ts.URL, req)
+	if st4.State != wire.JobDone || st4.Done != len(srcs) {
+		t.Fatalf("workers=4 job: %+v", st4)
+	}
+
+	seqBy, parBy := byIndex(seq), byIndex(par)
+	if len(seqBy) != len(srcs) || len(parBy) != len(srcs) {
+		t.Fatalf("pagination lost results: %d and %d of %d", len(seqBy), len(parBy), len(srcs))
+	}
+	for i := range srcs {
+		a, b := seqBy[i], parBy[i]
+		if a.Explanation == nil || b.Explanation == nil {
+			t.Fatalf("block %d: missing explanation (%v / %v)", i, a.Error, b.Error)
+		}
+		// The explanation content must be bit-identical; the cache
+		// accounting legitimately differs (the second job hits the shared
+		// prediction cache warmed by the first).
+		ea, eb := *a.Explanation, *b.Explanation
+		ea.CacheHits, eb.CacheHits = 0, 0
+		ea.ModelCalls, eb.ModelCalls = 0, 0
+		ja, _ := json.Marshal(&ea)
+		jb, _ := json.Marshal(&eb)
+		if !bytes.Equal(ja, jb) {
+			t.Errorf("block %d differs across worker counts:\n w1 %s\n w4 %s", i, ja, jb)
+		}
+	}
+
+	// The finished job keeps answering polls until evicted.
+	var again wire.JobStatus
+	getJSON(t, fmt.Sprintf("%s/v1/jobs/%s", ts.URL, st.ID), &again)
+	if again.State != wire.JobDone || len(again.Results) != len(srcs) {
+		t.Errorf("finished job no longer pollable: %+v", again)
+	}
+}
+
+// gateModel blocks its first evaluation until released, to hold a job or
+// request deterministically in-flight.
+type gateModel struct {
+	inner   costmodel.Model
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func newGateModel() *gateModel {
+	return &gateModel{
+		inner:   uica.New(x86.Haswell),
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+}
+
+func (m *gateModel) Name() string   { return "gate" }
+func (m *gateModel) Arch() x86.Arch { return x86.Haswell }
+func (m *gateModel) Predict(b *x86.BasicBlock) float64 {
+	m.once.Do(func() {
+		close(m.started)
+		<-m.release
+	})
+	return m.inner.Predict(b)
+}
+
+func TestJobQueueBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{JobWorkers: 1, JobQueueDepth: 1})
+	gate := newGateModel()
+	s.RegisterModel("gate", x86.Haswell, gate, 0)
+	defer func() {
+		select {
+		case <-gate.release:
+		default:
+			close(gate.release)
+		}
+	}()
+
+	req := wire.CorpusRequest{Blocks: []string{testBlock}, Model: "gate", Config: fastOverrides()}
+	resp1, body1 := postJSON(t, ts.URL+"/v1/corpus", req)
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 1: status %d: %s", resp1.StatusCode, body1)
+	}
+	<-gate.started // job 1 is now executing, holding the single worker
+
+	resp2, body2 := postJSON(t, ts.URL+"/v1/corpus", req)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 2: status %d: %s", resp2.StatusCode, body2)
+	}
+	resp3, body3 := postJSON(t, ts.URL+"/v1/corpus", req)
+	if resp3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job 3: status %d, want 429: %s", resp3.StatusCode, body3)
+	}
+	var e wire.Error
+	if err := json.Unmarshal(body3, &e); err != nil || e.Error == "" {
+		t.Errorf("429 body is not the error envelope: %s", body3)
+	}
+	close(gate.release)
+}
+
+func TestExplainBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrentExplains: 1, MaxQueuedExplains: 1})
+	gate := newGateModel()
+	s.RegisterModel("gate", x86.Haswell, gate, 0)
+	released := false
+	defer func() {
+		if !released {
+			close(gate.release)
+		}
+	}()
+
+	type result struct {
+		code int
+		body []byte
+	}
+	results := make(chan result, 3)
+	post := func(seed int64) {
+		o := fastOverrides()
+		o.Seed = seed // distinct seeds → distinct keys → no coalescing
+		resp, body := postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{
+			Block: testBlock, Model: "gate", Config: o,
+		})
+		results <- result{resp.StatusCode, body}
+	}
+	go post(1)
+	<-gate.started // request 1 holds the single computation slot
+	go post(2)
+	// Wait until request 2 occupies the single wait-queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.explainWaiting.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("request 2 never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp3, body3 := postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{
+		Block: testBlock, Model: "gate", Config: &wire.ConfigOverrides{CoverageSamples: 150, Seed: 3},
+	})
+	if resp3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("request 3: status %d, want 429: %s", resp3.StatusCode, body3)
+	}
+	close(gate.release)
+	released = true
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.code != http.StatusOK {
+			t.Errorf("gated request: status %d: %s", r.code, r.body)
+		}
+	}
+}
+
+func TestJobHistoryEviction(t *testing.T) {
+	_, ts := newTestServer(t, Config{JobHistorySize: 1})
+	req := wire.CorpusRequest{Blocks: []string{testBlock}, Model: "uica", Config: fastOverrides()}
+	_, st1 := submitCorpus(t, ts.URL, req)
+	_, st2 := submitCorpus(t, ts.URL, req)
+	if r := getJSON(t, ts.URL+"/v1/jobs/"+st1.ID, nil); r.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job 1: status %d, want 404", r.StatusCode)
+	}
+	if r := getJSON(t, ts.URL+"/v1/jobs/"+st2.ID, nil); r.StatusCode != http.StatusOK {
+		t.Errorf("retained job 2: status %d, want 200", r.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxCorpusBlocks: 2})
+	cases := []struct {
+		name string
+		do   func() int
+		want int
+	}{
+		{"explain GET", func() int { return getJSON(t, ts.URL+"/v1/explain", nil).StatusCode }, http.StatusMethodNotAllowed},
+		{"bad block", func() int {
+			r, _ := postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{Block: "not an instruction"})
+			return r.StatusCode
+		}, http.StatusBadRequest},
+		{"unknown model", func() int {
+			r, _ := postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{Block: testBlock, Model: "gpt"})
+			return r.StatusCode
+		}, http.StatusBadRequest},
+		{"unknown arch", func() int {
+			r, _ := postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{Block: testBlock, Arch: "znver4"})
+			return r.StatusCode
+		}, http.StatusBadRequest},
+		{"empty corpus", func() int {
+			r, _ := postJSON(t, ts.URL+"/v1/corpus", wire.CorpusRequest{})
+			return r.StatusCode
+		}, http.StatusBadRequest},
+		{"oversized corpus", func() int {
+			r, _ := postJSON(t, ts.URL+"/v1/corpus", wire.CorpusRequest{Blocks: []string{testBlock, testBlock, testBlock}})
+			return r.StatusCode
+		}, http.StatusRequestEntityTooLarge},
+		{"unknown job", func() int { return getJSON(t, ts.URL+"/v1/jobs/job-nope-1", nil).StatusCode }, http.StatusNotFound},
+		{"bad offset", func() int {
+			return getJSON(t, ts.URL+"/v1/jobs/job-nope-1?offset=-2", nil).StatusCode
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if got := tc.do(); got != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var health map[string]string
+	if r := getJSON(t, ts.URL+"/healthz", &health); r.StatusCode != http.StatusOK || health["status"] != "ok" {
+		t.Errorf("healthz: %d %v", r.StatusCode, health)
+	}
+	postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{Block: testBlock, Config: fastOverrides()})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`comet_requests_total{route="explain",code="200"} 1`,
+		`comet_request_seconds_bucket{route="explain",le="+Inf"} 1`,
+		`comet_request_seconds_count{route="explain"} 1`,
+		"comet_explanations_computed_total 1",
+		"comet_job_queue_depth 0",
+		`comet_prediction_cache_hit_rate{model="uica",arch="hsw"}`,
+		"comet_result_store_entries 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	s := New(Config{JobWorkers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	gate := newGateModel()
+	s.RegisterModel("gate", x86.Haswell, gate, 0)
+
+	// A 3-block job: block 0 blocks on the gate; cancellation during
+	// shutdown must skip the unstarted blocks and mark the job canceled.
+	req := wire.CorpusRequest{
+		Blocks: []string{testBlock, testBlock + "\nadd rax, rbx", testBlock + "\nsub rax, rbx"},
+		Model:  "gate", Config: fastOverrides(), Workers: 1,
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/corpus", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, body)
+	}
+	var acc wire.JobAccepted
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	<-gate.started
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	// Draining: new work is refused while the job winds down.
+	time.Sleep(10 * time.Millisecond)
+	if r, _ := postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{Block: testBlock}); r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("explain during drain: status %d, want 503", r.StatusCode)
+	}
+	if r := getJSON(t, ts.URL+"/healthz", nil); r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain: status %d, want 503", r.StatusCode)
+	}
+	close(gate.release)
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	var st wire.JobStatus
+	getJSON(t, ts.URL+"/v1/jobs/"+acc.ID, &st)
+	if st.State != wire.JobCanceled {
+		t.Errorf("job state after shutdown: %q, want %q (%+v)", st.State, wire.JobCanceled, st)
+	}
+	if st.Done >= st.Total {
+		t.Errorf("canceled job claims all %d blocks done", st.Total)
+	}
+}

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruStore is a capped, thread-safe LRU map. cometd uses two: the
+// explanation result store (repeat explain queries are O(1) map hits, no
+// model work at all) and the job history (finished corpus jobs survive
+// polling until capacity evicts them).
+type lruStore[V any] struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRUStore[V any](capacity int) *lruStore[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruStore[V]{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the stored value and refreshes its recency.
+func (s *lruStore[V]) get(key string) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		s.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts or refreshes a value, evicting the least recently used
+// entry beyond capacity. It reports the key of the evicted entry, if any.
+func (s *lruStore[V]) put(key string, val V) (evicted string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, hit := s.m[key]; hit {
+		el.Value.(*lruEntry[V]).val = val
+		s.ll.MoveToFront(el)
+		return "", false
+	}
+	s.m[key] = s.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	if s.ll.Len() <= s.cap {
+		return "", false
+	}
+	oldest := s.ll.Back()
+	s.ll.Remove(oldest)
+	e := oldest.Value.(*lruEntry[V])
+	delete(s.m, e.key)
+	return e.key, true
+}
+
+// len returns the number of stored entries.
+func (s *lruStore[V]) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}

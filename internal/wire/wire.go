@@ -1,0 +1,365 @@
+// Package wire defines the stable JSON wire format shared by the comet
+// CLI (-json) and the cometd explanation service (cmd/comet-serve). The
+// format is a faithful, versionable projection of the library types —
+// features.Feature/Set, core.Explanation, core.CorpusResult — onto plain
+// JSON-friendly structs, plus the request and job envelopes the HTTP API
+// speaks.
+//
+// Two guarantees hold for every type in this package:
+//
+//  1. Round-trip with the library: FromExplanation followed by
+//     Explanation.Core (and likewise for features) reconstructs a value
+//     whose identity — feature keys, prediction, accounting — is equal to
+//     the original.
+//  2. Byte stability: unmarshal followed by marshal reproduces the exact
+//     bytes produced by this package. All types marshal through ordered
+//     struct fields (never maps), so encoding/json output is
+//     deterministic.
+package wire
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/deps"
+	"github.com/comet-explain/comet/internal/features"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// Feature is the wire form of one explanation feature.
+type Feature struct {
+	// Kind is "inst", "dep", or "count".
+	Kind string `json:"kind"`
+	// Index is the 0-based instruction position (kind "inst").
+	Index int `json:"index,omitempty"`
+	// Opcode is the instruction mnemonic (kind "inst").
+	Opcode string `json:"opcode,omitempty"`
+	// Src and Dst are 0-based endpoints of a dependency edge (kind "dep").
+	Src int `json:"src,omitempty"`
+	Dst int `json:"dst,omitempty"`
+	// Hazard is "RAW", "WAR", or "WAW" (kind "dep").
+	Hazard string `json:"hazard,omitempty"`
+	// Count is the instruction count η (kind "count").
+	Count int `json:"count,omitempty"`
+	// Text is the human-readable rendering fixed at extraction time.
+	Text string `json:"text,omitempty"`
+}
+
+// Wire names for the feature kinds (these match features.Kind.String for
+// "inst"; the dependency and count kinds use ASCII-safe names instead of
+// the paper's δ and η glyphs).
+const (
+	KindInstr = "inst"
+	KindDep   = "dep"
+	KindCount = "count"
+)
+
+// kindName maps a library feature kind to its wire name.
+func kindName(k features.Kind) string {
+	switch k {
+	case features.KindInstr:
+		return KindInstr
+	case features.KindDep:
+		return KindDep
+	case features.KindCount:
+		return KindCount
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// parseKind maps a wire kind name back to the library kind.
+func parseKind(s string) (features.Kind, error) {
+	switch s {
+	case KindInstr:
+		return features.KindInstr, nil
+	case KindDep:
+		return features.KindDep, nil
+	case KindCount:
+		return features.KindCount, nil
+	}
+	return 0, fmt.Errorf("wire: unknown feature kind %q", s)
+}
+
+// ParseHazard maps "RAW"/"WAR"/"WAW" to the library hazard type.
+func ParseHazard(s string) (deps.Hazard, error) {
+	switch s {
+	case "RAW":
+		return deps.RAW, nil
+	case "WAR":
+		return deps.WAR, nil
+	case "WAW":
+		return deps.WAW, nil
+	}
+	return 0, fmt.Errorf("wire: unknown hazard %q", s)
+}
+
+// FromFeature projects a library feature onto the wire.
+func FromFeature(f features.Feature) Feature {
+	w := Feature{Kind: kindName(f.Kind), Text: f.String()}
+	switch f.Kind {
+	case features.KindInstr:
+		w.Index, w.Opcode = f.Index, f.Opcode
+	case features.KindDep:
+		w.Src, w.Dst, w.Hazard = f.Src, f.Dst, f.Hazard.String()
+	case features.KindCount:
+		w.Count = f.Count
+	}
+	return w
+}
+
+// Lib reconstructs the library feature. The reconstructed feature has the
+// same Key (identity) and String rendering as the original.
+func (w Feature) Lib() (features.Feature, error) {
+	kind, err := parseKind(w.Kind)
+	if err != nil {
+		return features.Feature{}, err
+	}
+	f := features.Feature{Kind: kind, Text: w.Text}
+	switch kind {
+	case features.KindInstr:
+		f.Index, f.Opcode = w.Index, w.Opcode
+	case features.KindDep:
+		h, err := ParseHazard(w.Hazard)
+		if err != nil {
+			return features.Feature{}, err
+		}
+		f.Src, f.Dst, f.Hazard = w.Src, w.Dst, h
+	case features.KindCount:
+		f.Count = w.Count
+	}
+	return f, nil
+}
+
+// FeatureSet is the wire form of an ordered feature set.
+type FeatureSet []Feature
+
+// FromFeatureSet projects a library feature set onto the wire, preserving
+// order.
+func FromFeatureSet(s features.Set) FeatureSet {
+	out := make(FeatureSet, len(s))
+	for i, f := range s {
+		out[i] = FromFeature(f)
+	}
+	return out
+}
+
+// Lib reconstructs the library feature set.
+func (ws FeatureSet) Lib() (features.Set, error) {
+	fs := make([]features.Feature, len(ws))
+	for i, w := range ws {
+		f, err := w.Lib()
+		if err != nil {
+			return nil, fmt.Errorf("feature %d: %w", i, err)
+		}
+		fs[i] = f
+	}
+	return features.NewSet(fs...), nil
+}
+
+// Explanation is the wire form of core.Explanation. Block is the block's
+// canonical Intel-syntax text (one instruction per line) — exactly the
+// input a cost model sees, and exactly what ParseBlock accepts back.
+type Explanation struct {
+	Block      string     `json:"block"`
+	Model      string     `json:"model"`
+	Prediction float64    `json:"prediction"`
+	Features   FeatureSet `json:"features"`
+	Precision  float64    `json:"precision"`
+	Coverage   float64    `json:"coverage"`
+	Certified  bool       `json:"certified"`
+	Queries    int        `json:"queries"`
+	CacheHits  int        `json:"cache_hits"`
+	ModelCalls int        `json:"model_calls"`
+}
+
+// FromExplanation projects a library explanation onto the wire.
+func FromExplanation(e *core.Explanation) *Explanation {
+	if e == nil {
+		return nil
+	}
+	return &Explanation{
+		Block:      e.Block.String(),
+		Model:      e.Model,
+		Prediction: e.Prediction,
+		Features:   FromFeatureSet(e.Features),
+		Precision:  e.Precision,
+		Coverage:   e.Coverage,
+		Certified:  e.Certified,
+		Queries:    e.Queries,
+		CacheHits:  e.CacheHits,
+		ModelCalls: e.ModelCalls,
+	}
+}
+
+// Core reconstructs the library explanation, reparsing the block text.
+func (w *Explanation) Core() (*core.Explanation, error) {
+	b, err := x86.ParseBlock(w.Block)
+	if err != nil {
+		return nil, fmt.Errorf("wire: block: %w", err)
+	}
+	set, err := w.Features.Lib()
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	return &core.Explanation{
+		Block:      b,
+		Model:      w.Model,
+		Prediction: w.Prediction,
+		Features:   set,
+		Precision:  w.Precision,
+		Coverage:   w.Coverage,
+		Certified:  w.Certified,
+		Queries:    w.Queries,
+		CacheHits:  w.CacheHits,
+		ModelCalls: w.ModelCalls,
+	}, nil
+}
+
+// CorpusResult is the wire form of one corpus outcome: exactly one of
+// Explanation and Error is set.
+type CorpusResult struct {
+	Index       int          `json:"index"`
+	Block       string       `json:"block"`
+	Explanation *Explanation `json:"explanation,omitempty"`
+	Error       string       `json:"error,omitempty"`
+}
+
+// FromCorpusResult projects a streamed corpus result onto the wire.
+func FromCorpusResult(r core.CorpusResult) CorpusResult {
+	w := CorpusResult{Index: r.Index}
+	if r.Block != nil {
+		w.Block = r.Block.String()
+	}
+	if r.Err != nil {
+		w.Error = r.Err.Error()
+	} else {
+		w.Explanation = FromExplanation(r.Explanation)
+	}
+	return w
+}
+
+// ConfigOverrides carries the per-request explanation hyperparameters the
+// API exposes. Zero values mean "server default"; Parallelism defaults to
+// 1 on the server so explanations are reproducible regardless of
+// concurrent load (precision sampling is deterministic per worker count).
+type ConfigOverrides struct {
+	Epsilon            float64 `json:"epsilon,omitempty"`
+	PrecisionThreshold float64 `json:"precision_threshold,omitempty"`
+	CoverageSamples    int     `json:"coverage_samples,omitempty"`
+	BatchSize          int     `json:"batch_size,omitempty"`
+	Parallelism        int     `json:"parallelism,omitempty"`
+	Seed               int64   `json:"seed,omitempty"`
+}
+
+// Apply overlays the non-zero overrides onto a base config.
+func (o *ConfigOverrides) Apply(cfg core.Config) core.Config {
+	if o == nil {
+		return cfg
+	}
+	if o.Epsilon > 0 {
+		cfg.Epsilon = o.Epsilon
+	}
+	if o.PrecisionThreshold > 0 {
+		cfg.PrecisionThreshold = o.PrecisionThreshold
+	}
+	if o.CoverageSamples > 0 {
+		cfg.CoverageSamples = o.CoverageSamples
+	}
+	if o.BatchSize > 0 {
+		cfg.BatchSize = o.BatchSize
+	}
+	if o.Parallelism > 0 {
+		cfg.Parallelism = o.Parallelism
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return cfg
+}
+
+// ExplainRequest is the body of POST /v1/explain.
+type ExplainRequest struct {
+	// Block is the basic block in Intel syntax, one instruction per line.
+	Block string `json:"block"`
+	// Model selects the cost model: c | uica | mca | hwsim | ithemal
+	// (default: the server's configured default, normally uica).
+	Model string `json:"model,omitempty"`
+	// Arch selects the microarchitecture: hsw | skl (default hsw).
+	Arch string `json:"arch,omitempty"`
+	// Config overrides individual explanation hyperparameters.
+	Config *ConfigOverrides `json:"config,omitempty"`
+}
+
+// CorpusRequest is the body of POST /v1/corpus.
+type CorpusRequest struct {
+	// Blocks are the corpus blocks, each in Intel syntax.
+	Blocks []string `json:"blocks"`
+	// Model, Arch, Config: as in ExplainRequest.
+	Model  string           `json:"model,omitempty"`
+	Arch   string           `json:"arch,omitempty"`
+	Config *ConfigOverrides `json:"config,omitempty"`
+	// Workers bounds the job's block-level concurrency (0 = server
+	// default). Explanations are identical at any worker count.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Job states.
+const (
+	JobQueued   = "queued"
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"
+)
+
+// JobAccepted is the 202 body of POST /v1/corpus.
+type JobAccepted struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Total int    `json:"total"`
+}
+
+// JobStatus is the body of GET /v1/jobs/{id}. Results are paginated with
+// ?offset=&limit= over the job's completed results in block-index order;
+// NextOffset is the offset of the first result not included (equal to
+// Offset+len(Results); poll again from there).
+type JobStatus struct {
+	ID         string         `json:"id"`
+	State      string         `json:"state"`
+	Total      int            `json:"total"`
+	Done       int            `json:"done"`
+	Failed     int            `json:"failed"`
+	Error      string         `json:"error,omitempty"`
+	Offset     int            `json:"offset"`
+	NextOffset int            `json:"next_offset"`
+	Results    []CorpusResult `json:"results,omitempty"`
+}
+
+// Error is the JSON error envelope every non-2xx response carries.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// ArchName returns the wire name of a microarchitecture.
+func ArchName(a x86.Arch) string {
+	switch a {
+	case x86.Haswell:
+		return "hsw"
+	case x86.Skylake:
+		return "skl"
+	}
+	return a.String()
+}
+
+// ParseArch maps a wire arch name ("hsw"/"haswell"/"skl"/"skylake", any
+// case) to the library arch. The empty string means Haswell.
+func ParseArch(name string) (x86.Arch, error) {
+	switch strings.ToLower(name) {
+	case "", "hsw", "haswell":
+		return x86.Haswell, nil
+	case "skl", "skylake":
+		return x86.Skylake, nil
+	}
+	return x86.Haswell, fmt.Errorf("wire: unknown arch %q (want hsw or skl)", name)
+}
