@@ -3,10 +3,16 @@
 
 GO ?= go
 
-.PHONY: build test test-race test-e2e bench bench-smoke lint vet fmt fmt-check
+.PHONY: build test test-race test-e2e examples bench bench-smoke lint vet fmt fmt-check
 
 build:
 	$(GO) build ./...
+
+# The documented surface must keep compiling and running across API
+# redesigns: build every example and run the quickstart as a smoke test.
+examples:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart
 
 test:
 	$(GO) test ./...

@@ -35,7 +35,7 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress progress output")
 
 		corpusN     = flag.Int("corpus", 0, "corpus benchmark: explain N synthetic blocks sequentially and with ExplainAll, and report the speedup")
-		corpusModel = flag.String("corpus-model", "uica", "corpus benchmark model: c | uica | mca | hwsim | ithemal")
+		corpusModel = flag.String("corpus-model", "uica", `corpus benchmark model spec, e.g. uica, c@skl, "ithemal?train=400"`)
 		workers     = flag.Int("workers", 0, "corpus benchmark ExplainAll workers (0 = GOMAXPROCS)")
 		jsonOut     = flag.String("json-out", "", `write a machine-readable corpus benchmark summary to this file (e.g. BENCH_corpus.json) so the repo's perf trajectory is tracked run over run`)
 	)
@@ -93,8 +93,11 @@ func main() {
 
 // benchSummary is the machine-readable corpus benchmark record -json-out
 // writes, one file per run, so perf trends are diffable across commits.
+// Spec is the resolved canonical model spec, so a perf trajectory is
+// attributable to the exact model configuration that produced it.
 type benchSummary struct {
 	Model             string  `json:"model"`
+	Spec              string  `json:"spec"`
 	Blocks            int     `json:"blocks"`
 	Workers           int     `json:"workers"`
 	GoMaxProcs        int     `json:"gomaxprocs"`
@@ -113,15 +116,24 @@ type benchSummary struct {
 // sequential Explain loop (prediction cache disabled, i.e. the
 // pre-batching query path) over the same synthetic corpus, and verifies
 // the two produce identical explanations block for block.
-func corpusBench(modelName string, n, workers int, jsonOut string) error {
-	model, eps, err := corpusBenchModel(modelName)
+func corpusBench(modelSpec string, n, workers int, jsonOut string) error {
+	spec, err := comet.ParseModelSpec(modelSpec)
 	if err != nil {
 		return err
 	}
+	// The bench's historical neural default is a 400-block training set
+	// (an explicit train= parameter still wins), keeping BENCH_*.json
+	// numbers comparable across runs of the same command.
+	spec = spec.WithDefaultParam("ithemal", "train", "400")
+	rm, err := comet.ResolveModel(spec)
+	if err != nil {
+		return err
+	}
+	model := rm.Model
 	blocks := comet.GenerateBlocks(n, 1)
 
 	cfg := comet.DefaultConfig()
-	cfg.Epsilon = eps
+	cfg.Epsilon = rm.Epsilon
 	cfg.CoverageSamples = 500
 	// Pinned so the sequential and corpus runs draw identical samples
 	// (per-block sampling is deterministic per worker count).
@@ -163,7 +175,7 @@ func corpusBench(modelName string, n, workers int, jsonOut string) error {
 		calls += corpusExpls[i].ModelCalls
 	}
 
-	fmt.Printf("corpus benchmark: %d blocks, model %s\n", n, model.Name())
+	fmt.Printf("corpus benchmark: %d blocks, model %s (spec %s)\n", n, model.Name(), rm.Spec)
 	fmt.Printf("  sequential Explain (no cache):  %10v  (%.2f blocks/s)\n",
 		seqElapsed.Round(time.Millisecond), float64(n)/seqElapsed.Seconds())
 	fmt.Printf("  batched ExplainAll:             %10v  (%.2f blocks/s)\n",
@@ -180,6 +192,7 @@ func corpusBench(modelName string, n, workers int, jsonOut string) error {
 		}
 		summary := benchSummary{
 			Model:             model.Name(),
+			Spec:              rm.Spec.String(),
 			Blocks:            n,
 			Workers:           workers,
 			GoMaxProcs:        runtime.GOMAXPROCS(0),
@@ -203,21 +216,4 @@ func corpusBench(modelName string, n, workers int, jsonOut string) error {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonOut)
 	}
 	return nil
-}
-
-func corpusBenchModel(name string) (comet.CostModel, float64, error) {
-	switch strings.ToLower(name) {
-	case "c", "analytical":
-		return comet.NewAnalyticalModel(comet.Haswell), comet.AnalyticalEpsilon, nil
-	case "uica":
-		return comet.NewUICAModel(comet.Haswell), 0.5, nil
-	case "mca":
-		return comet.NewMCAModel(comet.Haswell), 0.5, nil
-	case "hwsim", "hardware":
-		return comet.NewHardwareSimulator(comet.Haswell), 0.5, nil
-	case "ithemal", "neural":
-		fmt.Fprintln(os.Stderr, "training ithemal surrogate...")
-		return comet.TrainIthemalOnDataset(comet.DefaultIthemalConfig(comet.Haswell), 400, 42), 0.5, nil
-	}
-	return nil, 0, fmt.Errorf("unknown corpus model %q", name)
 }

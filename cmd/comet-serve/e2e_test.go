@@ -110,6 +110,51 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Errorf("served explanation does not convert back to a library value: %v", err)
 	}
 
+	// Model discovery: the registry is visible over HTTP.
+	var models wire.ModelsResponse
+	resp, err = http.Get(base + "/v1/models")
+	if err != nil {
+		t.Fatalf("models: %v", err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&models)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("models: status %d, decode err %v", resp.StatusCode, err)
+	}
+	names := make(map[string]string)
+	for _, m := range models.Models {
+		names[m.Name] = m.Spec
+	}
+	for _, want := range []string{"c", "uica", "mca", "hwsim", "ithemal", "remote"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("GET /v1/models missing %q (got %v)", want, names)
+		}
+	}
+	warmed := strings.Join(models.Warmed, ",")
+	if !strings.Contains(warmed, "uica@hsw") {
+		t.Errorf("warmed specs %q missing uica@hsw after the explain above", warmed)
+	}
+
+	// Batch predictions: the remote-model backend endpoint.
+	body, _ = json.Marshal(wire.PredictRequest{
+		Blocks: []string{"add rcx, rax\nmov rdx, rcx", "imul rax, rbx"},
+		Model:  "uica",
+	})
+	resp, err = http.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	var pred wire.PredictResponse
+	err = json.NewDecoder(resp.Body).Decode(&pred)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d, decode err %v", resp.StatusCode, err)
+	}
+	if pred.Spec != "uica@hsw" || pred.Model != "uica" || len(pred.Predictions) != 2 ||
+		pred.Predictions[0] <= 0 || pred.Predictions[1] <= 0 {
+		t.Errorf("implausible predict response: %+v", pred)
+	}
+
 	// Submit a two-block corpus job and poll it to completion.
 	body, _ = json.Marshal(wire.CorpusRequest{
 		Blocks: []string{"add rcx, rax\nmov rdx, rcx", "imul rax, rbx\nimul rax, rcx"},

@@ -5,10 +5,19 @@
 // API (see the README's Serving section for a curl quickstart):
 //
 //	POST /v1/explain    explain one block synchronously
+//	POST /v1/predict    batch cost-model queries (remote-model backend)
 //	POST /v1/corpus     submit an asynchronous corpus job
 //	GET  /v1/jobs/{id}  poll a job (?offset=&limit= paginate results)
+//	GET  /v1/models     registered model specs + default configs
 //	GET  /healthz       liveness
 //	GET  /metrics       Prometheus text metrics
+//
+// Models are addressed by registry spec strings — "uica", "c@skl",
+// "ithemal@hsw?hidden=64&train=2000", or "remote@http://other:8372" to
+// chain another comet-serve as the cost-model backend. Specs whose
+// resolution dials out or reads server files (remote@..., ithemal?load=)
+// are refused from client input unless -allow-restricted-specs is set;
+// -preload may always use them.
 //
 // Identical concurrent requests are coalesced onto one computation,
 // finished explanations are served from a capped LRU store, and overload
@@ -42,10 +51,12 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", ":8372", "listen address (host:port; port 0 picks a free port)")
-		defaultModel = flag.String("default-model", "uica", "model used when a request omits one")
-		preload      = flag.String("preload", "", "comma-separated models to warm at boot (e.g. uica,c,ithemal); others warm on first use")
-		preloadArch  = flag.String("preload-arch", "hsw", "microarchitecture for -preload: hsw | skl")
-		trainBlocks  = flag.Int("train-blocks", 1500, "training-set size for the ithemal model's warm-up")
+		defaultModel = flag.String("default-model", "uica", "model spec used when a request omits one")
+		preload      = flag.String("preload", "", "comma-separated model specs to warm at boot (e.g. uica,c@skl,ithemal?train=2000); others warm on first use")
+		preloadArch  = flag.String("preload-arch", "hsw", "default microarchitecture for -preload specs without @target: hsw | skl")
+		trainBlocks  = flag.Int("train-blocks", 1500, "default training-set size for ithemal specs without an explicit train= parameter")
+		maxModels    = flag.Int("max-models", 0, "distinct model specs warmed before 429 (0 = 64)")
+		allowRestr   = flag.Bool("allow-restricted-specs", false, "let clients resolve restricted specs (remote@<url> dials out, ithemal?load= reads files); enable only on trusted networks")
 		coverage     = flag.Int("coverage-samples", 1000, "default coverage pool size (requests may override)")
 		seed         = flag.Int64("seed", 1, "default explanation seed (requests may override)")
 		explains     = flag.Int("max-explains", 0, "max concurrently computing explain requests (0 = GOMAXPROCS)")
@@ -68,6 +79,8 @@ func main() {
 		Base:                  base,
 		DefaultModel:          *defaultModel,
 		TrainBlocks:           *trainBlocks,
+		MaxModelEntries:       *maxModels,
+		AllowRestrictedSpecs:  *allowRestr,
 		PredictionCacheSize:   *cacheSize,
 		MaxConcurrentExplains: *explains,
 		MaxQueuedExplains:     *queued,
@@ -79,17 +92,16 @@ func main() {
 	})
 
 	if *preload != "" {
-		arch, err := wire.ParseArch(*preloadArch)
-		if err != nil {
+		if _, err := wire.ParseArch(*preloadArch); err != nil {
 			fatal(err)
 		}
-		for _, name := range strings.Split(*preload, ",") {
-			name = strings.TrimSpace(name)
-			if name == "" {
+		for _, spec := range strings.Split(*preload, ",") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
 				continue
 			}
-			fmt.Fprintf(os.Stderr, "comet-serve: warming %s/%s...\n", name, *preloadArch)
-			if err := srv.WarmModel(name, arch); err != nil {
+			fmt.Fprintf(os.Stderr, "comet-serve: warming %s (default arch %s)...\n", spec, *preloadArch)
+			if err := srv.WarmModel(spec, *preloadArch); err != nil {
 				fatal(err)
 			}
 		}

@@ -2,9 +2,16 @@
 // for a whole corpus of blocks.
 //
 // In single-block mode the block is read from a file (-in) or stdin, in
-// Intel syntax, one instruction per line. The model is chosen with -model:
-// the analytical model C, the uiCA-like simulator, the hardware-grade
-// simulator, or a freshly trained Ithemal-style neural model.
+// Intel syntax, one instruction per line. The model is chosen with -model,
+// which takes a registry spec string — name[@target][?key=value&...]:
+//
+//	comet -model uica
+//	comet -model c@skl
+//	comet -model 'ithemal?hidden=64&train=2000'
+//	comet -model remote@http://host:8372?model=uica
+//
+// -list-models prints every registered model with its default spec and
+// parameters.
 //
 // In corpus mode (-corpus) every block of a corpus file — blocks in Intel
 // syntax separated by lines containing only "---" — is explained through
@@ -28,12 +35,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"github.com/comet-explain/comet"
@@ -42,32 +52,45 @@ import (
 
 func main() {
 	var (
-		modelName = flag.String("model", "uica", "cost model: c | uica | mca | hwsim | ithemal")
-		archName  = flag.String("arch", "hsw", "microarchitecture: hsw | skl")
-		inPath    = flag.String("in", "", "file with the basic block (default: stdin)")
-		seed      = flag.Int64("seed", 1, "explanation seed")
-		coverage  = flag.Int("coverage-samples", 1000, "coverage pool size")
-		epsilon   = flag.Float64("epsilon", 0, "ε-ball radius (default 0.5, or 0.25 for -model c)")
-		threshold = flag.Float64("threshold", 0.7, "precision threshold 1−δ")
-		trainN    = flag.Int("train-blocks", 1500, "training-set size for -model ithemal")
-		saveModel = flag.String("save-model", "", "save the trained ithemal model to this file")
-		loadModel = flag.String("load-model", "", "load a previously saved ithemal model")
-		report    = flag.Bool("report", false, "also print the pipeline bottleneck report")
-		corpus    = flag.String("corpus", "", `corpus mode: a file of "---"-separated blocks, or gen:N for a synthetic corpus`)
-		workers   = flag.Int("workers", 0, "corpus mode: concurrent blocks (0 = GOMAXPROCS)")
-		batchSize = flag.Int("batch", 0, "model query batch size (0 = default 64)")
-		noCache   = flag.Bool("no-cache", false, "disable the prediction cache")
-		jsonOut   = flag.Bool("json", false, "emit the comet-serve wire format (one explanation object, or one corpus result per line)")
+		modelSpec  = flag.String("model", "uica", "cost model spec: name[@arch][?key=value&...] (see -list-models)")
+		listModels = flag.Bool("list-models", false, "list the registered models with their default specs and parameters, then exit")
+		archName   = flag.String("arch", "hsw", "default microarchitecture when -model has no @target: hsw | skl")
+		inPath     = flag.String("in", "", "file with the basic block (default: stdin)")
+		seed       = flag.Int64("seed", 1, "explanation seed")
+		coverage   = flag.Int("coverage-samples", 1000, "coverage pool size")
+		epsilon    = flag.Float64("epsilon", 0, "ε-ball radius (default: the resolved model's recommended ε)")
+		threshold  = flag.Float64("threshold", 0.7, "precision threshold 1−δ")
+		trainN     = flag.Int("train-blocks", 0, "shorthand for the ithemal train= spec parameter")
+		saveModel  = flag.String("save-model", "", "save the resolved model to this file (models that support saving)")
+		loadModel  = flag.String("load-model", "", "shorthand for the ithemal load= spec parameter")
+		report     = flag.Bool("report", false, "also print the pipeline bottleneck report")
+		corpus     = flag.String("corpus", "", `corpus mode: a file of "---"-separated blocks, or gen:N for a synthetic corpus`)
+		workers    = flag.Int("workers", 0, "corpus mode: concurrent blocks (0 = GOMAXPROCS)")
+		batchSize  = flag.Int("batch", 0, "model query batch size (0 = default 64)")
+		noCache    = flag.Bool("no-cache", false, "disable the prediction cache")
+		jsonOut    = flag.Bool("json", false, "emit the comet-serve wire format (one explanation object, or one corpus result per line)")
 	)
 	flag.Parse()
 
-	arch, err := parseArch(*archName)
+	if *listModels {
+		printModels()
+		return
+	}
+
+	rm, err := resolveModel(*modelSpec, *archName, *trainN, *loadModel)
 	if err != nil {
 		fatal(err)
 	}
-	model, defEps, err := buildModel(*modelName, arch, *trainN, *loadModel, *saveModel)
-	if err != nil {
-		fatal(err)
+	model := rm.Model
+	if *saveModel != "" {
+		saver, ok := model.(interface{ SaveFile(string) error })
+		if !ok {
+			fatal(fmt.Errorf("model %s does not support saving", rm.Spec))
+		}
+		if err := saver.SaveFile(*saveModel); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved model to %s\n", *saveModel)
 	}
 
 	cfg := comet.DefaultConfig()
@@ -78,7 +101,7 @@ func main() {
 	if *noCache {
 		cfg.CacheSize = -1
 	}
-	cfg.Epsilon = defEps
+	cfg.Epsilon = rm.Epsilon
 	if *epsilon > 0 {
 		cfg.Epsilon = *epsilon
 	}
@@ -99,7 +122,10 @@ func main() {
 		fatal(fmt.Errorf("parsing block: %w", err))
 	}
 
-	expl, err := comet.NewExplainer(model, cfg).Explain(block)
+	// Ctrl-C cancels the search cleanly through the context-first API.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	expl, err := comet.NewExplainer(model, cfg).ExplainContext(ctx, block)
 	if err != nil {
 		fatal(err)
 	}
@@ -115,7 +141,7 @@ func main() {
 	}
 
 	fmt.Printf("block (%d instructions):\n%s\n\n", block.Len(), indent(block.String()))
-	fmt.Printf("model:       %s (%v)\n", model.Name(), model.Arch())
+	fmt.Printf("model:       %s (%v, spec %s)\n", model.Name(), model.Arch(), rm.Spec)
 	fmt.Printf("prediction:  %.2f cycles/iteration\n", expl.Prediction)
 	fmt.Printf("explanation: %s\n", expl.Features)
 	fmt.Printf("precision:   %.2f (threshold %.2f, certified=%v)\n", expl.Precision, cfg.PrecisionThreshold, expl.Certified)
@@ -124,12 +150,56 @@ func main() {
 		expl.Queries, expl.CacheHits, expl.ModelCalls)
 
 	if *report {
-		rep, err := comet.AnalyzeBlock(arch, block)
+		rep, err := comet.AnalyzeBlock(model.Arch(), block)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("\npipeline report (hardware-grade simulator):\n%s", rep)
 	}
+}
+
+// resolveModel turns the -model spec (plus the legacy convenience flags)
+// into a warmed model via the registry. -arch fills in the spec's target
+// when the model targets an arch and the spec has none; -train-blocks
+// and -load-model inject the matching ithemal spec parameters when the
+// spec doesn't set them itself.
+func resolveModel(specStr, archDefault string, trainN int, loadPath string) (*comet.ResolvedModel, error) {
+	spec, err := comet.ParseModelSpec(specStr)
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.WithDefaultTarget(archDefault)
+	if trainN > 0 {
+		spec = spec.WithDefaultParam("ithemal", "train", fmt.Sprint(trainN))
+	}
+	if loadPath != "" {
+		spec = spec.WithDefaultParam("ithemal", "load", loadPath)
+	}
+	if def, ok := comet.LookupModel(spec.Name); ok && def.Name == "ithemal" && spec.Params["load"] == "" {
+		fmt.Fprintf(os.Stderr, "training ithemal surrogate (%s)...\n", spec)
+	}
+	return comet.ResolveModel(spec)
+}
+
+// printModels renders the registry for -list-models.
+func printModels() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "NAME\tALIASES\tDEFAULT SPEC\tε\tPARAMETERS\tDESCRIPTION")
+	for _, def := range comet.RegisteredModels() {
+		defaults := def.ParamDefaults()
+		params := make([]string, len(defaults))
+		for i, p := range defaults {
+			params[i] = p.Key + "=" + p.Value
+		}
+		eps := "0.5"
+		if def.Epsilon > 0 {
+			eps = fmt.Sprintf("%g", def.Epsilon)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			def.Name, strings.Join(def.Aliases, ","), def.DefaultSpec(), eps,
+			strings.Join(params, "&"), def.Description)
+	}
+	w.Flush()
 }
 
 // explainCorpus runs the batched corpus engine and prints one line per
@@ -241,44 +311,6 @@ func loadCorpus(spec string) ([]*comet.BasicBlock, error) {
 		return nil, fmt.Errorf("corpus %s contains no blocks", spec)
 	}
 	return blocks, nil
-}
-
-func parseArch(name string) (comet.Arch, error) {
-	switch strings.ToLower(name) {
-	case "hsw", "haswell":
-		return comet.Haswell, nil
-	case "skl", "skylake":
-		return comet.Skylake, nil
-	}
-	return comet.Haswell, fmt.Errorf("unknown arch %q (want hsw or skl)", name)
-}
-
-func buildModel(name string, arch comet.Arch, trainN int, loadPath, savePath string) (comet.CostModel, float64, error) {
-	switch strings.ToLower(name) {
-	case "c", "analytical":
-		return comet.NewAnalyticalModel(arch), comet.AnalyticalEpsilon, nil
-	case "uica":
-		return comet.NewUICAModel(arch), 0.5, nil
-	case "mca":
-		return comet.NewMCAModel(arch), 0.5, nil
-	case "hwsim", "hardware":
-		return comet.NewHardwareSimulator(arch), 0.5, nil
-	case "ithemal", "neural":
-		if loadPath != "" {
-			m, err := comet.LoadIthemalModelFile(loadPath)
-			return m, 0.5, err
-		}
-		fmt.Fprintf(os.Stderr, "training ithemal surrogate on %d synthetic blocks...\n", trainN)
-		m := comet.TrainIthemalOnDataset(comet.DefaultIthemalConfig(arch), trainN, 42)
-		if savePath != "" {
-			if err := m.SaveFile(savePath); err != nil {
-				return nil, 0, err
-			}
-			fmt.Fprintf(os.Stderr, "saved model to %s\n", savePath)
-		}
-		return m, 0.5, nil
-	}
-	return nil, 0, fmt.Errorf("unknown model %q (want c, uica, mca, hwsim, or ithemal)", name)
 }
 
 func readInput(path string) (string, error) {

@@ -8,23 +8,38 @@
 // block perturbations.
 //
 // The package re-exports the user-facing surface of the internal
-// implementation: the x86 frontend, the cost-model zoo (analytical,
-// simulation-based, and a trainable hierarchical-LSTM neural model), the
-// BHive-like dataset generator, and the explainer itself.
+// implementation: the x86 frontend, the model registry and cost-model zoo
+// (analytical, simulation-based, a trainable hierarchical-LSTM neural
+// model, and remote comet-serve backends), the BHive-like dataset
+// generator, and the explainer itself.
 //
-// Quickstart:
+// Models are addressed by spec strings — name[@target][?key=value&...] —
+// and resolved through the process-wide registry:
 //
 //	block := comet.MustParseBlock("add rcx, rax\nmov rdx, rcx\npop rbx")
-//	model := comet.NewUICAModel(comet.Haswell)
-//	expl, err := comet.NewExplainer(model, comet.DefaultConfig()).Explain(block)
+//	rm, err := comet.ResolveModelString("uica@hsw")       // or "ithemal@skl?hidden=64&train=2000"
+//	expl, err := comet.NewExplainer(rm.Model, comet.DefaultConfig()).
+//		ExplainContext(ctx, block, comet.WithSeed(1), comet.WithEpsilon(rm.Epsilon))
 //	fmt.Println(expl)
+//
+// ExplainContext is the context-first request API: the context cancels a
+// long search, and per-request options (WithSeed, WithEpsilon,
+// WithParallelism, ...) overlay the explainer's configuration without
+// rebuilding it. Explain remains as the background-context shim.
+//
+// Applications plug in their own models with RegisterModel, after which
+// the comet CLI, comet-bench, and comet-serve can all address them by
+// spec. The "remote" spec dials another comet-serve's /v1/predict
+// endpoint, so explainers and cost models can live on different machines:
+//
+//	rm, err := comet.ResolveModelString("remote@http://host:8372?model=uica")
 //
 // Corpus-scale explanation streams results from a worker pool whose
 // queries are batched through the model (BatchCostModel) and deduplicated
 // by a shared prediction cache; per-block seeds are deterministic, so runs
 // are reproducible at any worker count:
 //
-//	for res := range comet.NewExplainer(model, cfg).ExplainAll(blocks, comet.CorpusOptions{}) {
+//	for res := range comet.NewExplainer(rm.Model, cfg).ExplainAll(blocks, comet.CorpusOptions{}) {
 //		fmt.Println(res.Index, res.Explanation, res.Explanation.CacheHitRate())
 //	}
 package comet
@@ -77,6 +92,9 @@ type (
 	Explanation = core.Explanation
 	// Config collects COMET's hyperparameters.
 	Config = core.Config
+	// ExplainOption is a per-request configuration overlay for
+	// Explainer.ExplainContext (WithSeed, WithEpsilon, ...).
+	ExplainOption = core.ExplainOption
 	// CorpusOptions configures Explainer.ExplainAll.
 	CorpusOptions = core.CorpusOptions
 	// CorpusResult is one streamed ExplainAll outcome.
@@ -139,9 +157,42 @@ func NewExplainerWithCache(model CostModel, cfg Config, cache *PredictionCache) 
 	return core.NewExplainerWithCache(model, cfg, cache)
 }
 
+// Per-request explain options for Explainer.ExplainContext. Each overlays
+// one hyperparameter on the explainer's base config for a single request;
+// the explainer itself is never mutated.
+
+// WithSeed pins the request's sampling seed (reproducibility).
+func WithSeed(seed int64) ExplainOption { return core.WithSeed(seed) }
+
+// WithEpsilon sets the request's ε-ball radius.
+func WithEpsilon(epsilon float64) ExplainOption { return core.WithEpsilon(epsilon) }
+
+// WithPrecisionThreshold sets the request's precision threshold 1−δ.
+func WithPrecisionThreshold(threshold float64) ExplainOption {
+	return core.WithPrecisionThreshold(threshold)
+}
+
+// WithCoverageSamples sets the request's coverage-pool size.
+func WithCoverageSamples(n int) ExplainOption { return core.WithCoverageSamples(n) }
+
+// WithBatchSize sets the request's model-query batch size.
+func WithBatchSize(n int) ExplainOption { return core.WithBatchSize(n) }
+
+// WithParallelism bounds the request's precision-sampling workers
+// (0 restores the GOMAXPROCS default). Sampling is deterministic per
+// worker count, so reproducible requests pin both seed and parallelism.
+func WithParallelism(n int) ExplainOption { return core.WithParallelism(n) }
+
 // AsBatchModel returns model itself when it already batches natively, and
 // otherwise adapts it with a parallel fan-out Batcher.
 func AsBatchModel(model CostModel) BatchCostModel { return costmodel.AsBatch(model) }
+
+// FuncCostModel adapts a function to the CostModel interface — the
+// quickest way to register a custom model (fn must be safe for
+// concurrent calls).
+func FuncCostModel(name string, arch Arch, fn func(*BasicBlock) float64) CostModel {
+	return costmodel.Func{ModelName: name, ModelArch: arch, Fn: fn}
+}
 
 // NewPredictionCache allocates a prediction cache bounded to roughly
 // maxEntries predictions (0 = default of about a million).

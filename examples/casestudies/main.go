@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,16 +32,22 @@ const case2 = `
 	mov rdx, rcx
 	imul rax, rcx`
 
+// resolve pulls a model out of the registry by spec string.
+func resolve(spec string) comet.CostModel {
+	rm, err := comet.ResolveModelString(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rm.Model
+}
+
 func main() {
 	arch := comet.Haswell
 	hw := comet.NewHardwareSimulator(arch)
-	uica := comet.NewUICAModel(arch)
+	uica := resolve("uica@hsw")
 
 	fmt.Println("training the neural cost model (a few thousand synthetic blocks)...")
-	cfg := comet.DefaultIthemalConfig(arch)
-	cfg.Hidden = 48
-	cfg.Epochs = 6
-	neural := comet.TrainIthemalOnDataset(cfg, 1500, 42)
+	neural := resolve("ithemal@hsw?hidden=48&epochs=6")
 
 	for i, src := range []string{case1, case2} {
 		block := comet.MustParseBlock(src)
@@ -48,9 +55,8 @@ func main() {
 		fmt.Printf("hardware(sim) throughput: %.2f cycles\n\n", hw.Throughput(block))
 
 		for _, model := range []comet.CostModel{neural, uica} {
-			ecfg := comet.DefaultConfig()
-			ecfg.Seed = 5
-			expl, err := comet.NewExplainer(model, ecfg).Explain(block)
+			expl, err := comet.NewExplainer(model, comet.DefaultConfig()).
+				ExplainContext(context.Background(), block, comet.WithSeed(5))
 			if err != nil {
 				log.Fatal(err)
 			}

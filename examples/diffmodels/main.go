@@ -15,8 +15,17 @@ import (
 
 func main() {
 	arch := comet.Haswell
-	hw := comet.NewHardwareSimulator(arch)
-	static := comet.NewMCAModel(arch)
+	// Both sides of the diff come from the registry; any pair of specs
+	// (including a remote@... backend) diffs the same way.
+	hwRM, err := comet.ResolveModelString("hwsim@hsw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	staticRM, err := comet.ResolveModelString("mca@hsw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hw, static := hwRM.Model, staticRM.Model
 
 	dataset := comet.GenerateDataset(comet.DatasetConfig{
 		N: 60, MinInstrs: 3, MaxInstrs: 8, Seed: 11, SkipLabels: true,

@@ -10,21 +10,29 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"github.com/comet-explain/comet"
 )
 
+// resolve pulls a model out of the registry by spec, as any layer —
+// CLI, server, or library caller — would.
+func resolve(spec string) *comet.ResolvedModel {
+	rm, err := comet.ResolveModelString(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rm
+}
+
 func main() {
 	arch := comet.Haswell
 
 	fmt.Println("training neural cost model...")
-	icfg := comet.DefaultIthemalConfig(arch)
-	icfg.Hidden = 48
-	icfg.Epochs = 6
-	neural := comet.TrainIthemalOnDataset(icfg, 1500, 42)
-	uica := comet.NewUICAModel(arch)
+	neural := resolve("ithemal@hsw?hidden=48&epochs=6").Model
+	uica := resolve("uica@hsw").Model
 
 	test := comet.GenerateDataset(comet.DatasetConfig{
 		N: 20, MinInstrs: 4, MaxInstrs: 10, Seed: 7,
@@ -45,10 +53,9 @@ func main() {
 				sumErr += rel
 			}
 
-			cfg := comet.DefaultConfig()
-			cfg.CoverageSamples = 400
-			cfg.Seed = 3
-			expl, err := comet.NewExplainer(model, cfg).Explain(b.Block)
+			expl, err := comet.NewExplainer(model, comet.DefaultConfig()).
+				ExplainContext(context.Background(), b.Block,
+					comet.WithCoverageSamples(400), comet.WithSeed(3))
 			if err != nil {
 				log.Fatal(err)
 			}

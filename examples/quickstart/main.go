@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,20 +18,28 @@ func main() {
 		mov rdx, rcx
 		pop rbx`)
 
-	// Any query-only cost model works; here, the uiCA-like simulator.
-	model := comet.NewUICAModel(comet.Haswell)
+	// Any registered cost model resolves from a spec string; here, the
+	// uiCA-like simulator on Haswell. rm.Epsilon carries the model's
+	// recommended ε-ball radius.
+	rm, err := comet.ResolveModelString("uica@hsw")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := comet.DefaultConfig()
-	cfg.Seed = 1
+	cfg.Epsilon = rm.Epsilon
 
-	expl, err := comet.NewExplainer(model, cfg).Explain(block)
+	// The context-first request API: per-request options overlay the
+	// explainer's configuration, and the context cancels long searches.
+	expl, err := comet.NewExplainer(rm.Model, cfg).
+		ExplainContext(context.Background(), block, comet.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("block:")
 	fmt.Println(block)
-	fmt.Printf("\n%s predicts %.2f cycles/iteration\n", model.Name(), expl.Prediction)
+	fmt.Printf("\n%s (spec %s) predicts %.2f cycles/iteration\n", rm.Model.Name(), rm.Spec, expl.Prediction)
 	fmt.Printf("explanation: %s\n", expl.Features)
 	fmt.Printf("precision %.2f, coverage %.2f, certified %v, %d model queries\n",
 		expl.Precision, expl.Coverage, expl.Certified, expl.Queries)

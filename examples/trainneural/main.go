@@ -37,8 +37,13 @@ func main() {
 	fmt.Printf("train MAPE: %.1f%%\n", res.FinalMAPE)
 	fmt.Printf("held-out MAPE: %.1f%%\n", model.MAPE(toSamples(heldOut)))
 
-	// Compare against the simulation-based model on the same held-out set.
-	uica := comet.NewUICAModel(arch)
+	// Compare against the simulation-based model on the same held-out set
+	// (resolved from the registry, like every other model in the repo).
+	uicaRM, err2 := comet.ResolveModelString("uica@hsw")
+	if err2 != nil {
+		panic(err2)
+	}
+	uica := uicaRM.Model
 	var uicaPreds, actuals []float64
 	for _, b := range heldOut {
 		uicaPreds = append(uicaPreds, uica.Predict(b.Block))

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -114,10 +115,10 @@ type Explainer struct {
 	autoParallel bool
 }
 
-// NewExplainer builds an explainer. The model must be safe for concurrent
-// Predict calls; if it implements costmodel.BatchModel its native batch
-// path is used, otherwise queries fan out over cfg.Parallelism workers.
-func NewExplainer(model costmodel.Model, cfg Config) *Explainer {
+// withDefaults normalizes a config in place of its zero values and
+// reports whether Parallelism was defaulted rather than set by the caller.
+// It is idempotent, so per-request option overlays re-normalize safely.
+func (cfg Config) withDefaults() (Config, bool) {
 	if cfg.Epsilon == 0 {
 		cfg.Epsilon = 0.5
 	}
@@ -138,6 +139,14 @@ func NewExplainer(model costmodel.Model, cfg Config) *Explainer {
 		cfg.BatchSize = 64
 	}
 	cfg.Anchor.PrecisionThreshold = cfg.PrecisionThreshold
+	return cfg, autoParallel
+}
+
+// NewExplainer builds an explainer. The model must be safe for concurrent
+// Predict calls; if it implements costmodel.BatchModel its native batch
+// path is used, otherwise queries fan out over cfg.Parallelism workers.
+func NewExplainer(model costmodel.Model, cfg Config) *Explainer {
+	cfg, autoParallel := cfg.withDefaults()
 	e := &Explainer{model: model, cfg: cfg, autoParallel: autoParallel}
 	if bm, ok := model.(costmodel.BatchModel); ok {
 		e.batch = bm
@@ -178,24 +187,63 @@ func (e *Explainer) CacheStats() costmodel.CacheStats {
 	return e.cache.Stats()
 }
 
-// Explain runs COMET on one block.
+// Explain runs COMET on one block. It is the compatibility shim over
+// ExplainContext with a background context and no per-request options.
 func (e *Explainer) Explain(b *x86.BasicBlock) (*Explanation, error) {
-	return e.explainSeeded(b, e.cfg.Seed)
+	return e.explainWith(context.Background(), b, e.cfg)
+}
+
+// ExplainContext runs COMET on one block under a context, with optional
+// per-request configuration overlays. Cancellation is honored at every
+// model-query round: a canceled context aborts the search and returns
+// ctx.Err(). Options apply to this request only; the explainer (and its
+// shared prediction cache) serve concurrent requests with different
+// options safely. An explanation is fully determined by the effective
+// config — ExplainContext(ctx, b, WithSeed(s), WithParallelism(1)) is
+// bit-identical to Explain on an explainer configured the same way.
+func (e *Explainer) ExplainContext(ctx context.Context, b *x86.BasicBlock, opts ...ExplainOption) (*Explanation, error) {
+	return e.explainWith(ctx, b, e.EffectiveConfig(opts...))
 }
 
 // explainSeeded runs COMET on one block with an explicit seed (ExplainAll
 // derives a distinct deterministic seed per corpus block).
 func (e *Explainer) explainSeeded(b *x86.BasicBlock, seed int64) (*Explanation, error) {
-	p, err := perturb.New(b, e.cfg.Perturb)
+	cfg := e.cfg
+	cfg.Seed = seed
+	return e.explainWith(context.Background(), b, cfg)
+}
+
+// explainWith is the explanation engine entry point: one block, one
+// effective config, one context. It is also the recovery boundary for
+// costmodel.QueryError panics — the channel through which unanswerable
+// queries (dead remote backends, canceled contexts) abort the search —
+// turning them back into ordinary errors.
+func (e *Explainer) explainWith(ctx context.Context, b *x86.BasicBlock, cfg Config) (expl *Explanation, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			qe, ok := r.(costmodel.QueryError)
+			if !ok {
+				panic(r)
+			}
+			expl, err = nil, qe.Err
+		}
+	}()
+	p, err := perturb.New(b, cfg.Perturb)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	space, err := newBlockSpace(e.batch, e.cache, p, e.cfg, rng)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	space, err := newBlockSpace(ctx, e.batch, e.cache, p, cfg, rng)
 	if err != nil {
 		return nil, err
 	}
-	res := anchors.Search(space, e.cfg.Anchor, rng)
+	res := anchors.Search(space, cfg.Anchor, rng)
 
 	set := features.NewSet()
 	for _, idx := range res.Anchor {
@@ -283,6 +331,7 @@ func EstimateCoverage(b *x86.BasicBlock, set features.Set, cfg Config, n int, rn
 // parallel, then resolved against the prediction cache and the batched
 // model in cfg.BatchSize chunks.
 type blockSpace struct {
+	ctx      context.Context
 	model    costmodel.BatchModel
 	cache    *costmodel.Cache
 	perturb  *perturb.Perturber
@@ -303,7 +352,7 @@ type blockSpace struct {
 	modelCalls int // blocks the model actually evaluated
 }
 
-func newBlockSpace(model costmodel.BatchModel, cache *costmodel.Cache, p *perturb.Perturber, cfg Config, rng *rand.Rand) (*blockSpace, error) {
+func newBlockSpace(ctx context.Context, model costmodel.BatchModel, cache *costmodel.Cache, p *perturb.Perturber, cfg Config, rng *rand.Rand) (*blockSpace, error) {
 	workers := cfg.Parallelism
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -312,7 +361,11 @@ func newBlockSpace(model costmodel.BatchModel, cache *costmodel.Cache, p *pertur
 	if batch < 1 {
 		batch = 64
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := &blockSpace{
+		ctx:     ctx,
 		model:   model,
 		cache:   cache,
 		perturb: p,
@@ -330,8 +383,14 @@ func newBlockSpace(model costmodel.BatchModel, cache *costmodel.Cache, p *pertur
 }
 
 // predictAll resolves one prediction per block through the cache and the
-// batched model, updating the space's query accounting.
+// batched model, updating the space's query accounting. Every model-query
+// round passes through here, so it is also the search's cancellation
+// point: a canceled context aborts via costmodel.AbortQuery, which
+// explainWith recovers into an ordinary error.
 func (s *blockSpace) predictAll(blocks []*x86.BasicBlock) []float64 {
+	if err := s.ctx.Err(); err != nil {
+		costmodel.AbortQuery(err)
+	}
 	preds := make([]float64, len(blocks))
 	saved, evaluated := costmodel.PredictThrough(s.cache, s.model, blocks, s.batch, preds)
 	s.queries += len(blocks)
@@ -357,6 +416,10 @@ func (s *blockSpace) buildCoveragePool(n int, rng *rand.Rand) error {
 			defer wg.Done()
 			wrng := rand.New(rand.NewSource(seeds[w]))
 			for i := w; i < n; i += s.workers {
+				if err := s.ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
 				res := s.perturb.Sample(wrng, nil)
 				g, err := res.Graph(s.depOpts)
 				if err != nil {

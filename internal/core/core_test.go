@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -137,7 +138,7 @@ func TestCoverageMonotoneInExplanationSize(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(7))
-	space, err := newBlockSpace(e.batch, e.cache, p, cfg, rng)
+	space, err := newBlockSpace(context.Background(), e.batch, e.cache, p, cfg, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

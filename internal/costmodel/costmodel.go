@@ -20,6 +20,27 @@ type Model interface {
 	Predict(b *x86.BasicBlock) float64
 }
 
+// QueryError is the panic payload a cost model raises when a query cannot
+// be answered at all — a remote backend became unreachable, or the
+// explainer's context was canceled mid-search. The Model interface has no
+// error channel (COMET assumes an oracle), so models abort the querying
+// computation instead of inventing values; the explainer recovers
+// QueryError panics at its API boundary and surfaces Err as an ordinary
+// error. Any other panic value propagates unchanged.
+type QueryError struct{ Err error }
+
+// Error implements error.
+func (q QueryError) Error() string { return q.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (q QueryError) Unwrap() error { return q.Err }
+
+// AbortQuery panics with a QueryError, aborting the in-flight explanation
+// (which returns err from the explainer API).
+func AbortQuery(err error) {
+	panic(QueryError{Err: err})
+}
+
 // Func adapts a function to the Model interface, for tests and toy models
 // (such as the 8-instruction example model M1 in Section 4).
 type Func struct {

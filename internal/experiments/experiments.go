@@ -16,13 +16,14 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/comet-explain/comet"
 	"github.com/comet-explain/comet/internal/bhive"
 	"github.com/comet-explain/comet/internal/core"
 	"github.com/comet-explain/comet/internal/costmodel"
 	"github.com/comet-explain/comet/internal/features"
 	"github.com/comet-explain/comet/internal/hwsim"
 	"github.com/comet-explain/comet/internal/ithemal"
-	"github.com/comet-explain/comet/internal/uica"
+	"github.com/comet-explain/comet/internal/wire"
 	"github.com/comet-explain/comet/internal/x86"
 )
 
@@ -140,7 +141,9 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
-// Session owns trained models and cached explanation runs.
+// Session owns trained models and cached explanation runs. Models
+// resolve through the public comet registry, so every experiment is
+// attributable to a canonical model spec (logged at resolve time).
 type Session struct {
 	Params Params
 
@@ -158,6 +161,19 @@ func NewSession(p Params) *Session {
 	}
 }
 
+// resolve routes a spec through the public registry, logging the
+// canonical spec so experiment output is attributable to it.
+func (s *Session) resolve(spec string) costmodel.Model {
+	rm, err := comet.ResolveModelString(spec)
+	if err != nil {
+		// Registry resolution of a session spec only fails on a
+		// programming error (the specs are built here, not user input).
+		panic(fmt.Sprintf("experiments: resolving %s: %v", spec, err))
+	}
+	s.Params.logf("resolved model %s", rm.Spec)
+	return rm.Model
+}
+
 // Hardware returns the full-fidelity simulator standing in for real
 // hardware on the given microarchitecture.
 func (s *Session) Hardware(arch x86.Arch) *hwsim.Simulator {
@@ -165,10 +181,19 @@ func (s *Session) Hardware(arch x86.Arch) *hwsim.Simulator {
 }
 
 // UICA returns the uiCA surrogate for the architecture.
-func (s *Session) UICA(arch x86.Arch) costmodel.Model { return uica.New(arch) }
+func (s *Session) UICA(arch x86.Arch) costmodel.Model {
+	return s.resolve("uica@" + wire.ArchName(arch))
+}
+
+// ithemalSpec is the registry spec the session's parameters correspond to.
+func (s *Session) ithemalSpec(arch x86.Arch) string {
+	p := s.Params
+	return fmt.Sprintf("ithemal@%s?train=%d&epochs=%d&hidden=%d&workers=%d&data=%d",
+		wire.ArchName(arch), p.TrainBlocks, p.Epochs, p.Hidden, p.parallel(), p.DatasetSeed+100)
+}
 
 // Ithemal returns the trained neural model for the architecture, training
-// it on first use (cached for the session).
+// it on first use through the registry (cached for the session).
 func (s *Session) Ithemal(arch x86.Arch) *ithemal.Model {
 	s.mu.Lock()
 	m, ok := s.ithemal[arch]
@@ -178,6 +203,18 @@ func (s *Session) Ithemal(arch x86.Arch) *ithemal.Model {
 	}
 	p := s.Params
 	p.logf("training ithemal/%v on %d blocks (%d epochs, hidden %d)...", arch, p.TrainBlocks, p.Epochs, p.Hidden)
+	m = s.resolve(s.ithemalSpec(arch)).(*ithemal.Model)
+	p.logf("  train MAPE %.1f%%", m.MAPE(trainSamples(p, arch)))
+
+	s.mu.Lock()
+	s.ithemal[arch] = m
+	s.mu.Unlock()
+	return m
+}
+
+// trainSamples regenerates the session's training set (for post-training
+// MAPE reporting; generation is deterministic and cheap next to training).
+func trainSamples(p Params, arch x86.Arch) []ithemal.Sample {
 	blocks := bhive.Generate(bhive.Config{
 		N: p.TrainBlocks, MinInstrs: 1, MaxInstrs: 12, Seed: p.DatasetSeed + 100,
 	})
@@ -185,20 +222,7 @@ func (s *Session) Ithemal(arch x86.Arch) *ithemal.Model {
 	for i, b := range blocks {
 		samples[i] = ithemal.Sample{Block: b.Block, Throughput: b.Throughput[arch]}
 	}
-	cfg := ithemal.DefaultConfig(arch)
-	cfg.Epochs = p.Epochs
-	cfg.Hidden = p.Hidden
-	cfg.Workers = p.parallel()
-	m = ithemal.New(cfg)
-	res := m.Train(samples, func(epoch int, loss float64) {
-		p.logf("  epoch %d: loss %.4f", epoch+1, loss)
-	})
-	p.logf("  train MAPE %.1f%%", res.FinalMAPE)
-
-	s.mu.Lock()
-	s.ithemal[arch] = m
-	s.mu.Unlock()
-	return m
+	return samples
 }
 
 // testSet returns the session's explanation test set (blocks of 4-10

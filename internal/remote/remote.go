@@ -1,0 +1,207 @@
+// Package remote implements the HTTP cost-model client: a
+// costmodel.BatchModel whose predictions come from a comet-serve
+// instance's POST /v1/predict endpoint. Any running comet-serve is
+// thereby a cost-model backend — an explainer on one machine can explain
+// a model served on another, with the server's shared prediction cache
+// absorbing repeated queries across every client.
+//
+// Dialing performs a discovery handshake (a predict request with no
+// blocks), so the client knows the backend's canonical model name,
+// microarchitecture, spec, and recommended ε before the first real
+// query. Name returns the backend's model name, which makes a remote
+// explanation byte-identical to a local one at the same seed.
+//
+// The Model interface has no error channel, so transport failures that
+// survive the retry budget abort the in-flight explanation via
+// costmodel.AbortQuery; the explainer surfaces them as ordinary errors.
+package remote
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/comet-explain/comet/internal/costmodel"
+	"github.com/comet-explain/comet/internal/wire"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// Options configures Dial.
+type Options struct {
+	// Model is the spec the server resolves for every request ("" = the
+	// server's default model).
+	Model string
+	// Arch is the target microarchitecture when Model has no explicit
+	// target ("" = the server's default, hsw).
+	Arch string
+	// Client is the HTTP client to use (nil = a 5-minute-timeout client;
+	// corpus-sized predict batches against a training neural model are
+	// slow on first contact).
+	Client *http.Client
+	// Retries is how many times a failed batch is retried on transport
+	// errors or 429/503 backpressure before aborting (negative = 0;
+	// zero = default 2).
+	Retries int
+}
+
+// Model is the remote cost model. It is safe for concurrent use and
+// implements costmodel.BatchModel natively — one HTTP round trip per
+// batch, not per block.
+type Model struct {
+	url      string
+	client   *http.Client
+	reqModel string
+	reqArch  string
+	retries  int
+
+	name    string
+	arch    x86.Arch
+	epsilon float64
+	spec    string
+}
+
+var _ costmodel.BatchModel = (*Model)(nil)
+
+// Dial connects to a comet-serve base URL ("http://host:8372") and
+// performs the discovery handshake. The server resolves (and warms) the
+// requested model during the handshake, so a successful Dial returns a
+// ready-to-query model.
+func Dial(baseURL string, o Options) (*Model, error) {
+	baseURL = strings.TrimRight(strings.TrimSpace(baseURL), "/")
+	if baseURL == "" {
+		return nil, fmt.Errorf("remote: empty base URL")
+	}
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	retries := o.Retries
+	if retries == 0 {
+		retries = 2
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	m := &Model{
+		url:      baseURL,
+		client:   client,
+		reqModel: o.Model,
+		reqArch:  o.Arch,
+		retries:  retries,
+	}
+	resp, err := m.post(nil)
+	if err != nil {
+		return nil, fmt.Errorf("remote: handshake with %s: %w", baseURL, err)
+	}
+	arch, err := wire.ParseArch(resp.Arch)
+	if err != nil {
+		return nil, fmt.Errorf("remote: handshake with %s: %w", baseURL, err)
+	}
+	m.name = resp.Model
+	m.arch = arch
+	m.epsilon = resp.Epsilon
+	m.spec = resp.Spec
+	return m, nil
+}
+
+// Name implements costmodel.Model, returning the backend's canonical
+// model name (not "remote") so explanations are attributed — and
+// byte-identical — to the model actually answering the queries.
+func (m *Model) Name() string { return m.name }
+
+// Arch implements costmodel.Model.
+func (m *Model) Arch() x86.Arch { return m.arch }
+
+// Epsilon returns the backend's recommended ε-ball radius.
+func (m *Model) Epsilon() float64 { return m.epsilon }
+
+// RemoteSpec returns the canonical spec the server resolved ("uica@hsw").
+func (m *Model) RemoteSpec() string { return m.spec }
+
+// URL returns the backend base URL.
+func (m *Model) URL() string { return m.url }
+
+// Predict implements costmodel.Model with a single-block batch.
+func (m *Model) Predict(b *x86.BasicBlock) float64 {
+	return m.PredictBatch([]*x86.BasicBlock{b})[0]
+}
+
+// PredictBatch implements costmodel.BatchModel: one POST /v1/predict
+// round trip for the whole batch. A failure that survives the retry
+// budget aborts the in-flight explanation (costmodel.AbortQuery).
+func (m *Model) PredictBatch(blocks []*x86.BasicBlock) []float64 {
+	srcs := make([]string, len(blocks))
+	for i, b := range blocks {
+		srcs[i] = b.String()
+	}
+	resp, err := m.post(srcs)
+	if err != nil {
+		costmodel.AbortQuery(fmt.Errorf("remote model %s: %w", m.url, err))
+	}
+	if len(resp.Predictions) != len(blocks) {
+		costmodel.AbortQuery(fmt.Errorf("remote model %s: %d predictions for %d blocks",
+			m.url, len(resp.Predictions), len(blocks)))
+	}
+	return resp.Predictions
+}
+
+// post sends one predict request, retrying transport errors and
+// 429/503 backpressure with linear backoff.
+func (m *Model) post(blocks []string) (*wire.PredictResponse, error) {
+	if blocks == nil {
+		blocks = []string{} // handshake: an explicit empty batch
+	}
+	body, err := json.Marshal(wire.PredictRequest{Blocks: blocks, Model: m.reqModel, Arch: m.reqArch})
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	attempts := 0
+	for attempt := 0; attempt <= m.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+		}
+		attempts++
+		resp, err := m.client.Post(m.url+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out, retryable, err := decodePredict(resp)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if !retryable {
+			break
+		}
+	}
+	return nil, fmt.Errorf("%w (after %d attempt(s))", lastErr, attempts)
+}
+
+// decodePredict parses one predict response, reporting whether a failure
+// is worth retrying (server backpressure) or final (bad request).
+func decodePredict(resp *http.Response) (*wire.PredictResponse, bool, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		var werr wire.Error
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&werr) == nil && werr.Error != "" {
+			return nil, retryable, fmt.Errorf("server status %d: %s", resp.StatusCode, werr.Error)
+		}
+		return nil, retryable, fmt.Errorf("server status %d", resp.StatusCode)
+	}
+	var out wire.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, false, fmt.Errorf("decoding predict response: %w", err)
+	}
+	return &out, false, nil
+}

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"net/http"
+
+	"github.com/comet-explain/comet"
+	"github.com/comet-explain/comet/internal/costmodel"
+	"github.com/comet-explain/comet/internal/wire"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// handlePredict serves POST /v1/predict, the batch cost-model endpoint
+// that makes this server a queryable backend for remote explainers. An
+// empty block list is the discovery handshake: it resolves (warming if
+// necessary) the requested model and returns its identity without
+// predictions. Predictions flow through the entry's shared prediction
+// cache, so queries repeated across clients — or already answered for a
+// local explanation — cost no model work.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		return
+	}
+	var req wire.PredictRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	arch, err := wire.ParseArch(req.Arch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Blocks) > s.cfg.MaxCorpusBlocks {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d blocks exceeds the limit of %d", len(req.Blocks), s.cfg.MaxCorpusBlocks)
+		return
+	}
+	blocks := make([]*x86.BasicBlock, len(req.Blocks))
+	for i, src := range req.Blocks {
+		b, err := x86.ParseBlock(src)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "block %d: %v", i, err)
+			return
+		}
+		blocks[i] = b
+	}
+	entry, err := s.lookupModel(req.Model, arch)
+	if err != nil {
+		writeError(w, modelErrorStatus(err), "%v", err)
+		return
+	}
+
+	preds := make([]float64, len(blocks))
+	if len(blocks) > 0 {
+		// Real compute shares the explain slots, so predict traffic and
+		// explain traffic are backpressured by one budget.
+		if err := s.acquireExplainSlot(); err != nil {
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		err := func() (err error) {
+			defer s.releaseExplainSlot()
+			// A chained backend (this entry itself being a remote model)
+			// aborts unanswerable queries; surface that as a gateway error
+			// instead of crashing the handler.
+			defer func() {
+				if r := recover(); r != nil {
+					qe, ok := r.(costmodel.QueryError)
+					if !ok {
+						panic(r)
+					}
+					err = qe.Err
+				}
+			}()
+			costmodel.PredictThrough(entry.cache, entry.batch, blocks, s.cfg.Base.BatchSize, preds)
+			return nil
+		}()
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "backend predict failed: %v", err)
+			return
+		}
+		s.metrics.predictions.Add(uint64(len(blocks)))
+	}
+	writeJSON(w, http.StatusOK, wire.PredictResponse{
+		Model:       entry.model.Name(),
+		Arch:        wire.ArchName(entry.model.Arch()),
+		Spec:        entry.specString(),
+		Epsilon:     entry.epsilon,
+		Predictions: preds,
+	})
+}
+
+// handleModels serves GET /v1/models: the registered model families from
+// the comet registry (specs, default configs, ε) plus the canonical specs
+// this server has already warmed.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	defs := comet.RegisteredModels()
+	infos := make([]wire.ModelInfo, len(defs))
+	for i, def := range defs {
+		info := wire.ModelInfo{
+			Name:        def.Name,
+			Aliases:     def.Aliases,
+			Description: def.Description,
+			Spec:        def.DefaultSpec(),
+			Epsilon:     def.Epsilon,
+		}
+		for _, p := range def.ParamDefaults() {
+			info.Defaults = append(info.Defaults, wire.ModelParam{Key: p.Key, Value: p.Value})
+		}
+		infos[i] = info
+	}
+	writeJSON(w, http.StatusOK, wire.ModelsResponse{
+		Models: infos,
+		Warmed: s.models.warmedSpecs(),
+	})
+}

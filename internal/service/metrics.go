@@ -23,6 +23,7 @@ type metrics struct {
 	coalesced       atomic.Uint64 // explain requests served by single-flight
 	resultStoreHits atomic.Uint64 // explain requests served by the LRU store
 	explanations    atomic.Uint64 // explanations actually computed
+	predictions     atomic.Uint64 // blocks predicted via /v1/predict
 }
 
 func newMetrics() *metrics {
@@ -102,6 +103,9 @@ func (m *metrics) render(sb *strings.Builder, extra []gauge) {
 	fmt.Fprintf(sb, "# HELP comet_explanations_computed_total Explanations actually computed (not coalesced or cached).\n")
 	fmt.Fprintf(sb, "# TYPE comet_explanations_computed_total counter\n")
 	fmt.Fprintf(sb, "comet_explanations_computed_total %d\n", m.explanations.Load())
+	fmt.Fprintf(sb, "# HELP comet_predictions_served_total Blocks predicted through POST /v1/predict.\n")
+	fmt.Fprintf(sb, "# TYPE comet_predictions_served_total counter\n")
+	fmt.Fprintf(sb, "comet_predictions_served_total %d\n", m.predictions.Load())
 
 	byName := make(map[string][]gauge)
 	var names []string

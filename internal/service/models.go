@@ -1,160 +1,227 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
-	"github.com/comet-explain/comet/internal/analytical"
-	"github.com/comet-explain/comet/internal/bhive"
+	"github.com/comet-explain/comet"
 	"github.com/comet-explain/comet/internal/costmodel"
-	"github.com/comet-explain/comet/internal/hwsim"
-	"github.com/comet-explain/comet/internal/ithemal"
-	"github.com/comet-explain/comet/internal/mca"
-	"github.com/comet-explain/comet/internal/uica"
 	"github.com/comet-explain/comet/internal/wire"
 	"github.com/comet-explain/comet/internal/x86"
 )
 
-// modelEntry is one warmed (model, arch) pair: the model instance and the
-// prediction cache every request against it shares. Warm-up (construction,
-// and for the neural model a full training run) happens exactly once, on
-// first use, guarded by the entry's once.
+// The service resolves every model through the public comet registry
+// (comet.ResolveModel), so any spec the registry knows — zoo models,
+// parameterized neural models, remote backends, application-registered
+// custom models — is servable without the service knowing its name. What
+// this file adds on top of the registry is instance sharing: one warmed
+// model and one prediction cache per canonical spec, for the life of the
+// process.
+
+// errRegistryFull signals that the per-spec instance table is at
+// capacity; the HTTP layer maps it to 429. Distinct specs (each a
+// potentially expensive warm-up plus a prediction cache) are allocated on
+// client demand, so the table is bounded like every other queue here.
+var errRegistryFull = errors.New("model instance table full (too many distinct model specs)")
+
+// errRestrictedSpec refuses client-supplied specs whose resolution
+// exercises ambient authority — dialing URLs (remote@...), reading
+// server files (ithemal?load=...). The HTTP layer maps it to 403;
+// operators opt in with Config.AllowRestrictedSpecs, and
+// operator-initiated resolution (RegisterModel, WarmModel/-preload) is
+// never restricted.
+var errRestrictedSpec = errors.New("spec resolves a restricted model (network or filesystem access at warm-up); start the server with -allow-restricted-specs to serve it")
+
+// modelEntry is one warmed canonical spec: the model instance, its batch
+// view, and the prediction cache every request against it shares.
+// Warm-up (construction, training, remote handshake) happens exactly
+// once, on first use, guarded by the entry's once.
 type modelEntry struct {
-	name    string
-	arch    x86.Arch
+	spec    comet.ModelSpec
 	once    sync.Once
 	warm    atomic.Bool // set after once completes; lets /metrics skip in-flight warm-ups racelessly
 	model   costmodel.Model
+	batch   costmodel.BatchModel
 	cache   *costmodel.Cache
 	epsilon float64 // model-recommended ε (analytical models quantize)
 	err     error
 }
 
-// modelRegistry owns the model zoo. Entries are keyed "name|arch" and
-// built lazily; every request for the same (model, arch) shares the same
-// instance and prediction cache for the life of the process.
+// modelRegistry owns the per-spec instance table. Entries are keyed by
+// canonical spec string and built lazily; every request for the same
+// canonical spec shares the same instance and prediction cache for the
+// life of the process.
 type modelRegistry struct {
 	mu          sync.Mutex
 	entries     map[string]*modelEntry
 	cacheSize   int
 	trainBlocks int
-	trainSeed   int64
+	maxEntries  int
+	// allowRestricted permits client-supplied restricted specs
+	// (remote@..., ithemal?load=...).
+	allowRestricted bool
+	// warmGate, when non-nil, brackets client-initiated warm-ups — the
+	// server passes its explain-slot semaphore so an expensive warm-up
+	// (training, remote handshake) is backpressured like any other
+	// computation instead of running unbounded on the handler.
+	warmGate func() (release func(), err error)
 }
 
-func newModelRegistry(cacheSize, trainBlocks int) *modelRegistry {
-	if trainBlocks <= 0 {
-		trainBlocks = 1500
+func newModelRegistry(cacheSize, trainBlocks, maxEntries int, allowRestricted bool) *modelRegistry {
+	if maxEntries <= 0 {
+		maxEntries = 64
 	}
 	return &modelRegistry{
-		entries:     make(map[string]*modelEntry),
-		cacheSize:   cacheSize,
-		trainBlocks: trainBlocks,
-		trainSeed:   42,
+		entries:         make(map[string]*modelEntry),
+		cacheSize:       cacheSize,
+		trainBlocks:     trainBlocks,
+		maxEntries:      maxEntries,
+		allowRestricted: allowRestricted,
 	}
 }
 
 // register installs a ready-made model (tests inject counting models;
-// comet-serve preloads zoo models at boot). Epsilon 0 means the standard
-// 0.5-cycle ball.
+// deployments can preload trained neural models) under name@arch,
+// bypassing the comet registry. Epsilon 0 means the standard 0.5-cycle
+// ball.
 func (r *modelRegistry) register(name string, arch x86.Arch, m costmodel.Model, epsilon float64) {
 	if epsilon <= 0 {
 		epsilon = 0.5
 	}
-	e := &modelEntry{name: name, arch: arch, model: m, cache: costmodel.NewCache(r.cacheSize), epsilon: epsilon}
+	if def, ok := comet.LookupModel(name); ok {
+		name = def.Name // fold aliases onto the canonical name
+	}
+	spec := comet.ModelSpec{Name: name, Target: wire.ArchName(arch)}
+	e := &modelEntry{
+		spec:    spec,
+		model:   m,
+		batch:   costmodel.AsBatch(m),
+		cache:   costmodel.NewCache(r.cacheSize),
+		epsilon: epsilon,
+	}
 	e.once.Do(func() {}) // already warm
 	e.warm.Store(true)
 	r.mu.Lock()
-	r.entries[modelKey(name, arch)] = e
+	r.entries[spec.String()] = e
 	r.mu.Unlock()
 }
 
-func modelKey(name string, arch x86.Arch) string {
-	return name + "|" + wire.ArchName(arch)
-}
+// get returns the warmed entry for a model spec string, building it on
+// first use. archDefault (a wire arch name) fills in the spec's target
+// when the model targets an arch and the spec has none. trusted marks
+// operator-initiated resolution (boot preload), which bypasses the
+// restricted-spec policy and the warm-up gate; client requests pass
+// false. Concurrent callers for the same entry block until the single
+// warm-up finishes; callers for other entries proceed independently.
+func (r *modelRegistry) get(modelStr, archDefault string, trusted bool) (*modelEntry, error) {
+	spec, err := comet.ParseModelSpec(modelStr)
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.WithDefaultTarget(archDefault)
+	// Directly registered entries (injected instances, keyed name@arch)
+	// take precedence over lazy registry resolution.
+	r.mu.Lock()
+	if e, ok := r.entries[spec.String()]; ok {
+		r.mu.Unlock()
+		return r.warm(e, spec.String(), true)
+	}
+	r.mu.Unlock()
 
-// get returns the warmed entry for (name, arch), building it on first use.
-// Concurrent callers for the same entry block until the single warm-up
-// finishes; callers for other entries proceed independently.
-func (r *modelRegistry) get(name string, arch x86.Arch) (*modelEntry, error) {
-	name = canonicalModelName(name)
-	key := modelKey(name, arch)
+	// The server's -train-blocks default applies to neural specs that
+	// don't pin their own training-set size; injecting it before
+	// canonicalization keeps the canonical spec honest about the model
+	// actually served.
+	if r.trainBlocks > 0 {
+		spec = spec.WithDefaultParam("ithemal", "train", strconv.Itoa(r.trainBlocks))
+	}
+	canon, err := comet.CanonicalSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if def, ok := comet.LookupModel(canon.Name); ok && !trusted && !r.allowRestricted && def.RestrictedFor(canon) {
+		return nil, errRestrictedSpec
+	}
+	key := canon.String()
 	r.mu.Lock()
 	e, ok := r.entries[key]
 	if !ok {
-		if !isZooModel(name) {
-			// Refuse to allocate registry entries for arbitrary client
-			// strings; only zoo models build lazily.
+		// The bounded table sheds untrusted demand; operator-initiated
+		// entries (preload, the default model) always allocate, so a
+		// full table can't lock the server's own configuration out.
+		if !trusted && len(r.entries) >= r.maxEntries {
 			r.mu.Unlock()
-			return nil, fmt.Errorf("unknown model %q (want c, uica, mca, hwsim, or ithemal)", name)
+			return nil, errRegistryFull
 		}
-		e = &modelEntry{name: name, arch: arch, cache: costmodel.NewCache(r.cacheSize)}
+		e = &modelEntry{spec: canon, cache: costmodel.NewCache(r.cacheSize)}
 		r.entries[key] = e
 	}
 	r.mu.Unlock()
+	return r.warm(e, key, trusted)
+}
+
+// warm blocks until the entry is warm (resolving it if this caller is
+// first) and returns it. Untrusted first-callers hold a warm-up gate
+// slot while resolving, so expensive warm-ups share the explain
+// concurrency budget. A failed warm-up is evicted from the table — the
+// failure (a briefly unreachable remote backend, say) is returned to
+// every waiter but not cached forever, and it stops counting against
+// maxEntries.
+func (r *modelRegistry) warm(e *modelEntry, key string, trusted bool) (*modelEntry, error) {
+	if !e.warm.Load() && !trusted && r.warmGate != nil {
+		release, err := r.warmGate()
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
 	e.once.Do(func() {
-		e.model, e.epsilon, e.err = r.build(name, arch)
+		rm, err := comet.ResolveModel(e.spec)
+		if err != nil {
+			e.err = err
+		} else {
+			e.model = rm.Model
+			e.batch = costmodel.AsBatch(rm.Model)
+			e.epsilon = rm.Epsilon
+		}
 		e.warm.Store(true)
 	})
 	if e.err != nil {
+		r.mu.Lock()
+		if r.entries[key] == e {
+			delete(r.entries, key)
+		}
+		r.mu.Unlock()
 		return nil, e.err
 	}
 	return e, nil
 }
 
-// canonicalModelName folds aliases onto the zoo names; unknown names map
-// to "" unless already registered (custom test models keep their name).
-func canonicalModelName(name string) string {
-	switch strings.ToLower(name) {
-	case "c", "analytical":
-		return "c"
-	case "", "uica":
-		return "uica"
-	case "mca":
-		return "mca"
-	case "hwsim", "hardware":
-		return "hwsim"
-	case "ithemal", "neural":
-		return "ithemal"
-	}
-	return name
-}
+// specString returns the entry's canonical spec string (its cache and
+// single-flight identity).
+func (e *modelEntry) specString() string { return e.spec.String() }
 
-// isZooModel reports whether name is one of the built-in zoo models.
-func isZooModel(name string) bool {
-	switch name {
-	case "c", "uica", "mca", "hwsim", "ithemal":
-		return true
+// warmedSpecs lists the canonical specs with a live warmed instance,
+// sorted.
+func (r *modelRegistry) warmedSpecs() []string {
+	r.mu.Lock()
+	entries := make([]*modelEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
 	}
-	return false
-}
-
-// build constructs (and for ithemal, trains) a zoo model.
-func (r *modelRegistry) build(name string, arch x86.Arch) (costmodel.Model, float64, error) {
-	switch name {
-	case "c":
-		return analytical.New(arch), analytical.Epsilon, nil
-	case "uica":
-		return uica.New(arch), 0.5, nil
-	case "mca":
-		return mca.New(arch), 0.5, nil
-	case "hwsim":
-		return hwsim.New(hwsim.HardwareConfig(arch)), 0.5, nil
-	case "ithemal":
-		blocks := bhive.Generate(bhive.Config{
-			N: r.trainBlocks, MinInstrs: 1, MaxInstrs: 12, Seed: r.trainSeed,
-		})
-		samples := make([]ithemal.Sample, len(blocks))
-		for i, b := range blocks {
-			samples[i] = ithemal.Sample{Block: b.Block, Throughput: b.Throughput[arch]}
+	r.mu.Unlock()
+	var out []string
+	for _, e := range entries {
+		if e.warm.Load() && e.err == nil {
+			out = append(out, e.specString())
 		}
-		m := ithemal.New(ithemal.DefaultConfig(arch))
-		m.Train(samples, nil)
-		return m, 0.5, nil
 	}
-	return nil, 0, fmt.Errorf("unknown model %q (want c, uica, mca, hwsim, or ithemal)", name)
+	sort.Strings(out)
+	return out
 }
 
 // cacheGauges snapshots every warmed entry's prediction cache for
@@ -172,12 +239,12 @@ func (r *modelRegistry) cacheGauges() []gauge {
 	var out []gauge
 	for _, k := range keys {
 		e := byKey[k]
-		if !e.warm.Load() {
-			// Warm-up still in flight; its cache is empty anyway.
+		if !e.warm.Load() || e.err != nil {
+			// Warm-up still in flight (or failed); its cache is empty anyway.
 			continue
 		}
 		stats := e.cache.Stats()
-		labels := fmt.Sprintf("model=%q,arch=%q", e.name, wire.ArchName(e.arch))
+		labels := fmt.Sprintf("model=%q,arch=%q", e.spec.Name, wire.ArchName(e.model.Arch()))
 		out = append(out,
 			gauge{name: "comet_prediction_cache_hits_total", labels: labels, value: float64(stats.Hits)},
 			gauge{name: "comet_prediction_cache_misses_total", labels: labels, value: float64(stats.Misses)},

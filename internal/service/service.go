@@ -6,15 +6,22 @@
 // Routes:
 //
 //	POST /v1/explain    synchronous single-block explanation
+//	POST /v1/predict    batch cost-model queries (the remote-model backend)
 //	POST /v1/corpus     asynchronous corpus job (bounded queue, 429 on overflow)
 //	GET  /v1/jobs/{id}  job status + paginated results (?offset=&limit=)
+//	GET  /v1/models     registered model specs + their default configs
 //	GET  /healthz       liveness
 //	GET  /metrics       Prometheus text metrics
 //
+// Models are addressed by registry spec strings ("uica", "c@skl",
+// "ithemal@hsw?hidden=64&train=2000", "remote@http://other:8372") and
+// resolved through the public comet registry, so any registered model —
+// including another comet-serve, via the remote spec — is servable.
+//
 // Serving invariants:
 //
-//   - One warmed model instance and one prediction cache per (model, arch),
-//     shared by every request for the life of the process.
+//   - One warmed model instance and one prediction cache per canonical
+//     model spec, shared by every request for the life of the process.
 //   - Identical in-flight explain requests coalesce onto one computation
 //     (single-flight keyed by model, arch, config, and canonical block text).
 //   - Finished explanations land in a capped LRU result store; repeat
@@ -50,10 +57,23 @@ type Config struct {
 	// Base is the default explanation configuration; zero means
 	// core.DefaultConfig. Request ConfigOverrides overlay it.
 	Base core.Config
-	// DefaultModel is used when a request omits "model" (default "uica").
+	// DefaultModel is the model spec used when a request omits "model"
+	// (default "uica").
 	DefaultModel string
-	// TrainBlocks sizes the ithemal model's warm-up training set.
+	// TrainBlocks sizes the ithemal model's warm-up training set for
+	// specs that don't pin their own train= parameter.
 	TrainBlocks int
+	// MaxModelEntries bounds the distinct canonical model specs this
+	// server will warm (each is a model instance plus a prediction
+	// cache); overflow gets 429 (0 = 64).
+	MaxModelEntries int
+	// AllowRestrictedSpecs permits client-supplied specs whose
+	// resolution exercises ambient authority — remote@<url> (the server
+	// dials the URL) and ithemal?load=<path> (the server reads the
+	// file). Off by default: only operator-initiated resolution
+	// (RegisterModel, WarmModel/-preload) may do either. Enable it on
+	// trusted networks to let clients chain servers.
+	AllowRestrictedSpecs bool
 	// PredictionCacheSize bounds each (model, arch) prediction cache in
 	// entries (0 = package default of about a million).
 	PredictionCacheSize int
@@ -145,7 +165,7 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:          cfg,
-		models:       newModelRegistry(cfg.PredictionCacheSize, cfg.TrainBlocks),
+		models:       newModelRegistry(cfg.PredictionCacheSize, cfg.TrainBlocks, cfg.MaxModelEntries, cfg.AllowRestrictedSpecs),
 		results:      newLRUStore[*wire.Explanation](cfg.ResultStoreSize),
 		jobs:         newJobManager(ctx, cfg.JobWorkers, cfg.JobQueueDepth, cfg.JobHistorySize),
 		metrics:      newMetrics(),
@@ -154,9 +174,19 @@ func New(cfg Config) *Server {
 		ctx:          ctx,
 		cancel:       cancel,
 	}
+	// Client-initiated model warm-ups (training, remote handshakes) share
+	// the explain concurrency budget instead of running unbounded.
+	s.models.warmGate = func() (func(), error) {
+		if err := s.acquireExplainSlot(); err != nil {
+			return nil, err
+		}
+		return s.releaseExplainSlot, nil
+	}
 	s.mux.HandleFunc("/v1/explain", s.instrument("explain", s.handleExplain))
+	s.mux.HandleFunc("/v1/predict", s.instrument("predict", s.handlePredict))
 	s.mux.HandleFunc("/v1/corpus", s.instrument("corpus", s.handleCorpus))
 	s.mux.HandleFunc("/v1/jobs/", s.instrument("jobs", s.handleJob))
+	s.mux.HandleFunc("/v1/models", s.instrument("models", s.handleModels))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	return s
@@ -165,18 +195,27 @@ func New(cfg Config) *Server {
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// RegisterModel installs a ready-made model under (name, arch), replacing
-// any lazily built zoo entry. Tests inject counting models; deployments
-// can preload trained neural models. Epsilon 0 means the standard
-// 0.5-cycle ball.
+// RegisterModel installs a ready-made model instance under (name, arch),
+// replacing any lazily built entry for that spec. Tests inject counting
+// models; deployments can preload trained neural models. Epsilon 0 means
+// the standard 0.5-cycle ball. Models that should be addressable by
+// richer specs belong in the comet registry (comet.RegisterModel), which
+// the server resolves automatically.
 func (s *Server) RegisterModel(name string, arch x86.Arch, m costmodel.Model, epsilon float64) {
-	s.models.register(canonicalModelName(name), arch, m, epsilon)
+	s.models.register(name, arch, m, epsilon)
 }
 
-// WarmModel builds (and for the neural model, trains) a zoo model ahead
-// of the first request.
-func (s *Server) WarmModel(name string, arch x86.Arch) error {
-	_, err := s.models.get(name, arch)
+// WarmModel resolves (and for the neural model, trains) a model spec
+// ahead of the first request. archDefault ("hsw"/"skl", "" = hsw) fills
+// in the spec's target when it has none. Warming is operator-initiated,
+// so restricted specs (remote@..., ithemal?load=...) are allowed here
+// regardless of AllowRestrictedSpecs.
+func (s *Server) WarmModel(spec, archDefault string) error {
+	arch, err := wire.ParseArch(archDefault)
+	if err != nil {
+		return err
+	}
+	_, err = s.models.get(spec, wire.ArchName(arch), true)
 	return err
 }
 
@@ -244,23 +283,26 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
-// requestConfig resolves the effective explanation config for a request:
-// the server base, the model's recommended ε, then the client overrides.
-// Parallelism is pinned to 1 unless the client asks otherwise, so a
-// request's explanation is independent of server load and equal to a
-// library Explain call with the same config and seed.
-func (s *Server) requestConfig(entry *modelEntry, o *wire.ConfigOverrides) core.Config {
-	cfg := s.cfg.Base
-	cfg.Epsilon = entry.epsilon
-	cfg.Parallelism = 1
-	return o.Apply(cfg)
+// requestOptions compiles a request into the library's per-request
+// explain options: the model's recommended ε and a Parallelism pin of 1
+// first (so a request's explanation is independent of server load and
+// equal to a library ExplainContext call with the same options), then the
+// client's overrides in wire order — exactly what a library caller would
+// pass to comet.ExplainContext.
+func requestOptions(entry *modelEntry, o *wire.ConfigOverrides) []core.ExplainOption {
+	opts := []core.ExplainOption{
+		core.WithEpsilon(entry.epsilon),
+		core.WithParallelism(1),
+	}
+	return append(opts, o.Options()...)
 }
 
 // explainKey is the single-flight / result-store identity of a request:
-// everything that can change the explanation bytes.
+// everything that can change the explanation bytes. cfg must be the
+// explainer's effective config for the request's options.
 func explainKey(entry *modelEntry, cfg core.Config, blockText string) string {
-	return fmt.Sprintf("%s|%s|eps=%g|thr=%g|cov=%d|batch=%d|par=%d|seed=%d|%s",
-		entry.name, wire.ArchName(entry.arch),
+	return fmt.Sprintf("%s|eps=%g|thr=%g|cov=%d|batch=%d|par=%d|seed=%d|%s",
+		entry.specString(),
 		cfg.Epsilon, cfg.PrecisionThreshold, cfg.CoverageSamples,
 		cfg.BatchSize, cfg.Parallelism, cfg.Seed, blockText)
 }
@@ -289,16 +331,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad block: %v", err)
 		return
 	}
-	modelName := req.Model
-	if modelName == "" {
-		modelName = s.cfg.DefaultModel
-	}
-	entry, err := s.models.get(modelName, arch)
+	entry, err := s.lookupModel(req.Model, arch)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, modelErrorStatus(err), "%v", err)
 		return
 	}
-	cfg := s.requestConfig(entry, req.Config)
+	opts := requestOptions(entry, req.Config)
+	cfg := core.ApplyOptions(s.cfg.Base, opts...)
 	key := explainKey(entry, cfg, block.String())
 
 	if expl, ok := s.results.get(key); ok {
@@ -316,13 +355,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			return expl, nil
 		}
 		// The flight is shared by every coalesced caller, so its slot wait
-		// is bound to the server's lifetime, not the originating request's
-		// context — one client disconnecting must not fail the followers.
+		// and computation are bound to the server's lifetime (s.ctx), not
+		// the originating request's context — one client disconnecting must
+		// not fail the followers.
 		if err := s.acquireExplainSlot(); err != nil {
 			return nil, err
 		}
 		defer s.releaseExplainSlot()
-		expl, err := core.NewExplainerWithCache(entry.model, cfg, entry.cache).Explain(block)
+		explainer := core.NewExplainerWithCache(entry.model, s.cfg.Base, entry.cache)
+		expl, err := explainer.ExplainContext(s.ctx, block, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -338,14 +379,44 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, errOverloaded):
 			writeError(w, http.StatusTooManyRequests, "%v", err)
-		case errors.Is(err, errDraining):
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, errDraining), errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, "%v", errDraining)
 		default:
 			writeError(w, http.StatusInternalServerError, "explain failed: %v", err)
 		}
 		return
 	}
 	writeJSON(w, http.StatusOK, val.(*wire.Explanation))
+}
+
+// lookupModel resolves a request's model spec (falling back to the
+// server default) to a warmed entry. Client input is untrusted: it may
+// not resolve restricted specs unless the server allows them, and any
+// warm-up it triggers holds an explain slot.
+func (s *Server) lookupModel(modelStr string, arch x86.Arch) (*modelEntry, error) {
+	trusted := false
+	if modelStr == "" {
+		// The operator chose the default model; resolving it is as
+		// trusted as a -preload.
+		modelStr = s.cfg.DefaultModel
+		trusted = true
+	}
+	return s.models.get(modelStr, wire.ArchName(arch), trusted)
+}
+
+// modelErrorStatus maps a model-resolution failure to its HTTP status:
+// backpressure on a full instance table or a gated warm-up, forbidden
+// for restricted specs, bad request otherwise.
+func modelErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, errRegistryFull), errors.Is(err, errOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errRestrictedSpec):
+		return http.StatusForbidden
+	}
+	return http.StatusBadRequest
 }
 
 // errOverloaded signals explain backpressure; the handler maps it to 429.
@@ -413,19 +484,15 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		}
 		blocks[i] = b
 	}
-	modelName := req.Model
-	if modelName == "" {
-		modelName = s.cfg.DefaultModel
-	}
-	entry, err := s.models.get(modelName, arch)
+	entry, err := s.lookupModel(req.Model, arch)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, modelErrorStatus(err), "%v", err)
 		return
 	}
 	j := &job{
 		blocks:  blocks,
 		entry:   entry,
-		cfg:     s.requestConfig(entry, req.Config),
+		cfg:     core.ApplyOptions(s.cfg.Base, requestOptions(entry, req.Config)...),
 		workers: req.Workers,
 	}
 	if err := s.jobs.submit(j); err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -551,5 +552,205 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	if st.Done >= st.Total {
 		t.Errorf("canceled job claims all %d blocks done", st.Total)
+	}
+}
+
+// TestPredictEndpoint: POST /v1/predict answers batch queries that agree
+// exactly with the underlying model, flows them through the shared
+// prediction cache, and serves the empty-batch discovery handshake.
+func TestPredictEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	model := &countingModel{inner: uica.New(x86.Haswell)}
+	s.RegisterModel("counting", x86.Haswell, model, 0)
+
+	blocks := []string{testBlock, "imul rax, rbx\nimul rax, rcx", testBlock}
+	resp, body := postJSON(t, ts.URL+"/v1/predict", wire.PredictRequest{
+		Blocks: blocks, Model: "counting",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d: %s", resp.StatusCode, body)
+	}
+	var pr wire.PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Model != "counting" || pr.Arch != "hsw" || pr.Spec != "counting@hsw" || pr.Epsilon != 0.5 {
+		t.Errorf("predict identity wrong: %+v", pr)
+	}
+	if len(pr.Predictions) != len(blocks) {
+		t.Fatalf("got %d predictions for %d blocks", len(pr.Predictions), len(blocks))
+	}
+	for i, src := range blocks {
+		want := model.inner.Predict(x86.MustParseBlock(src))
+		if pr.Predictions[i] != want {
+			t.Errorf("prediction %d = %v, want %v", i, pr.Predictions[i], want)
+		}
+	}
+	// The duplicate block was deduplicated; only 2 distinct evaluations.
+	if got := model.calls.Load(); got != 2 {
+		t.Errorf("model evaluated %d blocks, want 2 (dedup + cache)", got)
+	}
+	// A repeat batch is answered fully from the shared cache.
+	postJSON(t, ts.URL+"/v1/predict", wire.PredictRequest{Blocks: blocks, Model: "counting"})
+	if got := model.calls.Load(); got != 2 {
+		t.Errorf("repeat batch cost %d extra evaluations, want 0", got-2)
+	}
+
+	// Directly registered models are addressable by arch aliases too.
+	resp, _ = postJSON(t, ts.URL+"/v1/predict", wire.PredictRequest{Model: "counting@haswell"})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("counting@haswell: status %d, want the registered counting@hsw entry", resp.StatusCode)
+	}
+
+	// Handshake: no blocks, just identity.
+	resp, body = postJSON(t, ts.URL+"/v1/predict", wire.PredictRequest{Model: "counting"})
+	if err := json.Unmarshal(body, &pr); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("handshake: status %d err %v", resp.StatusCode, err)
+	}
+	if len(pr.Predictions) != 0 || pr.Spec != "counting@hsw" {
+		t.Errorf("handshake response wrong: %+v", pr)
+	}
+
+	// Errors: unknown model 400, bad block 400, GET 405.
+	if r, _ := postJSON(t, ts.URL+"/v1/predict", wire.PredictRequest{Model: "gpt"}); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown model: status %d, want 400", r.StatusCode)
+	}
+	if r, _ := postJSON(t, ts.URL+"/v1/predict", wire.PredictRequest{Blocks: []string{"not an instruction"}}); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad block: status %d, want 400", r.StatusCode)
+	}
+	if r := getJSON(t, ts.URL+"/v1/predict", nil); r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET predict: status %d, want 405", r.StatusCode)
+	}
+}
+
+// TestModelsEndpoint: GET /v1/models lists the registry with default
+// specs and reports which specs this server has warmed.
+func TestModelsEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.RegisterModel("counting", x86.Haswell, &countingModel{inner: uica.New(x86.Haswell)}, 0)
+	postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{Block: testBlock, Model: "uica", Config: fastOverrides()})
+
+	var mr wire.ModelsResponse
+	if r := getJSON(t, ts.URL+"/v1/models", &mr); r.StatusCode != http.StatusOK {
+		t.Fatalf("models: status %d", r.StatusCode)
+	}
+	byName := make(map[string]wire.ModelInfo)
+	for _, m := range mr.Models {
+		byName[m.Name] = m
+	}
+	for _, want := range []string{"c", "uica", "mca", "hwsim", "ithemal", "remote"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("models listing missing %q", want)
+		}
+	}
+	if spec := byName["uica"].Spec; spec != "uica@hsw" {
+		t.Errorf("uica default spec %q, want uica@hsw", spec)
+	}
+	if eps := byName["c"].Epsilon; eps != 0.25 {
+		t.Errorf("analytical ε %v, want 0.25", eps)
+	}
+	var hasTrain bool
+	for _, p := range byName["ithemal"].Defaults {
+		if p.Key == "train" {
+			hasTrain = true
+		}
+	}
+	if !hasTrain {
+		t.Error("ithemal defaults missing the train parameter")
+	}
+	warmed := make(map[string]bool)
+	for _, w := range mr.Warmed {
+		warmed[w] = true
+	}
+	if !warmed["counting@hsw"] || !warmed["uica@hsw"] {
+		t.Errorf("warmed list %v missing counting@hsw / uica@hsw", mr.Warmed)
+	}
+	if r, _ := postJSON(t, ts.URL+"/v1/models", struct{}{}); r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST models: status %d, want 405", r.StatusCode)
+	}
+}
+
+// TestSpecAddressing: requests address models by full spec strings;
+// equivalent specs share one warmed entry, distinct parameterizations get
+// distinct entries, and the instance table is bounded.
+func TestSpecAddressing(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxModelEntries: 2})
+
+	// Alias + explicit arch resolve to the same canonical entry.
+	r1, b1 := postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{Block: testBlock, Model: "uica@hsw", Config: fastOverrides()})
+	r2, b2 := postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{Block: testBlock, Model: "uica", Arch: "haswell", Config: fastOverrides()})
+	if r1.StatusCode != http.StatusOK || r2.StatusCode != http.StatusOK {
+		t.Fatalf("spec addressing: %d / %d (%s / %s)", r1.StatusCode, r2.StatusCode, b1, b2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("equivalent specs produced different explanations:\n%s\n%s", b1, b2)
+	}
+	if got := s.models.warmedSpecs(); len(got) != 1 || got[0] != "uica@hsw" {
+		t.Errorf("warmed specs %v, want exactly [uica@hsw]", got)
+	}
+
+	// Bounded instance table: a third distinct spec is shed with 429.
+	if r, _ := postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{Block: testBlock, Model: "uica@skl", Config: fastOverrides()}); r.StatusCode != http.StatusOK {
+		t.Fatalf("second spec: status %d", r.StatusCode)
+	}
+	if r, _ := postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{Block: testBlock, Model: "mca", Config: fastOverrides()}); r.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("instance-table overflow: status %d, want 429", r.StatusCode)
+	}
+}
+
+// TestRestrictedSpecPolicy: client input may not make the server dial
+// URLs (remote@...) or read files (ithemal?load=...) unless the operator
+// opts in; operator paths (WarmModel) are never restricted.
+func TestRestrictedSpecPolicy(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, spec := range []string{
+		"remote@http://127.0.0.1:1",
+		"ithemal?load=/etc/passwd",
+	} {
+		r, body := postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{Block: testBlock, Model: spec})
+		if r.StatusCode != http.StatusForbidden {
+			t.Errorf("%s: status %d (%s), want 403", spec, r.StatusCode, body)
+		}
+		r, _ = postJSON(t, ts.URL+"/v1/predict", wire.PredictRequest{Model: spec})
+		if r.StatusCode != http.StatusForbidden {
+			t.Errorf("predict %s: status %d, want 403", spec, r.StatusCode)
+		}
+	}
+
+	// Opted in: the spec is resolvable (the dead URL now fails with the
+	// dial error — a 400, not a policy 403).
+	_, ts2 := newTestServer(t, Config{AllowRestrictedSpecs: true})
+	r, _ := postJSON(t, ts2.URL+"/v1/explain", wire.ExplainRequest{Block: testBlock, Model: "remote@http://127.0.0.1:1?retries=0"})
+	if r.StatusCode == http.StatusForbidden {
+		t.Errorf("allow-restricted server still refused: %d", r.StatusCode)
+	}
+
+	// Operator warming bypasses the policy (and reports the dial error,
+	// not the policy error).
+	s3, _ := newTestServer(t, Config{})
+	if err := s3.WarmModel("remote@http://127.0.0.1:1?retries=0", "hsw"); err == nil || errors.Is(err, errRestrictedSpec) {
+		t.Errorf("operator warm of a restricted spec: %v, want a dial error", err)
+	}
+}
+
+// TestFailedWarmupIsRetriedNotCached: a spec whose warm-up fails is
+// evicted from the instance table — the failure doesn't brick the spec
+// for the life of the process, and junk specs can't fill the table.
+func TestFailedWarmupIsRetriedNotCached(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxModelEntries: 2, AllowRestrictedSpecs: true})
+
+	// Several distinct failing specs never fill the bounded table...
+	for i := 0; i < 4; i++ {
+		spec := fmt.Sprintf("remote@http://127.0.0.1:1?retries=0&model=m%d", i)
+		if r, _ := postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{Block: testBlock, Model: spec}); r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("failing spec %d: status %d, want 400", i, r.StatusCode)
+		}
+	}
+	// ...so a valid spec still resolves afterwards.
+	if r, body := postJSON(t, ts.URL+"/v1/explain", wire.ExplainRequest{Block: testBlock, Model: "uica", Config: fastOverrides()}); r.StatusCode != http.StatusOK {
+		t.Fatalf("valid spec after failures: status %d (%s)", r.StatusCode, body)
+	}
+	if got := s.models.warmedSpecs(); len(got) != 1 || got[0] != "uica@hsw" {
+		t.Errorf("warmed specs %v, want exactly [uica@hsw]", got)
 	}
 }

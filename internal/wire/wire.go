@@ -252,30 +252,34 @@ type ConfigOverrides struct {
 	Seed               int64   `json:"seed,omitempty"`
 }
 
-// Apply overlays the non-zero overrides onto a base config.
-func (o *ConfigOverrides) Apply(cfg core.Config) core.Config {
+// Options compiles the non-zero overrides down to the library's
+// per-request functional options — the same ExplainOption values a direct
+// comet.ExplainContext caller would pass, so served explanations and
+// library explanations share one configuration path.
+func (o *ConfigOverrides) Options() []core.ExplainOption {
 	if o == nil {
-		return cfg
+		return nil
 	}
+	var opts []core.ExplainOption
 	if o.Epsilon > 0 {
-		cfg.Epsilon = o.Epsilon
+		opts = append(opts, core.WithEpsilon(o.Epsilon))
 	}
 	if o.PrecisionThreshold > 0 {
-		cfg.PrecisionThreshold = o.PrecisionThreshold
+		opts = append(opts, core.WithPrecisionThreshold(o.PrecisionThreshold))
 	}
 	if o.CoverageSamples > 0 {
-		cfg.CoverageSamples = o.CoverageSamples
+		opts = append(opts, core.WithCoverageSamples(o.CoverageSamples))
 	}
 	if o.BatchSize > 0 {
-		cfg.BatchSize = o.BatchSize
+		opts = append(opts, core.WithBatchSize(o.BatchSize))
 	}
 	if o.Parallelism > 0 {
-		cfg.Parallelism = o.Parallelism
+		opts = append(opts, core.WithParallelism(o.Parallelism))
 	}
 	if o.Seed != 0 {
-		cfg.Seed = o.Seed
+		opts = append(opts, core.WithSeed(o.Seed))
 	}
-	return cfg
+	return opts
 }
 
 // ExplainRequest is the body of POST /v1/explain.
@@ -302,6 +306,67 @@ type CorpusRequest struct {
 	// Workers bounds the job's block-level concurrency (0 = server
 	// default). Explanations are identical at any worker count.
 	Workers int `json:"workers,omitempty"`
+}
+
+// PredictRequest is the body of POST /v1/predict, the batch cost-model
+// endpoint that turns any comet-serve instance into a queryable cost
+// model backend. An empty Blocks slice is the discovery handshake: the
+// server resolves the model and returns its identity (canonical spec,
+// name, arch, ε) with no predictions.
+type PredictRequest struct {
+	// Blocks are basic blocks in Intel syntax, one prediction each.
+	Blocks []string `json:"blocks"`
+	// Model is a model spec (name[@target][?k=v]); empty means the
+	// server's default model.
+	Model string `json:"model,omitempty"`
+	// Arch is the target microarchitecture used when the spec has no
+	// explicit target: hsw | skl (default hsw).
+	Arch string `json:"arch,omitempty"`
+}
+
+// PredictResponse is the body of a successful POST /v1/predict.
+type PredictResponse struct {
+	// Model is the resolved model's name (e.g. "uica").
+	Model string `json:"model"`
+	// Arch is the resolved model's microarchitecture ("hsw"/"skl").
+	Arch string `json:"arch"`
+	// Spec is the canonical spec the server resolved the request to.
+	Spec string `json:"spec"`
+	// Epsilon is the model's recommended ε-ball radius.
+	Epsilon float64 `json:"epsilon"`
+	// Predictions has one throughput per request block, in order.
+	Predictions []float64 `json:"predictions"`
+}
+
+// ModelParam is one key=value default in a model's discovery record
+// (an ordered struct pair rather than a map, keeping the wire package's
+// byte-stability guarantee).
+type ModelParam struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// ModelInfo is one registered model family in GET /v1/models.
+type ModelInfo struct {
+	Name        string   `json:"name"`
+	Aliases     []string `json:"aliases,omitempty"`
+	Description string   `json:"description,omitempty"`
+	// Spec is the canonical spec string resolving the model with every
+	// default ("uica@hsw", "remote@<url>").
+	Spec    string  `json:"spec"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Defaults enumerates the accepted parameters and their default
+	// values, sorted by key.
+	Defaults []ModelParam `json:"defaults,omitempty"`
+}
+
+// ModelsResponse is the body of GET /v1/models.
+type ModelsResponse struct {
+	// Models lists every registered model family, sorted by name.
+	Models []ModelInfo `json:"models"`
+	// Warmed lists the canonical specs with a live, warmed instance in
+	// this server (one shared model + prediction cache each).
+	Warmed []string `json:"warmed,omitempty"`
 }
 
 // Job states.

@@ -153,13 +153,13 @@ func TestCorpusResultProjection(t *testing.T) {
 	}
 }
 
-func TestConfigOverridesApply(t *testing.T) {
+func TestConfigOverridesOptions(t *testing.T) {
 	base := core.DefaultConfig()
-	if got := (*ConfigOverrides)(nil).Apply(base); got != base {
-		t.Errorf("nil overrides changed config")
+	if opts := (*ConfigOverrides)(nil).Options(); len(opts) != 0 {
+		t.Errorf("nil overrides produced %d options", len(opts))
 	}
 	o := &ConfigOverrides{Epsilon: 0.25, CoverageSamples: 42, Seed: 7, Parallelism: 2}
-	got := o.Apply(base)
+	got := core.ApplyOptions(base, o.Options()...)
 	if got.Epsilon != 0.25 || got.CoverageSamples != 42 || got.Seed != 7 || got.Parallelism != 2 {
 		t.Errorf("overrides not applied: %+v", got)
 	}

@@ -1,0 +1,116 @@
+package comet_test
+
+// Remote-model equivalence: an explanation computed through a
+// RemoteCostModel dialed into a live comet-serve is byte-identical to a
+// local Explain of the same model at the same seed. This is the
+// end-to-end guarantee behind the remote@<url> spec — moving the cost
+// model to another process changes where queries are answered, never
+// what the explanation says.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/comet-explain/comet"
+	"github.com/comet-explain/comet/internal/service"
+	"github.com/comet-explain/comet/internal/wire"
+)
+
+// startBackend runs an in-process comet-serve over real HTTP.
+func startBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := service.New(service.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Shutdown(context.Background())
+	})
+	return ts
+}
+
+func explainJSON(t *testing.T, model comet.CostModel, epsilon float64) []byte {
+	t.Helper()
+	cfg := comet.DefaultConfig()
+	cfg.Epsilon = epsilon
+	cfg.CoverageSamples = 200
+	block := comet.MustParseBlock("add rcx, rax\nmov rdx, rcx\npop rbx")
+	expl, err := comet.NewExplainer(model, cfg).ExplainContext(context.Background(), block,
+		comet.WithSeed(7), comet.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(wire.FromExplanation(expl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestRemoteEquivalence(t *testing.T) {
+	ts := startBackend(t)
+
+	// Resolve the remote model through the registry, exactly as a spec
+	// string user would.
+	remoteRM, err := comet.ResolveModelString("remote@" + ts.URL + "?model=uica&arch=hsw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := remoteRM.Model.Name(), "uica"; got != want {
+		t.Fatalf("remote model name %q, want the backend's %q", got, want)
+	}
+	localRM, err := comet.ResolveModelString("uica@hsw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remoteRM.Epsilon != localRM.Epsilon {
+		t.Errorf("remote ε %v != local ε %v", remoteRM.Epsilon, localRM.Epsilon)
+	}
+
+	remoteJSON := explainJSON(t, remoteRM.Model, remoteRM.Epsilon)
+	localJSON := explainJSON(t, localRM.Model, localRM.Epsilon)
+	if string(remoteJSON) != string(localJSON) {
+		t.Errorf("remote explanation differs from local at the same seed:\nremote %s\nlocal  %s", remoteJSON, localJSON)
+	}
+}
+
+// TestRemoteEpsilonPropagates: a remote analytical backend reports the
+// quantized ε = 0.25, so explanations against it use the right ball.
+func TestRemoteEpsilonPropagates(t *testing.T) {
+	ts := startBackend(t)
+	rm, err := comet.ResolveModelString("remote@" + ts.URL + "?model=c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Epsilon != comet.AnalyticalEpsilon {
+		t.Errorf("remote analytical ε = %v, want %v", rm.Epsilon, comet.AnalyticalEpsilon)
+	}
+	if rm.Model.Name() != "C" && rm.Model.Name() != "c" {
+		t.Errorf("unexpected backend name %q", rm.Model.Name())
+	}
+}
+
+// TestRemoteFailureSurfacesAsError: when the backend dies mid-search the
+// explainer returns an error instead of panicking or fabricating values.
+func TestRemoteFailureSurfacesAsError(t *testing.T) {
+	ts := startBackend(t)
+	rm, err := comet.DialRemoteModel(ts.URL, comet.RemoteModelOptions{Model: "uica", Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Close() // kill the backend before the first real query
+
+	cfg := comet.DefaultConfig()
+	cfg.CoverageSamples = 50
+	block := comet.MustParseBlock("add rcx, rax\nmov rdx, rcx")
+	_, err = comet.NewExplainer(rm, cfg).ExplainContext(context.Background(), block, comet.WithSeed(1))
+	if err == nil {
+		t.Fatal("explaining against a dead backend succeeded")
+	}
+
+	// Dialing a dead backend fails fast, and so does registry resolution.
+	if _, err := comet.ResolveModelString("remote@" + ts.URL + "?retries=0"); err == nil {
+		t.Error("resolving a dead backend succeeded")
+	}
+}

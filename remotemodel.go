@@ -1,0 +1,67 @@
+package comet
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/comet-explain/comet/internal/remote"
+)
+
+// RemoteCostModel is an HTTP BatchCostModel whose predictions come from a
+// comet-serve instance's POST /v1/predict endpoint. Any comet-serve is
+// thereby a cost-model backend: an explainer on one machine can explain a
+// model served on another, with the server's shared prediction cache
+// amortizing queries across every client. It resolves from specs like
+//
+//	remote@http://host:8372?model=uica&arch=hsw
+//
+// Name reports the backend's canonical model name, so a remote
+// explanation is byte-identical to a local Explain at the same seed.
+type RemoteCostModel = remote.Model
+
+// RemoteModelOptions configures DialRemoteModel.
+type RemoteModelOptions = remote.Options
+
+// DialRemoteModel connects to a comet-serve base URL, performs the
+// discovery handshake (which resolves and warms the requested model on
+// the server), and returns a ready-to-query remote cost model.
+func DialRemoteModel(baseURL string, opts RemoteModelOptions) (*RemoteCostModel, error) {
+	return remote.Dial(baseURL, opts)
+}
+
+func init() {
+	RegisterModel(ModelDef{
+		Name:          "remote",
+		Description:   "HTTP client for another comet-serve's /v1/predict cost-model backend",
+		RequireTarget: true,
+		// Resolving dials an arbitrary URL; servers only resolve this from
+		// client input when the operator opts in (-allow-restricted-specs).
+		Restricted: true,
+		Defaults: map[string]string{
+			"model":   "",  // spec resolved by the backend ("" = its default model)
+			"arch":    "",  // backend arch when the spec has no target ("" = backend default)
+			"retries": "2", // transport retries per batch before aborting
+		},
+		Factory: func(spec ModelSpec) (CostModel, float64, error) {
+			retries, err := spec.ParamInt("retries", 2)
+			if err != nil {
+				return nil, 0, err
+			}
+			if retries == 0 {
+				retries = -1 // Options.Retries uses 0 for "default"; negative means none
+			}
+			m, err := remote.Dial(spec.Target, remote.Options{
+				Model:   spec.Param("model", ""),
+				Arch:    spec.Param("arch", ""),
+				Retries: retries,
+			})
+			if err != nil {
+				return nil, 0, err
+			}
+			if m.Epsilon() <= 0 {
+				return nil, 0, fmt.Errorf("backend reported ε=%s", strconv.FormatFloat(m.Epsilon(), 'g', -1, 64))
+			}
+			return m, m.Epsilon(), nil
+		},
+	})
+}

@@ -1,0 +1,191 @@
+package comet
+
+import (
+	"fmt"
+	"maps"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ModelSpec is the parsed form of a model spec string, the addressable
+// identity of a cost model in the registry:
+//
+//	name[@target][?key=value&key=value...]
+//
+// Name selects a registered model family ("uica", "ithemal", "remote", or
+// anything installed with RegisterModel). Target is the model's backing
+// target: a microarchitecture name for the zoo models ("hsw", "skl"), a
+// base URL for the remote model ("remote@http://host:8372"). Params carry
+// per-model configuration ("ithemal@skl?hidden=64&train=2000").
+//
+// Examples:
+//
+//	uica
+//	c@skl
+//	ithemal@skylake?hidden=64&train=2000
+//	remote@http://localhost:8372?model=uica&arch=hsw
+//
+// Because '?' starts the parameter list, a target must not itself contain
+// a '?' (a remote URL's own query string is not representable).
+type ModelSpec struct {
+	// Name is the registered model name (lowercase).
+	Name string
+	// Target is the part after '@': an arch for zoo models, a URL for
+	// remote models. Empty means the model's default target.
+	Target string
+	// Params are the key=value configuration parameters. A nil and an
+	// empty map are equivalent.
+	Params map[string]string
+}
+
+// ParseModelSpec parses a spec string. The name is lower-cased; parameter
+// keys and values are URL-unescaped; duplicate parameter keys are an
+// error. Parameter validation against the model's registered parameter
+// set happens at resolve time, not parse time.
+func ParseModelSpec(s string) (ModelSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return ModelSpec{}, fmt.Errorf("comet: empty model spec")
+	}
+	var spec ModelSpec
+	head, rawQuery, hasQuery := strings.Cut(s, "?")
+	name, target, _ := strings.Cut(head, "@")
+	spec.Name = strings.ToLower(strings.TrimSpace(name))
+	spec.Target = strings.TrimSpace(target)
+	if err := validateSpecName(spec.Name); err != nil {
+		return ModelSpec{}, err
+	}
+	if hasQuery {
+		spec.Params = make(map[string]string)
+		for _, pair := range strings.Split(rawQuery, "&") {
+			if pair == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || k == "" {
+				return ModelSpec{}, fmt.Errorf("comet: bad model spec parameter %q (want key=value)", pair)
+			}
+			key, err := url.QueryUnescape(k)
+			if err != nil {
+				return ModelSpec{}, fmt.Errorf("comet: bad model spec parameter key %q: %v", k, err)
+			}
+			val, err := url.QueryUnescape(v)
+			if err != nil {
+				return ModelSpec{}, fmt.Errorf("comet: bad model spec parameter value %q: %v", v, err)
+			}
+			if _, dup := spec.Params[key]; dup {
+				return ModelSpec{}, fmt.Errorf("comet: duplicate model spec parameter %q", key)
+			}
+			spec.Params[key] = val
+		}
+	}
+	return spec, nil
+}
+
+// MustParseModelSpec is ParseModelSpec that panics on error.
+func MustParseModelSpec(s string) ModelSpec {
+	spec, err := ParseModelSpec(s)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+func validateSpecName(name string) error {
+	if name == "" {
+		return fmt.Errorf("comet: model spec has no name")
+	}
+	for _, r := range name {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '-' && r != '_' && r != '.' {
+			return fmt.Errorf("comet: bad model name %q (want [a-z0-9._-]+)", name)
+		}
+	}
+	return nil
+}
+
+// String renders the spec canonically: lowercase name, "@target" when a
+// target is set, and parameters sorted by key with URL escaping. Parsing
+// the result yields an equal spec (the round-trip property the registry
+// tests enforce).
+func (s ModelSpec) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	if s.Target != "" {
+		b.WriteByte('@')
+		b.WriteString(s.Target)
+	}
+	if len(s.Params) > 0 {
+		keys := make([]string, 0, len(s.Params))
+		for k := range s.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i == 0 {
+				b.WriteByte('?')
+			} else {
+				b.WriteByte('&')
+			}
+			b.WriteString(url.QueryEscape(k))
+			b.WriteByte('=')
+			b.WriteString(url.QueryEscape(s.Params[k]))
+		}
+	}
+	return b.String()
+}
+
+// Equal reports whether two specs are identical (same name, target, and
+// parameter set; nil and empty parameter maps are equivalent).
+func (s ModelSpec) Equal(o ModelSpec) bool {
+	if s.Name != o.Name || s.Target != o.Target {
+		return false
+	}
+	if len(s.Params) != len(o.Params) {
+		return false
+	}
+	return len(s.Params) == 0 || maps.Equal(s.Params, o.Params)
+}
+
+// Param returns the named parameter, or def when unset.
+func (s ModelSpec) Param(key, def string) string {
+	if v, ok := s.Params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// ParamInt returns the named parameter as an int, or def when unset.
+func (s ModelSpec) ParamInt(key string, def int) (int, error) {
+	v, ok := s.Params[key]
+	if !ok || v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("comet: model spec parameter %s=%q: want an integer", key, v)
+	}
+	return n, nil
+}
+
+// ParamInt64 returns the named parameter as an int64, or def when unset.
+func (s ModelSpec) ParamInt64(key string, def int64) (int64, error) {
+	v, ok := s.Params[key]
+	if !ok || v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("comet: model spec parameter %s=%q: want an integer", key, v)
+	}
+	return n, nil
+}
+
+// Clone returns a deep copy of the spec whose Params map is non-nil and
+// safe to mutate without affecting the original.
+func (s ModelSpec) Clone() ModelSpec {
+	c := ModelSpec{Name: s.Name, Target: s.Target, Params: make(map[string]string, len(s.Params))}
+	maps.Copy(c.Params, s.Params)
+	return c
+}
