@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: build test test-race test-e2e examples bench bench-smoke lint vet fmt fmt-check
+# Where the e2e kill/resume test leaves its durable-store artifacts, so
+# verify-store can audit them afterwards.
+E2E_STORE_DIR ?= /tmp/comet-e2e-store
+
+.PHONY: build test test-race test-e2e verify-store examples bench bench-smoke lint vet fmt fmt-check
 
 build:
 	$(GO) build ./...
@@ -20,11 +24,20 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# End-to-end service smoke test: builds the real comet-serve binary (with
-# the race detector), starts it on a random port, drives the HTTP API, and
-# shuts it down gracefully.
+# End-to-end service smoke tests: build the real comet-serve binary (with
+# the race detector), start it on a random port, drive the HTTP API, and
+# shut it down gracefully — plus the durability test that SIGKILLs the
+# server mid-corpus-job and asserts the restarted server resumes it with
+# byte-identical results.
 test-e2e:
-	$(GO) test -race -run TestServeEndToEnd -v ./cmd/comet-serve
+	COMET_E2E_STORE_DIR=$(E2E_STORE_DIR) $(GO) test -race -run 'TestServeEndToEnd|TestServeKillResumeByteIdentical' -v ./cmd/comet-serve
+
+# Audit the durable store the e2e kill/resume test left behind: every
+# frame checksummed, corruption reported (and -strict fails the build on
+# any — after a graceful exit the store must be clean).
+verify-store:
+	$(GO) run ./cmd/comet-store -dir $(E2E_STORE_DIR)/kill-resume -strict verify
+	$(GO) run ./cmd/comet-store -dir $(E2E_STORE_DIR)/kill-resume stats
 
 # Full benchmark suite (regenerates the paper's tables at benchmark scale).
 bench:

@@ -8,6 +8,7 @@
 //	comet-bench -all
 //	comet-bench -all -full        # paper-scale parameters (hours)
 //	comet-bench -corpus 50        # batched ExplainAll vs sequential Explain
+//	comet-bench -corpus 50 -store # warm durable-store speedup (cold vs disk-served)
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"github.com/comet-explain/comet"
 	"github.com/comet-explain/comet/internal/experiments"
+	"github.com/comet-explain/comet/internal/persist"
 )
 
 func main() {
@@ -38,11 +40,19 @@ func main() {
 		corpusModel = flag.String("corpus-model", "uica", `corpus benchmark model spec, e.g. uica, c@skl, "ithemal?train=400"`)
 		workers     = flag.Int("workers", 0, "corpus benchmark ExplainAll workers (0 = GOMAXPROCS)")
 		jsonOut     = flag.String("json-out", "", `write a machine-readable corpus benchmark summary to this file (e.g. BENCH_corpus.json) so the repo's perf trajectory is tracked run over run`)
+		storeMode   = flag.Bool("store", false, "with -corpus: benchmark the durable explanation store instead — a cold pass that populates a fresh store, then a warm pass served from it, reporting the warm speedup and store hit/miss counters")
+		storeDir    = flag.String("store-dir", "", "store benchmark directory (default: a temp dir, removed afterwards)")
 	)
 	flag.Parse()
 
 	if *corpusN > 0 {
-		if err := corpusBench(*corpusModel, *corpusN, *workers, *jsonOut); err != nil {
+		var err error
+		if *storeMode {
+			err = storeBench(*corpusModel, *corpusN, *workers, *storeDir, *jsonOut)
+		} else {
+			err = corpusBench(*corpusModel, *corpusN, *workers, *jsonOut)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "comet-bench:", err)
 			os.Exit(1)
 		}
@@ -110,6 +120,15 @@ type benchSummary struct {
 	CacheHits         int     `json:"cache_hits"`
 	CacheHitRate      float64 `json:"cache_hit_rate"`
 	ModelCalls        int     `json:"model_calls"`
+
+	// Store-benchmark fields (-store): a cold pass populates a fresh
+	// durable store, a warm pass is served from it.
+	StoreColdSeconds float64 `json:"store_cold_seconds,omitempty"`
+	StoreWarmSeconds float64 `json:"store_warm_seconds,omitempty"`
+	StoreSpeedup     float64 `json:"store_speedup,omitempty"`
+	StoreHits        uint64  `json:"store_hits,omitempty"`
+	StoreMisses      uint64  `json:"store_misses,omitempty"`
+	StoreBytes       int64   `json:"store_bytes,omitempty"`
 }
 
 // corpusBench measures the batched, cached ExplainAll engine against a
@@ -205,6 +224,115 @@ func corpusBench(modelSpec string, n, workers int, jsonOut string) error {
 			CacheHits:         hits,
 			CacheHitRate:      hitRate,
 			ModelCalls:        calls,
+		}
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", jsonOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonOut)
+	}
+	return nil
+}
+
+// storeBench measures the durable explanation store: a cold ExplainCorpus
+// pass that computes everything and populates a fresh store, then a warm
+// pass over the same corpus answered from disk, verifying the two passes
+// produce identical explanations block for block. This is the
+// cross-process speedup a restarted comet-serve (or a repeated CLI run)
+// gets for free.
+func storeBench(modelSpec string, n, workers int, storeDir, jsonOut string) error {
+	spec, err := comet.ParseModelSpec(modelSpec)
+	if err != nil {
+		return err
+	}
+	spec = spec.WithDefaultParam("ithemal", "train", "400")
+	rm, err := comet.ResolveModel(spec)
+	if err != nil {
+		return err
+	}
+	blocks := comet.GenerateBlocks(n, 1)
+
+	if storeDir == "" {
+		dir, err := os.MkdirTemp("", "comet-store-bench-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		storeDir = dir
+	}
+	log, err := persist.Open(storeDir, persist.Options{})
+	if err != nil {
+		return err
+	}
+	defer log.Close()
+	if st := log.Stats(); st.Entries > 0 {
+		return fmt.Errorf("store %s already holds %d entries; the cold pass needs a fresh store", storeDir, st.Entries)
+	}
+
+	cfg := comet.DefaultConfig()
+	cfg.Epsilon = rm.Epsilon
+	cfg.CoverageSamples = 500
+	// Store keys include the sampling parallelism; pin it like the CLI
+	// does so the two passes (and any later process) share keys.
+	cfg.Parallelism = 1
+
+	runPass := func() ([]*comet.Explanation, *persist.ExplainerStore, time.Duration, error) {
+		artifacts := persist.NewExplainerStore(log, rm.Spec.String())
+		e := comet.NewExplainer(rm.Model, cfg)
+		e.SetArtifactStore(artifacts)
+		start := time.Now()
+		expls, err := e.ExplainCorpus(blocks, comet.CorpusOptions{Workers: workers})
+		return expls, artifacts, time.Since(start), err
+	}
+
+	coldExpls, coldStore, coldElapsed, err := runPass()
+	if err != nil {
+		return fmt.Errorf("cold pass: %w", err)
+	}
+	if hits, _ := coldStore.Counters(); hits != 0 {
+		return fmt.Errorf("cold pass hit the store %d times; expected 0", hits)
+	}
+	warmExpls, warmStore, warmElapsed, err := runPass()
+	if err != nil {
+		return fmt.Errorf("warm pass: %w", err)
+	}
+	hits, misses := warmStore.Counters()
+
+	for i := range blocks {
+		if coldExpls[i].Features.Key() != warmExpls[i].Features.Key() ||
+			coldExpls[i].Prediction != warmExpls[i].Prediction {
+			return fmt.Errorf("block %d: warm explanation %v != cold %v",
+				i, warmExpls[i].Features, coldExpls[i].Features)
+		}
+	}
+
+	st := log.Stats()
+	fmt.Printf("store benchmark: %d blocks, model %s (spec %s), store %s\n", n, rm.Model.Name(), rm.Spec, storeDir)
+	fmt.Printf("  cold pass (compute + persist):  %10v  (%.2f blocks/s)\n",
+		coldElapsed.Round(time.Millisecond), float64(n)/coldElapsed.Seconds())
+	fmt.Printf("  warm pass (served from disk):   %10v  (%.2f blocks/s)\n",
+		warmElapsed.Round(time.Millisecond), float64(n)/warmElapsed.Seconds())
+	fmt.Printf("  warm speedup:                   %.2fx (identical explanations)\n",
+		coldElapsed.Seconds()/warmElapsed.Seconds())
+	fmt.Printf("  store:                          %d hits, %d misses, %d bytes on disk\n",
+		hits, misses, st.TotalBytes)
+
+	if jsonOut != "" {
+		summary := benchSummary{
+			Model:            rm.Model.Name(),
+			Spec:             rm.Spec.String(),
+			Blocks:           n,
+			Workers:          workers,
+			GoMaxProcs:       runtime.GOMAXPROCS(0),
+			StoreColdSeconds: coldElapsed.Seconds(),
+			StoreWarmSeconds: warmElapsed.Seconds(),
+			StoreSpeedup:     coldElapsed.Seconds() / warmElapsed.Seconds(),
+			StoreHits:        hits,
+			StoreMisses:      misses,
+			StoreBytes:       st.TotalBytes,
 		}
 		data, err := json.MarshalIndent(summary, "", "  ")
 		if err != nil {

@@ -7,6 +7,7 @@
 //	POST /v1/explain    explain one block synchronously
 //	POST /v1/predict    batch cost-model queries (remote-model backend)
 //	POST /v1/corpus     submit an asynchronous corpus job
+//	GET  /v1/jobs       list every known job (including restored ones)
 //	GET  /v1/jobs/{id}  poll a job (?offset=&limit= paginate results)
 //	GET  /v1/models     registered model specs + default configs
 //	GET  /healthz       liveness
@@ -24,9 +25,15 @@
 // is shed with 429 instead of unbounded queueing. SIGINT/SIGTERM drain
 // the server gracefully.
 //
+// With -store-dir, explanations and corpus-job checkpoints persist to a
+// crash-safe segment log (internal/persist): a restarted — or SIGKILLed —
+// server reloads warm results and resumes interrupted corpus jobs
+// exactly where they stopped, with output identical to an uninterrupted
+// run. Inspect and garbage-collect stores with comet-store.
+//
 // Example:
 //
-//	comet-serve -addr :8372 -preload uica,c
+//	comet-serve -addr :8372 -preload uica,c -store-dir /var/lib/comet
 //	curl -s localhost:8372/v1/explain -d '{"block":"add rcx, rax\nmov rdx, rcx"}'
 package main
 
@@ -44,6 +51,7 @@ import (
 	"time"
 
 	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/persist"
 	"github.com/comet-explain/comet/internal/service"
 	"github.com/comet-explain/comet/internal/wire"
 )
@@ -68,12 +76,29 @@ func main() {
 		jobHistory   = flag.Int("job-history", 64, "finished jobs retained for polling")
 		cacheSize    = flag.Int("prediction-cache", 0, "prediction-cache entries per (model, arch) (0 = ~1M)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget")
+		storeDir     = flag.String("store-dir", "", "durable store directory: explanations and corpus-job checkpoints persist across restarts, which reload warm results and resume interrupted jobs (empty = in-memory only)")
+		storeMax     = flag.Int64("store-max-bytes", 1<<30, "durable-store live-data budget enforced at compaction (0 = 1 GiB; negative = unbounded)")
+		checkpoint   = flag.Int("checkpoint-every", 16, "fsync the durable store every N completed corpus-job blocks (completed blocks survive SIGKILL regardless; this bounds power-loss exposure)")
 	)
 	flag.Parse()
 
 	base := core.DefaultConfig()
 	base.CoverageSamples = *coverage
 	base.Seed = *seed
+
+	// The typed nil matters: Config.Store is an interface, so only a
+	// successfully opened log may be assigned to it.
+	var store persist.Store
+	if *storeDir != "" {
+		log, err := persist.Open(*storeDir, persist.Options{MaxBytes: *storeMax})
+		if err != nil {
+			fatal(err)
+		}
+		st := log.Stats()
+		fmt.Fprintf(os.Stderr, "comet-serve: store %s: %d entries, %d bytes, %d corrupt records skipped\n",
+			*storeDir, st.Entries, st.TotalBytes, st.CorruptRecords)
+		store = log
+	}
 
 	srv := service.New(service.Config{
 		Base:                  base,
@@ -89,7 +114,18 @@ func main() {
 		MaxCorpusBlocks:       *maxCorpus,
 		ResultStoreSize:       *resultStore,
 		JobHistorySize:        *jobHistory,
+		JobCheckpointEvery:    *checkpoint,
+		Store:                 store,
 	})
+
+	if store != nil {
+		sum, err := srv.Restore()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "comet-serve: restored %d warm explanations, %d finished jobs; resuming %d interrupted jobs (%d unresumable)\n",
+			sum.Explanations, sum.JobsRestored, sum.JobsResumed, sum.JobsFailed)
+	}
 
 	if *preload != "" {
 		if _, err := wire.ParseArch(*preloadArch); err != nil {
@@ -140,6 +176,11 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "comet-serve: job drain: %v\n", err)
 		os.Exit(1)
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "comet-serve: store close: %v\n", err)
+		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)

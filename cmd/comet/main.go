@@ -24,6 +24,13 @@
 // explanation object in single-block mode, one corpus-result object per
 // line in corpus mode — so CLI and API outputs are interchangeable.
 //
+// With -store DIR, explanations persist in a durable content-addressed
+// store (see internal/persist): repeated invocations with the same
+// model, config, and block are answered from disk, and an interrupted
+// -corpus run rerun with the same flags — optionally with -resume to
+// report progress — skips every block already stored, producing output
+// identical to an uninterrupted run. Inspect stores with comet-store.
+//
 // Examples:
 //
 //	echo 'add rcx, rax
@@ -32,6 +39,7 @@
 //
 //	comet -model uica -corpus gen:100 -workers 8
 //	comet -model uica -corpus gen:100 -json | jq .explanation.prediction
+//	comet -model uica -corpus gen:100 -store ~/.cache/comet -resume
 package main
 
 import (
@@ -47,6 +55,7 @@ import (
 	"time"
 
 	"github.com/comet-explain/comet"
+	"github.com/comet-explain/comet/internal/persist"
 	"github.com/comet-explain/comet/internal/wire"
 )
 
@@ -69,8 +78,14 @@ func main() {
 		batchSize  = flag.Int("batch", 0, "model query batch size (0 = default 64)")
 		noCache    = flag.Bool("no-cache", false, "disable the prediction cache")
 		jsonOut    = flag.Bool("json", false, "emit the comet-serve wire format (one explanation object, or one corpus result per line)")
+		storeDir   = flag.String("store", "", "durable explanation store directory: explanations persist and are reused across invocations (pins -workers sampling parallelism to 1 for cross-machine key stability)")
+		resume     = flag.Bool("resume", false, "with -corpus and -store: report how many blocks the store already holds before resuming the run")
 	)
 	flag.Parse()
+
+	if *resume && (*storeDir == "" || *corpus == "") {
+		fatal(fmt.Errorf("-resume requires both -corpus and -store"))
+	}
 
 	if *listModels {
 		printModels()
@@ -106,8 +121,25 @@ func main() {
 		cfg.Epsilon = *epsilon
 	}
 
+	// The durable store makes explanations reusable across processes:
+	// repeated invocations (and interrupted -corpus runs) are answered
+	// from disk instead of recomputed. Keys include the sampling
+	// parallelism, so it is pinned to 1 for cross-invocation stability.
+	var artifacts *persist.ExplainerStore
+	var storeLog *persist.Log
+	if *storeDir != "" {
+		var err error
+		storeLog, err = persist.Open(*storeDir, persist.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer storeLog.Close()
+		cfg.Parallelism = 1
+		artifacts = persist.NewExplainerStore(storeLog, rm.Spec.String())
+	}
+
 	if *corpus != "" {
-		if err := explainCorpus(model, cfg, *corpus, *workers, *jsonOut); err != nil {
+		if err := explainCorpus(model, cfg, *corpus, *workers, *jsonOut, rm.Spec.String(), storeLog, artifacts, *resume); err != nil {
 			fatal(err)
 		}
 		return
@@ -125,9 +157,16 @@ func main() {
 	// Ctrl-C cancels the search cleanly through the context-first API.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	expl, err := comet.NewExplainer(model, cfg).ExplainContext(ctx, block)
+	explainer := comet.NewExplainer(model, cfg)
+	if artifacts != nil {
+		explainer.SetArtifactStore(artifacts)
+	}
+	expl, err := explainer.ExplainContext(ctx, block)
 	if err != nil {
 		fatal(err)
+	}
+	if hits, _ := storeCounters(artifacts); hits > 0 {
+		fmt.Fprintf(os.Stderr, "comet: explanation served from store %s\n", *storeDir)
 	}
 
 	if *jsonOut {
@@ -206,13 +245,37 @@ func printModels() {
 // block as results stream in — human-readable, or with jsonOut one
 // comet-serve wire CorpusResult object per line (the same schema
 // GET /v1/jobs/{id} pages through) — then a throughput/cache summary
-// (stderr in JSON mode, so stdout stays machine-readable).
-func explainCorpus(model comet.CostModel, cfg comet.Config, spec string, workers int, jsonOut bool) error {
+// (stderr in JSON mode, so stdout stays machine-readable). With a
+// durable store attached, every block's explanation is consulted there
+// first and deposited after computing, so an interrupted run rerun with
+// the same flags resumes where it stopped (per-block seeds depend only
+// on the block index, making the resumed output identical to an
+// uninterrupted run).
+func explainCorpus(model comet.CostModel, cfg comet.Config, spec string, workers int, jsonOut bool,
+	modelSpec string, storeLog *persist.Log, artifacts *persist.ExplainerStore, resume bool) error {
 	blocks, err := loadCorpus(spec)
 	if err != nil {
 		return err
 	}
 	e := comet.NewExplainer(model, cfg)
+	if artifacts != nil {
+		e.SetArtifactStore(artifacts)
+	}
+	if resume {
+		// Report what the store already holds before resuming — the same
+		// per-block keys the run is about to look up. Has is a pure
+		// index probe, so even a huge warm corpus costs no extra reads.
+		eff := e.Config()
+		stored := 0
+		for i, b := range blocks {
+			c := eff
+			c.Seed = comet.BlockSeed(eff.Seed, i)
+			if storeLog.Has(wire.RecordExplanation, persist.ExplanationKey(modelSpec, wire.SnapshotConfig(c), b.String())) {
+				stored++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "comet: resuming: %d/%d blocks already in the store\n", stored, len(blocks))
+	}
 	enc := json.NewEncoder(os.Stdout)
 	start := time.Now()
 	var queries, hits, calls, failed, certified int
@@ -258,10 +321,24 @@ func explainCorpus(model comet.CostModel, cfg comet.Config, spec string, workers
 	}
 	fmt.Fprintf(summary, "queries: %d total, %d cache/dedup hits (%.1f%%), %d model evaluations\n",
 		queries, hits, 100*hitRate, calls)
+	if artifacts != nil {
+		storeHits, storeMisses := artifacts.Counters()
+		fmt.Fprintf(summary, "store:   %d blocks served from disk, %d computed and persisted\n",
+			storeHits, storeMisses)
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d blocks failed", failed, len(blocks))
 	}
 	return nil
+}
+
+// storeCounters reports the artifact store's lookup counters (zero
+// without a store).
+func storeCounters(artifacts *persist.ExplainerStore) (hits, misses uint64) {
+	if artifacts == nil {
+		return 0, 0
+	}
+	return artifacts.Counters()
 }
 
 // loadCorpus reads a corpus: "gen:N" generates N synthetic BHive-like

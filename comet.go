@@ -97,6 +97,10 @@ type (
 	ExplainOption = core.ExplainOption
 	// CorpusOptions configures Explainer.ExplainAll.
 	CorpusOptions = core.CorpusOptions
+	// ArtifactStore serves previously computed explanations (durable
+	// cross-process caching; see Explainer.SetArtifactStore and the
+	// comet -store flag).
+	ArtifactStore = core.ArtifactStore
 	// CorpusResult is one streamed ExplainAll outcome.
 	CorpusResult = core.CorpusResult
 	// PerturbConfig configures the Γ perturbation algorithm.

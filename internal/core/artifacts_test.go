@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/comet-explain/comet/internal/analytical"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// memArtifacts is an in-memory ArtifactStore keyed like the persistent
+// one: canonical block text plus the identity-bearing config fields.
+type memArtifacts struct {
+	mu      sync.Mutex
+	m       map[string]*Explanation
+	lookups int
+	stores  int
+}
+
+func newMemArtifacts() *memArtifacts {
+	return &memArtifacts{m: make(map[string]*Explanation)}
+}
+
+func artifactKey(cfg Config, blockText string) string {
+	return fmt.Sprintf("%s|par=%d|cov=%d|seed=%d", blockText, cfg.Parallelism, cfg.CoverageSamples, cfg.Seed)
+}
+
+func (a *memArtifacts) Lookup(cfg Config, b *x86.BasicBlock) (*Explanation, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lookups++
+	e, ok := a.m[artifactKey(cfg, b.String())]
+	return e, ok
+}
+
+func (a *memArtifacts) Store(cfg Config, expl *Explanation) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stores++
+	a.m[artifactKey(cfg, expl.Block.String())] = expl
+}
+
+// TestArtifactStoreServesRepeatRequests: the second identical request is
+// answered by the store — same explanation pointer, no new computation.
+func TestArtifactStoreServesRepeatRequests(t *testing.T) {
+	model := analytical.New(x86.Haswell)
+	cfg := corpusConfig()
+	b := corpusBlocks(t, 1)[0]
+
+	e := NewExplainer(model, cfg)
+	arts := newMemArtifacts()
+	e.SetArtifactStore(arts)
+
+	first, err := e.Explain(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arts.stores != 1 {
+		t.Fatalf("stores = %d after the first explanation, want 1", arts.stores)
+	}
+	second, err := e.Explain(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Error("repeat request was recomputed instead of served from the artifact store")
+	}
+	if arts.stores != 1 {
+		t.Errorf("stores = %d after a served repeat, want still 1", arts.stores)
+	}
+
+	// A different seed is a different artifact.
+	third, err := NewExplainer(model, cfg).Explain(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSeed, err := e.ExplainContext(nil, b, WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withSeed == first {
+		t.Error("different seed served the same artifact")
+	}
+	_ = third
+}
+
+// TestArtifactStoreCorpusResume: a corpus run that stops partway (its
+// artifacts persisted) is resumed by a second run over the same corpus —
+// stored blocks are served, the rest computed, and the union matches an
+// uninterrupted run exactly.
+func TestArtifactStoreCorpusResume(t *testing.T) {
+	model := analytical.New(x86.Haswell)
+	cfg := corpusConfig()
+	blocks := corpusBlocks(t, 6)
+
+	// Reference: uninterrupted run, no store.
+	ref, err := NewExplainer(model, cfg).ExplainCorpus(blocks, CorpusOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Interrupted" run: only the first half executes (Skip the rest),
+	// its artifacts landing in the store.
+	arts := newMemArtifacts()
+	e1 := NewExplainer(model, cfg)
+	e1.SetArtifactStore(arts)
+	for range e1.ExplainAll(blocks, CorpusOptions{
+		Workers: 2,
+		Skip:    func(i int) bool { return i >= 3 },
+	}) {
+	}
+	if len(arts.m) != 3 {
+		t.Fatalf("interrupted run persisted %d artifacts, want 3", len(arts.m))
+	}
+
+	// Resumed run: same corpus, same store.
+	e2 := NewExplainer(model, cfg)
+	e2.SetArtifactStore(arts)
+	resumed, err := e2.ExplainCorpus(blocks, CorpusOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blocks {
+		if resumed[i] == nil {
+			t.Fatalf("block %d missing after resume", i)
+		}
+		if resumed[i].Features.Key() != ref[i].Features.Key() ||
+			resumed[i].Prediction != ref[i].Prediction ||
+			resumed[i].Precision != ref[i].Precision {
+			t.Errorf("block %d: resumed explanation differs from uninterrupted run", i)
+		}
+	}
+}
+
+// TestCorpusSkipOmitsBlocks: skipped indices produce no result at all,
+// and the blocks that do run keep their original per-block seeds.
+func TestCorpusSkipOmitsBlocks(t *testing.T) {
+	model := analytical.New(x86.Haswell)
+	cfg := corpusConfig()
+	blocks := corpusBlocks(t, 5)
+
+	seen := make(map[int]*Explanation)
+	for res := range NewExplainer(model, cfg).ExplainAll(blocks, CorpusOptions{
+		Workers: 2,
+		Skip:    func(i int) bool { return i%2 == 1 },
+	}) {
+		if res.Err != nil {
+			t.Fatalf("block %d: %v", res.Index, res.Err)
+		}
+		seen[res.Index] = res.Explanation
+	}
+	if len(seen) != 3 {
+		t.Fatalf("got %d results, want 3 (indices 0, 2, 4)", len(seen))
+	}
+	for _, i := range []int{0, 2, 4} {
+		expl := seen[i]
+		if expl == nil {
+			t.Fatalf("block %d missing", i)
+		}
+		solo := cfg
+		solo.Seed = BlockSeed(cfg.Seed, i)
+		want, err := NewExplainer(model, solo).Explain(blocks[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if expl.Features.Key() != want.Features.Key() {
+			t.Errorf("block %d: skip run %v != seeded solo %v", i, expl.Features, want.Features)
+		}
+	}
+}

@@ -113,6 +113,25 @@ type Explainer struct {
 	// set by the caller; ExplainAll then drops per-block sampling to one
 	// goroutine and lets block-level workers saturate the machine.
 	autoParallel bool
+	// artifacts, when set, is consulted before every computation and
+	// receives every freshly computed explanation (SetArtifactStore).
+	artifacts ArtifactStore
+}
+
+// ArtifactStore serves previously computed explanation artifacts.
+// Explanations are pure functions of (model, block, effective config) —
+// sampling is driven entirely by cfg.Seed and cfg.Parallelism — so a
+// store keyed on those inputs can answer a request with the exact
+// explanation computation would produce. internal/persist provides the
+// disk-backed implementation; the store owns model identity (the
+// explainer passes only config and block).
+type ArtifactStore interface {
+	// Lookup returns the stored explanation for (cfg, block), if any.
+	// cfg is the fully normalized effective configuration.
+	Lookup(cfg Config, block *x86.BasicBlock) (*Explanation, bool)
+	// Store deposits a freshly computed explanation. Implementations
+	// must not fail the explanation on storage errors.
+	Store(cfg Config, expl *Explanation)
 }
 
 // withDefaults normalizes a config in place of its zero values and
@@ -171,6 +190,16 @@ func NewExplainerWithCache(model costmodel.Model, cfg Config, cache *costmodel.C
 	e.cache = cache
 	return e
 }
+
+// SetArtifactStore installs an explanation artifact store: every request
+// consults it before computing (a hit returns the stored explanation and
+// costs zero model queries) and deposits its result after computing.
+// Corpus runs inherit the hook, which is what lets an interrupted
+// -corpus run resume across processes: already-stored blocks are served,
+// the rest are computed, and per-block seeding makes the union identical
+// to an uninterrupted run. Set it before issuing requests; it must be
+// safe for concurrent use.
+func (e *Explainer) SetArtifactStore(s ArtifactStore) { e.artifacts = s }
 
 // Model returns the underlying cost model.
 func (e *Explainer) Model() costmodel.Model { return e.model }
@@ -234,6 +263,11 @@ func (e *Explainer) explainWith(ctx context.Context, b *x86.BasicBlock, cfg Conf
 			expl, err = nil, qe.Err
 		}
 	}()
+	if e.artifacts != nil {
+		if stored, ok := e.artifacts.Lookup(cfg, b); ok {
+			return stored, nil
+		}
+	}
 	p, err := perturb.New(b, cfg.Perturb)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -249,7 +283,7 @@ func (e *Explainer) explainWith(ctx context.Context, b *x86.BasicBlock, cfg Conf
 	for _, idx := range res.Anchor {
 		set = set.Add(space.feats[idx])
 	}
-	return &Explanation{
+	expl = &Explanation{
 		Block:      b,
 		Model:      e.model.Name(),
 		Prediction: space.origPred,
@@ -260,7 +294,11 @@ func (e *Explainer) explainWith(ctx context.Context, b *x86.BasicBlock, cfg Conf
 		Queries:    space.queries,
 		CacheHits:  space.cacheHits,
 		ModelCalls: space.modelCalls,
-	}, nil
+	}
+	if e.artifacts != nil {
+		e.artifacts.Store(cfg, expl)
+	}
+	return expl, nil
 }
 
 // perturbFor builds a Γ perturber with the config's perturbation settings.

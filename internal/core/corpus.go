@@ -40,6 +40,13 @@ type CorpusOptions struct {
 	// CorpusResult at all, so a canceled run delivers fewer results than
 	// len(blocks).
 	Context context.Context
+	// Skip, if non-nil, reports corpus indices to omit entirely — they
+	// are never fed to a worker and produce no CorpusResult. Resumed
+	// runs pass the set of already-persisted blocks here: because every
+	// block's seed is BlockSeed(cfg.Seed, index) regardless of which
+	// blocks run, the skipped-and-restored union is identical to an
+	// uninterrupted run. Skip must be safe for concurrent calls.
+	Skip func(index int) bool
 }
 
 // CorpusResult is one streamed ExplainAll outcome. Results arrive in
@@ -119,6 +126,9 @@ func (e *Explainer) ExplainAll(blocks []*x86.BasicBlock, opts CorpusOptions) <-c
 			done = opts.Context.Done()
 		}
 		for i := range blocks {
+			if opts.Skip != nil && opts.Skip(i) {
+				continue
+			}
 			select {
 			case work <- i:
 			case <-done:

@@ -1,0 +1,68 @@
+package persist
+
+import (
+	"sync/atomic"
+
+	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/wire"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// ExplainerStore adapts a Store to core.ArtifactStore for one canonical
+// model spec: the explainer consults it before computing and deposits
+// every freshly computed explanation, so repeated CLI invocations and
+// interrupted corpus runs reuse prior work across processes. Store
+// failures degrade to recomputation — the adapter never surfaces them
+// into an explanation.
+type ExplainerStore struct {
+	store Store
+	spec  string
+	hits  atomic.Uint64
+	miss  atomic.Uint64
+}
+
+var _ core.ArtifactStore = (*ExplainerStore)(nil)
+
+// NewExplainerStore binds a store to a canonical model spec string (the
+// artifact keys' model identity — use comet.ResolvedModel's Spec, not a
+// raw model name, or equal configurations of different models collide).
+func NewExplainerStore(store Store, spec string) *ExplainerStore {
+	return &ExplainerStore{store: store, spec: spec}
+}
+
+// Lookup implements core.ArtifactStore.
+func (s *ExplainerStore) Lookup(cfg core.Config, b *x86.BasicBlock) (*core.Explanation, bool) {
+	key := ExplanationKey(s.spec, wire.SnapshotConfig(cfg), b.String())
+	rec, ok := s.store.Get(wire.RecordExplanation, key)
+	if !ok || rec.Explanation == nil {
+		s.miss.Add(1)
+		return nil, false
+	}
+	expl, err := rec.Explanation.Core()
+	if err != nil {
+		s.miss.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return expl, true
+}
+
+// Store implements core.ArtifactStore.
+func (s *ExplainerStore) Store(cfg core.Config, expl *core.Explanation) {
+	snap := wire.SnapshotConfig(cfg)
+	key := ExplanationKey(s.spec, snap, expl.Block.String())
+	_ = s.store.Put(&wire.Record{
+		V:           wire.RecordVersion,
+		Kind:        wire.RecordExplanation,
+		Key:         key,
+		Spec:        s.spec,
+		Config:      &snap,
+		Explanation: wire.FromExplanation(expl),
+	})
+}
+
+// Counters reports how many explainer lookups the store answered and how
+// many fell through to computation.
+func (s *ExplainerStore) Counters() (hits, misses uint64) {
+	return s.hits.Load(), s.miss.Load()
+}

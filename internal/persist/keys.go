@@ -1,0 +1,39 @@
+package persist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"github.com/comet-explain/comet/internal/wire"
+)
+
+// Explanation artifacts are deterministic given (canonical model spec,
+// canonical block text, effective config, seed) — the explainer is a
+// pure function of those inputs — so their store keys are content
+// addresses: a SHA-256 over exactly that identity. Two processes (or two
+// machines, or two years) computing the same explanation agree on the
+// key without coordination.
+
+// ExplanationKey returns the content address of an explanation artifact.
+// spec must be the canonical model spec string and blockText the block's
+// canonical rendering (x86.BasicBlock.String); cfg must be the effective,
+// normalized configuration the explanation ran (or would run) under.
+func ExplanationKey(spec string, cfg wire.ConfigSnapshot, blockText string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "comet-explanation-v%d|%s|eps=%g|thr=%g|cov=%d|batch=%d|par=%d|seed=%d|",
+		wire.RecordVersion, spec,
+		cfg.Epsilon, cfg.PrecisionThreshold, cfg.CoverageSamples,
+		cfg.BatchSize, cfg.Parallelism, cfg.Seed)
+	io.WriteString(h, blockText)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// JobKey returns the store key of a corpus-job envelope.
+func JobKey(id string) string { return id }
+
+// JobResultKey returns the store key of one completed corpus-job block.
+func JobResultKey(id string, index int) string {
+	return fmt.Sprintf("%s/%d", id, index)
+}

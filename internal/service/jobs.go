@@ -6,10 +6,12 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/persist"
 	"github.com/comet-explain/comet/internal/wire"
 	"github.com/comet-explain/comet/internal/x86"
 )
@@ -25,12 +27,29 @@ var errDraining = errors.New("server is shutting down")
 // makes offset-based polling of GET /v1/jobs/{id} race-free: a client that
 // resumes from next_offset never misses or re-reads a result. Each result
 // carries its corpus block index for reassembly in input order.
+//
+// With a durable store attached, the job's envelope (inputs, spec,
+// effective config) is persisted on every state transition and each
+// completed block appends a result record, so a killed process resumes
+// the job on restart: restored results are replayed into the results
+// slice and ExplainAll skips their indices. Per-block seeds depend only
+// on the block index, so the resumed union is identical to an
+// uninterrupted run.
 type job struct {
 	id      string
 	blocks  []*x86.BasicBlock
+	texts   []string // canonical block texts (persisted envelope; built lazily)
 	entry   *modelEntry
 	cfg     core.Config
 	workers int
+	// spec and snapshot are the job's persistence identity: the
+	// canonical model spec and the effective explanation configuration.
+	spec     string
+	snapshot wire.ConfigSnapshot
+	// restored marks block indices whose results were reloaded from the
+	// durable store; fromStore marks the job as surviving a restart.
+	restored  map[int]bool
+	fromStore bool
 
 	mu      sync.Mutex
 	state   string
@@ -69,8 +88,24 @@ func (j *job) status(offset, limit int) wire.JobStatus {
 	}
 }
 
+// summary snapshots the job for GET /v1/jobs.
+func (j *job) summary() wire.JobSummary {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return wire.JobSummary{
+		ID:       j.id,
+		State:    j.state,
+		Total:    len(j.blocks),
+		Done:     j.done,
+		Failed:   j.failed,
+		Error:    j.err,
+		Restored: j.fromStore,
+	}
+}
+
 // jobManager owns the bounded job queue, the job workers, and the LRU
-// history of finished jobs.
+// history of finished jobs. With a store attached it also checkpoints
+// every job's envelope and completed results.
 type jobManager struct {
 	queue   chan *job
 	history *lruStore[*job]
@@ -85,11 +120,18 @@ type jobManager struct {
 	seq      atomic.Uint64
 	instance string // random per-process tag so job IDs don't collide across restarts
 
+	// store, when non-nil, receives job envelopes and per-block results;
+	// checkpointEvery is the fsync cadence in completed blocks, and
+	// storeErr counts (never fails on) persistence errors.
+	store           persist.Store
+	checkpointEvery int
+	storeErr        func(error)
+
 	queued  atomic.Int64 // jobs waiting in the queue
 	running atomic.Int64 // jobs currently executing
 }
 
-func newJobManager(ctx context.Context, workers, queueDepth, historySize int) *jobManager {
+func newJobManager(ctx context.Context, workers, queueDepth, historySize, checkpointEvery int, store persist.Store, storeErr func(error)) *jobManager {
 	if workers < 1 {
 		workers = 1
 	}
@@ -99,6 +141,12 @@ func newJobManager(ctx context.Context, workers, queueDepth, historySize int) *j
 	if historySize < 1 {
 		historySize = 64
 	}
+	if checkpointEvery < 1 {
+		checkpointEvery = 16
+	}
+	if storeErr == nil {
+		storeErr = func(error) {}
+	}
 	tag := make([]byte, 4)
 	if _, err := rand.Read(tag); err != nil {
 		// Fall back to a fixed tag; IDs stay unique within the process
@@ -106,10 +154,13 @@ func newJobManager(ctx context.Context, workers, queueDepth, historySize int) *j
 		copy(tag, []byte{0xc0, 0x3e, 0x70, 0x01})
 	}
 	m := &jobManager{
-		queue:    make(chan *job, queueDepth),
-		history:  newLRUStore[*job](historySize),
-		ctx:      ctx,
-		instance: hex.EncodeToString(tag),
+		queue:           make(chan *job, queueDepth),
+		history:         newLRUStore[*job](historySize),
+		ctx:             ctx,
+		instance:        hex.EncodeToString(tag),
+		store:           store,
+		checkpointEvery: checkpointEvery,
+		storeErr:        storeErr,
 	}
 	for w := 0; w < workers; w++ {
 		m.wg.Add(1)
@@ -134,10 +185,30 @@ func (m *jobManager) submit(j *job) error {
 	}
 	j.id = fmt.Sprintf("job-%s-%d", m.instance, m.seq.Add(1))
 	j.state = wire.JobQueued
+	return m.enqueue(j)
+}
+
+// resubmit re-enqueues a job restored from the durable store under its
+// persisted ID (clients keep polling the ID they were given before the
+// restart).
+func (m *jobManager) resubmit(j *job) error {
+	m.closeMu.RLock()
+	defer m.closeMu.RUnlock()
+	if m.draining {
+		return errDraining
+	}
+	j.state = wire.JobQueued
+	return m.enqueue(j)
+}
+
+// enqueue performs the bounded send and, on success, persists the queued
+// envelope. Caller holds closeMu.RLock.
+func (m *jobManager) enqueue(j *job) error {
 	m.active.Store(j.id, j)
 	select {
 	case m.queue <- j:
 		m.queued.Add(1)
+		m.persistJob(j)
 		return nil
 	default:
 		m.active.Delete(j.id)
@@ -153,6 +224,29 @@ func (m *jobManager) get(id string) (*job, bool) {
 	return m.history.get(id)
 }
 
+// list snapshots every known job — queued, running, and retained
+// history — sorted by ID.
+func (m *jobManager) list() []wire.JobSummary {
+	seen := make(map[string]bool)
+	var out []wire.JobSummary
+	m.active.Range(func(_, v any) bool {
+		j := v.(*job)
+		if !seen[j.id] {
+			seen[j.id] = true
+			out = append(out, j.summary())
+		}
+		return true
+	})
+	for _, j := range m.history.values() {
+		if !seen[j.id] {
+			seen[j.id] = true
+			out = append(out, j.summary())
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
 // run executes one corpus job through the shared explanation engine.
 func (m *jobManager) run(j *job) {
 	m.running.Add(1)
@@ -163,24 +257,47 @@ func (m *jobManager) run(j *job) {
 		j.state = wire.JobCanceled
 		j.err = "canceled during shutdown"
 		j.mu.Unlock()
+		m.persistJob(j)
 		m.finish(j)
 		return
 	}
 	j.state = wire.JobRunning
 	j.mu.Unlock()
+	m.persistJob(j)
+
+	// Resume support: indices restored from the store are never re-fed
+	// to a worker. Their results are already in j.results, and because
+	// every block runs under BlockSeed(cfg.Seed, index), the blocks that
+	// do run produce exactly what an uninterrupted run would have.
+	var skip func(int) bool
+	if len(j.restored) > 0 {
+		skip = func(i int) bool { return j.restored[i] }
+	}
 
 	explainer := core.NewExplainerWithCache(j.entry.model, j.cfg, j.entry.cache)
+	completed := 0
 	for res := range explainer.ExplainAll(j.blocks, core.CorpusOptions{
 		Workers: j.workers,
 		Context: m.ctx,
+		Skip:    skip,
 	}) {
+		wres := wire.FromCorpusResult(res)
 		j.mu.Lock()
 		j.done++
 		if res.Err != nil {
 			j.failed++
 		}
-		j.results = append(j.results, wire.FromCorpusResult(res))
+		j.results = append(j.results, wres)
 		j.mu.Unlock()
+		// Each result is one all-or-nothing store append (survives
+		// SIGKILL); the periodic Sync is the power-loss checkpoint.
+		m.persistResult(j, wres)
+		completed++
+		if m.store != nil && completed%m.checkpointEvery == 0 {
+			if err := m.store.Sync(); err != nil {
+				m.storeErr(err)
+			}
+		}
 	}
 
 	j.mu.Lock()
@@ -195,7 +312,66 @@ func (m *jobManager) run(j *job) {
 		j.state = wire.JobDone
 	}
 	j.mu.Unlock()
+	m.persistJob(j)
+	if m.store != nil {
+		if err := m.store.Sync(); err != nil {
+			m.storeErr(err)
+		}
+	}
 	m.finish(j)
+}
+
+// persistJob writes the job's envelope (inputs + current state) to the
+// durable store, superseding the previous envelope record.
+func (m *jobManager) persistJob(j *job) {
+	if m.store == nil {
+		return
+	}
+	j.mu.Lock()
+	if j.texts == nil {
+		j.texts = make([]string, len(j.blocks))
+		for i, b := range j.blocks {
+			j.texts[i] = b.String()
+		}
+	}
+	env := &wire.JobEnvelope{
+		ID:      j.id,
+		State:   j.state,
+		Spec:    j.spec,
+		Blocks:  j.texts,
+		Config:  j.snapshot,
+		Workers: j.workers,
+		Error:   j.err,
+	}
+	j.mu.Unlock()
+	err := m.store.Put(&wire.Record{
+		V:    wire.RecordVersion,
+		Kind: wire.RecordJob,
+		Key:  persist.JobKey(j.id),
+		Spec: j.spec,
+		Job:  env,
+	})
+	if err != nil {
+		m.storeErr(err)
+	}
+}
+
+// persistResult appends one completed block's result to the durable
+// store.
+func (m *jobManager) persistResult(j *job, res wire.CorpusResult) {
+	if m.store == nil {
+		return
+	}
+	err := m.store.Put(&wire.Record{
+		V:      wire.RecordVersion,
+		Kind:   wire.RecordJobResult,
+		Key:    persist.JobResultKey(j.id, res.Index),
+		Spec:   j.spec,
+		Result: &wire.JobResult{JobID: j.id, CorpusResult: res},
+	})
+	if err != nil {
+		m.storeErr(err)
+	}
 }
 
 // finish moves a terminal job into the LRU history, where it survives
@@ -208,7 +384,9 @@ func (m *jobManager) finish(j *job) {
 // shutdown stops accepting jobs, marks still-queued jobs canceled, and
 // waits (up to ctx) for running jobs to wind down. The manager's own
 // context — canceled by the server before calling shutdown — makes running
-// jobs skip their remaining blocks.
+// jobs skip their remaining blocks. With a store attached, interrupted
+// jobs persist in a resumable state: the next process's Restore picks
+// them up where they stopped.
 func (m *jobManager) shutdown(ctx context.Context) error {
 	m.closeMu.Lock()
 	if m.draining {

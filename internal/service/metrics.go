@@ -24,6 +24,9 @@ type metrics struct {
 	resultStoreHits atomic.Uint64 // explain requests served by the LRU store
 	explanations    atomic.Uint64 // explanations actually computed
 	predictions     atomic.Uint64 // blocks predicted via /v1/predict
+	persistHits     atomic.Uint64 // explain requests served by the durable store
+	persistMisses   atomic.Uint64 // durable-store lookups that fell through
+	storeErrors     atomic.Uint64 // durable-store write/sync failures
 }
 
 func newMetrics() *metrics {
@@ -106,6 +109,15 @@ func (m *metrics) render(sb *strings.Builder, extra []gauge) {
 	fmt.Fprintf(sb, "# HELP comet_predictions_served_total Blocks predicted through POST /v1/predict.\n")
 	fmt.Fprintf(sb, "# TYPE comet_predictions_served_total counter\n")
 	fmt.Fprintf(sb, "comet_predictions_served_total %d\n", m.predictions.Load())
+	fmt.Fprintf(sb, "# HELP comet_persist_hits_total Explain requests served from the durable store.\n")
+	fmt.Fprintf(sb, "# TYPE comet_persist_hits_total counter\n")
+	fmt.Fprintf(sb, "comet_persist_hits_total %d\n", m.persistHits.Load())
+	fmt.Fprintf(sb, "# HELP comet_persist_misses_total Durable-store lookups that fell through to computation.\n")
+	fmt.Fprintf(sb, "# TYPE comet_persist_misses_total counter\n")
+	fmt.Fprintf(sb, "comet_persist_misses_total %d\n", m.persistMisses.Load())
+	fmt.Fprintf(sb, "# HELP comet_store_errors_total Durable-store write or sync failures (requests are never failed on them).\n")
+	fmt.Fprintf(sb, "# TYPE comet_store_errors_total counter\n")
+	fmt.Fprintf(sb, "comet_store_errors_total %d\n", m.storeErrors.Load())
 
 	byName := make(map[string][]gauge)
 	var names []string

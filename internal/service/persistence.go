@@ -1,0 +1,202 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+
+	"github.com/comet-explain/comet/internal/wire"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// Warm restarts: with a durable store attached, a restarted server
+// reloads the explanation result store and every persisted corpus job.
+// Finished jobs go back into the pollable history under their original
+// IDs; interrupted jobs (queued, running, or canceled mid-run by a
+// drain) are re-enqueued and resume exactly where they stopped —
+// restored results are replayed, the remaining blocks run under their
+// original per-block seeds, and the union is bit-identical to an
+// uninterrupted run.
+
+// RestoreSummary reports what Restore reloaded from the durable store.
+type RestoreSummary struct {
+	// Explanations is the number of explanation artifacts rehydrated
+	// into the in-memory result store (bounded by its capacity).
+	Explanations int
+	// JobsRestored counts finished jobs reloaded into the poll history.
+	JobsRestored int
+	// JobsResumed counts interrupted jobs re-enqueued for completion.
+	JobsResumed int
+	// JobsFailed counts jobs that could not be resumed (unparseable
+	// envelope, unresolvable model spec, or a full queue); they land in
+	// history in the failed state with the reason.
+	JobsFailed int
+}
+
+// Restore reloads the server's warm state from its durable store. Call
+// it once, after New and before serving traffic: resuming jobs resolves
+// (and may train) their models, so it can take as long as a -preload.
+// Without a store it is a no-op.
+func (s *Server) Restore() (RestoreSummary, error) {
+	var sum RestoreSummary
+	if s.store == nil || !s.restored.CompareAndSwap(false, true) {
+		return sum, nil
+	}
+	type jobAcc struct {
+		env     *wire.JobEnvelope
+		results map[int]wire.CorpusResult
+	}
+	jobs := make(map[string]*jobAcc)
+	acc := func(id string) *jobAcc {
+		a, ok := jobs[id]
+		if !ok {
+			a = &jobAcc{results: make(map[int]wire.CorpusResult)}
+			jobs[id] = a
+		}
+		return a
+	}
+	err := s.store.Scan(func(rec *wire.Record) bool {
+		switch rec.Kind {
+		case wire.RecordExplanation:
+			if rec.Explanation != nil {
+				// Scan order is LRU→MRU, so the rehydrated result store
+				// inherits the previous process's recency order.
+				s.results.put(rec.Key, rec.Explanation)
+				sum.Explanations++
+			}
+		case wire.RecordJob:
+			if rec.Job != nil {
+				acc(rec.Job.ID).env = rec.Job
+			}
+		case wire.RecordJobResult:
+			if rec.Result != nil {
+				acc(rec.Result.JobID).results[rec.Result.Index] = rec.Result.CorpusResult
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return sum, err
+	}
+	// Orphaned results (their envelope compacted away) are skipped;
+	// envelopes restore in ID order so resumption is deterministic.
+	ids := make([]string, 0, len(jobs))
+	for id, a := range jobs {
+		if a.env != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s.restoreJob(jobs[id].env, jobs[id].results, &sum)
+	}
+	return sum, nil
+}
+
+// restoreJob rebuilds one persisted job and either parks it in history
+// (terminal) or re-enqueues it (interrupted).
+func (s *Server) restoreJob(env *wire.JobEnvelope, results map[int]wire.CorpusResult, sum *RestoreSummary) {
+	j := &job{
+		id:        env.ID,
+		texts:     env.Blocks,
+		workers:   env.Workers,
+		spec:      env.Spec,
+		snapshot:  env.Config,
+		fromStore: true,
+	}
+	fail := func(format string, args ...any) {
+		j.state = wire.JobFailed
+		j.err = fmt.Sprintf("restore: "+format, args...)
+		// Persist the terminal state so the next restart doesn't pay the
+		// (possibly expensive) resume attempt again.
+		s.jobs.persistJob(j)
+		s.jobs.history.put(j.id, j)
+		sum.JobsFailed++
+	}
+
+	j.blocks = make([]*x86.BasicBlock, len(env.Blocks))
+	for i, src := range env.Blocks {
+		b, err := x86.ParseBlock(src)
+		if err != nil {
+			fail("block %d: %v", i, err)
+			return
+		}
+		j.blocks[i] = b
+	}
+
+	// Replay persisted results in block-index order. (An uninterrupted
+	// single-worker run completes in index order too, so a client that
+	// kept its pagination offset across the restart re-reads nothing.)
+	idxs := make([]int, 0, len(results))
+	for i := range results {
+		if i >= 0 && i < len(j.blocks) {
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Ints(idxs)
+	j.restored = make(map[int]bool, len(idxs))
+	for _, i := range idxs {
+		res := results[i]
+		j.restored[i] = true
+		j.results = append(j.results, res)
+		j.done++
+		if res.Error != "" {
+			j.failed++
+		}
+	}
+
+	if j.done >= len(j.blocks) {
+		// Every block persisted before the restart: terminal, straight
+		// into the poll history under its original ID.
+		if j.failed > 0 {
+			j.state = wire.JobFailed
+			j.err = fmt.Sprintf("%d of %d blocks failed", j.failed, len(j.blocks))
+		} else {
+			j.state = wire.JobDone
+		}
+		if env.State != j.state {
+			s.jobs.persistJob(j) // settle the envelope's recorded state
+		}
+		s.jobs.history.put(j.id, j)
+		sum.JobsRestored++
+		return
+	}
+
+	if env.State == wire.JobFailed {
+		// A previous restore already declared this job unresumable;
+		// honor that instead of re-attempting (and re-paying) the
+		// resume on every restart.
+		j.state = wire.JobFailed
+		j.err = env.Error
+		s.jobs.history.put(j.id, j)
+		sum.JobsRestored++
+		return
+	}
+
+	// Interrupted: resolve the model (operator-trusted — the spec was
+	// accepted and canonicalized before it was persisted) and resume.
+	entry, err := s.models.get(env.Spec, "hsw", true)
+	if err != nil {
+		fail("resolving %s: %v", env.Spec, err)
+		return
+	}
+	j.entry = entry
+	j.cfg = env.Config.Apply(s.cfg.Base)
+	if err := s.jobs.resubmit(j); err != nil {
+		fail("re-enqueueing: %v", err)
+		return
+	}
+	sum.JobsResumed++
+}
+
+// handleJobs serves GET /v1/jobs: every job the server knows — queued,
+// running, finished (until history eviction), and jobs restored from the
+// durable store after a restart — so resumed jobs are discoverable
+// without the client having remembered their IDs.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.JobsResponse{Jobs: s.jobs.list()})
+}

@@ -1,0 +1,361 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/persist"
+	"github.com/comet-explain/comet/internal/uica"
+	"github.com/comet-explain/comet/internal/wire"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+func openTestStore(t *testing.T, dir string) *persist.Log {
+	t.Helper()
+	log, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// startStoreServer builds a server over an open store, registering the
+// counting model and restoring before traffic, like comet-serve does.
+func startStoreServer(t *testing.T, store persist.Store, model *countingModel) (*Server, *httptest.Server, RestoreSummary) {
+	t.Helper()
+	s := New(Config{Store: store, JobCheckpointEvery: 1})
+	s.RegisterModel("counting", x86.Haswell, model, 0)
+	sum, err := s.Restore()
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts, sum
+}
+
+// TestWarmRestartServesPersistedExplanations is the warm-restart
+// acceptance path: a second process with the same store directory
+// answers a repeat explain request byte-identically with zero model
+// work.
+func TestWarmRestartServesPersistedExplanations(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	req := wire.ExplainRequest{Block: testBlock, Model: "counting", Config: fastOverrides()}
+
+	// Process 1: compute and persist.
+	store1 := openTestStore(t, dir)
+	model1 := &countingModel{inner: uica.New(x86.Haswell)}
+	_, ts1, _ := startStoreServer(t, store1, model1)
+	resp, body1 := postJSON(t, ts1.URL+"/v1/explain", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain: %d: %s", resp.StatusCode, body1)
+	}
+	if model1.calls.Load() == 0 {
+		t.Fatal("first process computed nothing")
+	}
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process 2: fresh server, fresh model instance, same directory.
+	store2 := openTestStore(t, dir)
+	t.Cleanup(func() { store2.Close() })
+	model2 := &countingModel{inner: uica.New(x86.Haswell)}
+	s2, ts2, sum := startStoreServer(t, store2, model2)
+	if sum.Explanations != 1 {
+		t.Fatalf("restored %d explanations, want 1", sum.Explanations)
+	}
+	resp, body2 := postJSON(t, ts2.URL+"/v1/explain", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain after restart: %d: %s", resp.StatusCode, body2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("restarted server served different bytes:\n%s\n%s", body1, body2)
+	}
+	if calls := model2.calls.Load(); calls != 0 {
+		t.Errorf("restarted server cost %d model calls, want 0", calls)
+	}
+	if s2.metrics.resultStoreHits.Load() == 0 {
+		t.Error("restored explanation did not hit the rehydrated result store")
+	}
+
+	// The store surfaces on /metrics.
+	httpResp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(httpResp.Body)
+	httpResp.Body.Close()
+	for _, want := range []string{"comet_store_entries 1", "comet_store_puts_total"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestPersistLookupWithoutRestore: even with a cold in-memory LRU (no
+// Restore), an explain request falls through to the durable store.
+func TestPersistLookupWithoutRestore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	req := wire.ExplainRequest{Block: testBlock, Model: "counting", Config: fastOverrides()}
+
+	store1 := openTestStore(t, dir)
+	model1 := &countingModel{inner: uica.New(x86.Haswell)}
+	_, ts1, _ := startStoreServer(t, store1, model1)
+	_, body1 := postJSON(t, ts1.URL+"/v1/explain", req)
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2 := openTestStore(t, dir)
+	t.Cleanup(func() { store2.Close() })
+	model2 := &countingModel{inner: uica.New(x86.Haswell)}
+	s2 := New(Config{Store: store2}) // no Restore: LRU is cold
+	s2.RegisterModel("counting", x86.Haswell, model2, 0)
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+
+	_, body2 := postJSON(t, ts2.URL+"/v1/explain", req)
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("durable-store fallback served different bytes:\n%s\n%s", body1, body2)
+	}
+	if calls := model2.calls.Load(); calls != 0 {
+		t.Errorf("fallback cost %d model calls, want 0", calls)
+	}
+	if s2.metrics.persistHits.Load() != 1 {
+		t.Errorf("persist hits = %d, want 1", s2.metrics.persistHits.Load())
+	}
+}
+
+// TestRestoredJobResumesWhereItStopped: a job persisted mid-run (its
+// envelope plus one completed result) is re-enqueued on restore under
+// its original ID; the restored result is served verbatim — never
+// recomputed — and the remaining blocks are explained with their
+// original per-block seeds, exactly as an uninterrupted run would have.
+func TestRestoredJobResumesWhereItStopped(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	const jobID = "job-cafe0001-1"
+	srcs := []string{
+		testBlock,
+		"imul rax, rbx\nimul rax, rcx",
+		"add rax, rbx\nsub rcx, rdx\nxor rsi, rsi",
+	}
+	texts := make([]string, len(srcs))
+	for i, src := range srcs {
+		texts[i] = x86.MustParseBlock(src).String()
+	}
+	// The snapshot a counting-model job with fastOverrides would persist.
+	snap := wire.ConfigSnapshot{
+		Epsilon:            0.5,
+		PrecisionThreshold: 0.7,
+		CoverageSamples:    150,
+		BatchSize:          64,
+		Parallelism:        1,
+		Seed:               1,
+	}
+	// Block 0's persisted result carries a marker prediction no
+	// computation would produce: if it survives to the final results,
+	// the restored record was served, not recomputed.
+	marker := &wire.Explanation{Block: texts[0], Model: "counting", Prediction: 42}
+
+	seed := openTestStore(t, dir)
+	mustPut := func(rec *wire.Record) {
+		t.Helper()
+		if err := seed.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPut(&wire.Record{V: wire.RecordVersion, Kind: wire.RecordJob, Key: persist.JobKey(jobID), Spec: "counting@hsw",
+		Job: &wire.JobEnvelope{ID: jobID, State: wire.JobRunning, Spec: "counting@hsw", Blocks: texts, Config: snap, Workers: 1}})
+	mustPut(&wire.Record{V: wire.RecordVersion, Kind: wire.RecordJobResult, Key: persist.JobResultKey(jobID, 0), Spec: "counting@hsw",
+		Result: &wire.JobResult{JobID: jobID, CorpusResult: wire.CorpusResult{Index: 0, Block: texts[0], Explanation: marker}}})
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store := openTestStore(t, dir)
+	t.Cleanup(func() { store.Close() })
+	model := &countingModel{inner: uica.New(x86.Haswell)}
+	_, ts, sum := startStoreServer(t, store, model)
+	if sum.JobsResumed != 1 {
+		t.Fatalf("restore summary %+v, want exactly 1 resumed job", sum)
+	}
+
+	// The resumed job is pollable under its original, pre-restart ID and
+	// discoverable in the jobs listing.
+	var st wire.JobStatus
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job never finished: %+v", st)
+		}
+		r := getJSON(t, fmt.Sprintf("%s/v1/jobs/%s", ts.URL, jobID), &st)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("polling resumed job: status %d", r.StatusCode)
+		}
+		if st.State == wire.JobDone || st.State == wire.JobFailed {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.State != wire.JobDone || st.Done != 3 || st.Failed != 0 || len(st.Results) != 3 {
+		t.Fatalf("resumed job did not complete cleanly: %+v", st)
+	}
+
+	// Result 0 is the restored record, byte-for-byte.
+	if st.Results[0].Index != 0 || st.Results[0].Explanation == nil || st.Results[0].Explanation.Prediction != 42 {
+		t.Errorf("restored result was recomputed or reordered: %+v", st.Results[0])
+	}
+
+	// Blocks 1 and 2 were computed with their original per-block seeds:
+	// identical to a direct library run at BlockSeed(1, i).
+	byIndex := make(map[int]wire.CorpusResult)
+	for _, r := range st.Results {
+		byIndex[r.Index] = r
+	}
+	for _, i := range []int{1, 2} {
+		res, ok := byIndex[i]
+		if !ok || res.Explanation == nil {
+			t.Fatalf("block %d missing from resumed results", i)
+		}
+		cfg := core.DefaultConfig()
+		cfg.CoverageSamples = 150
+		cfg.Parallelism = 1
+		cfg.Seed = core.BlockSeed(1, i)
+		ref, err := core.NewExplainer(uica.New(x86.Haswell), cfg).Explain(x86.MustParseBlock(srcs[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := wire.FromExplanation(ref)
+		if res.Explanation.Prediction != want.Prediction ||
+			fmt.Sprint(res.Explanation.Features) != fmt.Sprint(want.Features) {
+			t.Errorf("block %d: resumed explanation differs from the uninterrupted reference:\n got %+v\nwant %+v",
+				i, res.Explanation, want)
+		}
+	}
+
+	var list wire.JobsResponse
+	if r := getJSON(t, ts.URL+"/v1/jobs", &list); r.StatusCode != http.StatusOK {
+		t.Fatalf("jobs list: status %d", r.StatusCode)
+	}
+	found := false
+	for _, j := range list.Jobs {
+		if j.ID == jobID {
+			found = true
+			if !j.Restored || j.State != wire.JobDone || j.Done != 3 {
+				t.Errorf("listed resumed job wrong: %+v", j)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("resumed job %s not in GET /v1/jobs: %+v", jobID, list.Jobs)
+	}
+}
+
+// TestUnresumableJobFailsOnceAndStaysFailed: a persisted job whose model
+// can no longer resolve is marked failed — durably, so the next restart
+// does not re-pay the resume attempt or flip the job back to queued.
+func TestUnresumableJobFailsOnceAndStaysFailed(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	const jobID = "job-dead0001-1"
+	texts := []string{x86.MustParseBlock(testBlock).String()}
+
+	seed := openTestStore(t, dir)
+	err := seed.Put(&wire.Record{V: wire.RecordVersion, Kind: wire.RecordJob, Key: persist.JobKey(jobID), Spec: "ghost@hsw",
+		Job: &wire.JobEnvelope{ID: jobID, State: wire.JobRunning, Spec: "ghost@hsw", Blocks: texts,
+			Config: wire.ConfigSnapshot{Epsilon: 0.5, PrecisionThreshold: 0.7, CoverageSamples: 150, BatchSize: 64, Parallelism: 1, Seed: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart 1: the unknown spec fails the resume; the failure is
+	// persisted.
+	store1 := openTestStore(t, dir)
+	s1 := New(Config{Store: store1})
+	sum, err := s1.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.JobsFailed != 1 || sum.JobsResumed != 0 {
+		t.Fatalf("restart 1 summary %+v, want 1 failed", sum)
+	}
+	j, ok := s1.jobs.get(jobID)
+	if !ok || j.summary().State != wire.JobFailed {
+		t.Fatalf("job not parked as failed: %v %+v", ok, j)
+	}
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart 2: the persisted failed envelope is honored — no second
+	// resume attempt, same terminal state.
+	store2 := openTestStore(t, dir)
+	t.Cleanup(func() { store2.Close() })
+	s2 := New(Config{Store: store2})
+	sum2, err := s2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.JobsFailed != 0 || sum2.JobsResumed != 0 || sum2.JobsRestored != 1 {
+		t.Fatalf("restart 2 summary %+v, want 1 restored (terminal) and nothing re-attempted", sum2)
+	}
+	j2, ok := s2.jobs.get(jobID)
+	if !ok || j2.summary().State != wire.JobFailed {
+		t.Fatalf("failed job did not stay failed across restarts: %v %+v", ok, j2)
+	}
+}
+
+// TestJobsListEndpoint: GET /v1/jobs enumerates submitted jobs with
+// their states.
+func TestJobsListEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := wire.CorpusRequest{Blocks: []string{testBlock}, Model: "uica", Config: fastOverrides()}
+	_, st1 := submitCorpus(t, ts.URL, req)
+	_, st2 := submitCorpus(t, ts.URL, req)
+
+	var list wire.JobsResponse
+	if r := getJSON(t, ts.URL+"/v1/jobs", &list); r.StatusCode != http.StatusOK {
+		t.Fatalf("jobs list: status %d", r.StatusCode)
+	}
+	if len(list.Jobs) != 2 {
+		t.Fatalf("listed %d jobs, want 2: %+v", len(list.Jobs), list.Jobs)
+	}
+	for i := 1; i < len(list.Jobs); i++ {
+		if list.Jobs[i-1].ID >= list.Jobs[i].ID {
+			t.Errorf("jobs not sorted by ID: %+v", list.Jobs)
+		}
+	}
+	seen := map[string]bool{}
+	for _, j := range list.Jobs {
+		seen[j.ID] = true
+		if j.State != wire.JobDone || j.Total != 1 || j.Done != 1 || j.Restored {
+			t.Errorf("job summary wrong: %+v", j)
+		}
+	}
+	if !seen[st1.ID] || !seen[st2.ID] {
+		t.Errorf("listing %v missing submitted jobs %s / %s", list.Jobs, st1.ID, st2.ID)
+	}
+
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs", struct{}{}); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/jobs: status %d, want 405", resp.StatusCode)
+	}
+}

@@ -8,6 +8,7 @@
 //	POST /v1/explain    synchronous single-block explanation
 //	POST /v1/predict    batch cost-model queries (the remote-model backend)
 //	POST /v1/corpus     asynchronous corpus job (bounded queue, 429 on overflow)
+//	GET  /v1/jobs       list every known job (queued, running, finished, restored)
 //	GET  /v1/jobs/{id}  job status + paginated results (?offset=&limit=)
 //	GET  /v1/models     registered model specs + their default configs
 //	GET  /healthz       liveness
@@ -32,6 +33,11 @@
 //   - Explanations are reproducible: per-request sampling parallelism
 //     defaults to 1, so the same request body always yields the same
 //     explanation, equal to a library Explain call at the same seed.
+//   - With a durable store (Config.Store), computed explanations and
+//     corpus-job checkpoints outlive the process: Restore reloads warm
+//     results and resumes interrupted jobs with output identical to an
+//     uninterrupted run. The store is an accelerator, never a
+//     dependency — its failures are counted, not surfaced.
 package service
 
 import (
@@ -40,6 +46,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -48,6 +55,7 @@ import (
 
 	"github.com/comet-explain/comet/internal/core"
 	"github.com/comet-explain/comet/internal/costmodel"
+	"github.com/comet-explain/comet/internal/persist"
 	"github.com/comet-explain/comet/internal/wire"
 	"github.com/comet-explain/comet/internal/x86"
 )
@@ -96,6 +104,17 @@ type Config struct {
 	JobHistorySize int
 	// MaxBodyBytes caps request bodies (0 = 8 MiB).
 	MaxBodyBytes int64
+	// Store, when non-nil, is the durable explanation/job store: every
+	// computed explanation and every corpus-job checkpoint is persisted
+	// to it, and Restore reloads warm results and resumes interrupted
+	// jobs after a restart. The caller opens and closes it (see
+	// persist.Open and the comet-serve -store-dir flag).
+	Store persist.Store
+	// JobCheckpointEvery fsyncs the store every N completed corpus-job
+	// blocks (0 = 16). Individual results are OS-durable (survive
+	// SIGKILL) as soon as they complete; the checkpoint cadence only
+	// bounds what a power loss can lose.
+	JobCheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +153,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.JobCheckpointEvery <= 0 {
+		c.JobCheckpointEvery = 16
+	}
 	return c
 }
 
@@ -149,6 +171,7 @@ type Server struct {
 	jobs    *jobManager
 	metrics *metrics
 	mux     *http.ServeMux
+	store   persist.Store
 
 	explainSlots   chan struct{}
 	explainWaiting atomic.Int64
@@ -156,6 +179,7 @@ type Server struct {
 	ctx      context.Context
 	cancel   context.CancelFunc
 	draining atomic.Bool
+	restored atomic.Bool
 }
 
 // New builds a server. Models warm lazily on first use; use RegisterModel
@@ -167,13 +191,15 @@ func New(cfg Config) *Server {
 		cfg:          cfg,
 		models:       newModelRegistry(cfg.PredictionCacheSize, cfg.TrainBlocks, cfg.MaxModelEntries, cfg.AllowRestrictedSpecs),
 		results:      newLRUStore[*wire.Explanation](cfg.ResultStoreSize),
-		jobs:         newJobManager(ctx, cfg.JobWorkers, cfg.JobQueueDepth, cfg.JobHistorySize),
 		metrics:      newMetrics(),
 		mux:          http.NewServeMux(),
+		store:        cfg.Store,
 		explainSlots: make(chan struct{}, cfg.MaxConcurrentExplains),
 		ctx:          ctx,
 		cancel:       cancel,
 	}
+	s.jobs = newJobManager(ctx, cfg.JobWorkers, cfg.JobQueueDepth, cfg.JobHistorySize,
+		cfg.JobCheckpointEvery, cfg.Store, s.storeError)
 	// Client-initiated model warm-ups (training, remote handshakes) share
 	// the explain concurrency budget instead of running unbounded.
 	s.models.warmGate = func() (func(), error) {
@@ -185,6 +211,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/explain", s.instrument("explain", s.handleExplain))
 	s.mux.HandleFunc("/v1/predict", s.instrument("predict", s.handlePredict))
 	s.mux.HandleFunc("/v1/corpus", s.instrument("corpus", s.handleCorpus))
+	s.mux.HandleFunc("/v1/jobs", s.instrument("jobs", s.handleJobs))
 	s.mux.HandleFunc("/v1/jobs/", s.instrument("jobs", s.handleJob))
 	s.mux.HandleFunc("/v1/models", s.instrument("models", s.handleModels))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
@@ -297,14 +324,56 @@ func requestOptions(entry *modelEntry, o *wire.ConfigOverrides) []core.ExplainOp
 	return append(opts, o.Options()...)
 }
 
-// explainKey is the single-flight / result-store identity of a request:
-// everything that can change the explanation bytes. cfg must be the
-// explainer's effective config for the request's options.
-func explainKey(entry *modelEntry, cfg core.Config, blockText string) string {
-	return fmt.Sprintf("%s|eps=%g|thr=%g|cov=%d|batch=%d|par=%d|seed=%d|%s",
-		entry.specString(),
-		cfg.Epsilon, cfg.PrecisionThreshold, cfg.CoverageSamples,
-		cfg.BatchSize, cfg.Parallelism, cfg.Seed, blockText)
+// explainKey is the single-flight / result-store / durable-store
+// identity of a request: the content address over everything that can
+// change the explanation bytes — canonical spec, effective config,
+// canonical block text. snap must be the snapshot of the explainer's
+// effective config for the request's options, so the in-memory LRU and
+// the on-disk store agree on keys across processes.
+func explainKey(entry *modelEntry, snap wire.ConfigSnapshot, blockText string) string {
+	return persist.ExplanationKey(entry.specString(), snap, blockText)
+}
+
+// persistLookup consults the durable store on a result-store miss,
+// rehydrating the in-memory LRU on a hit.
+func (s *Server) persistLookup(key string) (*wire.Explanation, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	rec, ok := s.store.Get(wire.RecordExplanation, key)
+	if !ok || rec.Explanation == nil {
+		s.metrics.persistMisses.Add(1)
+		return nil, false
+	}
+	s.metrics.persistHits.Add(1)
+	s.results.put(key, rec.Explanation)
+	return rec.Explanation, true
+}
+
+// persistPut deposits a freshly computed explanation in the durable
+// store. Persistence failures are counted, never surfaced to the client.
+func (s *Server) persistPut(key, spec string, snap wire.ConfigSnapshot, expl *wire.Explanation) {
+	if s.store == nil {
+		return
+	}
+	err := s.store.Put(&wire.Record{
+		V:           wire.RecordVersion,
+		Kind:        wire.RecordExplanation,
+		Key:         key,
+		Spec:        spec,
+		Config:      &snap,
+		Explanation: expl,
+	})
+	if err != nil {
+		s.storeError(err)
+	}
+}
+
+// storeError counts a durable-store failure. The store is an
+// accelerator, not a dependency: requests and jobs proceed without it.
+func (s *Server) storeError(err error) {
+	s.metrics.storeErrors.Add(1)
+	fmt.Fprintf(os.Stderr, "comet-serve: durable store: %v\n", err)
 }
 
 // handleExplain serves POST /v1/explain.
@@ -338,10 +407,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := requestOptions(entry, req.Config)
 	cfg := core.ApplyOptions(s.cfg.Base, opts...)
-	key := explainKey(entry, cfg, block.String())
+	snap := wire.SnapshotConfig(cfg)
+	key := explainKey(entry, snap, block.String())
 
 	if expl, ok := s.results.get(key); ok {
 		s.metrics.resultStoreHits.Add(1)
+		writeJSON(w, http.StatusOK, expl)
+		return
+	}
+	if expl, ok := s.persistLookup(key); ok {
 		writeJSON(w, http.StatusOK, expl)
 		return
 	}
@@ -370,6 +444,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.metrics.explanations.Add(1)
 		wexpl := wire.FromExplanation(expl)
 		s.results.put(key, wexpl)
+		s.persistPut(key, entry.specString(), snap, wexpl)
 		return wexpl, nil
 	})
 	if shared {
@@ -489,11 +564,14 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, modelErrorStatus(err), "%v", err)
 		return
 	}
+	cfg := core.ApplyOptions(s.cfg.Base, requestOptions(entry, req.Config)...)
 	j := &job{
-		blocks:  blocks,
-		entry:   entry,
-		cfg:     core.ApplyOptions(s.cfg.Base, requestOptions(entry, req.Config)...),
-		workers: req.Workers,
+		blocks:   blocks,
+		entry:    entry,
+		cfg:      cfg,
+		workers:  req.Workers,
+		spec:     entry.specString(),
+		snapshot: wire.SnapshotConfig(cfg),
 	}
 	if err := s.jobs.submit(j); err != nil {
 		switch {
@@ -569,6 +647,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	extra = append(extra, s.jobs.gauges()...)
 	extra = append(extra, s.models.cacheGauges()...)
+	if s.store != nil {
+		st := s.store.Stats()
+		extra = append(extra,
+			gauge{name: "comet_store_entries", value: float64(st.Entries)},
+			gauge{name: "comet_store_live_bytes", value: float64(st.LiveBytes)},
+			gauge{name: "comet_store_total_bytes", value: float64(st.TotalBytes)},
+			gauge{name: "comet_store_segments", value: float64(st.Segments)},
+			gauge{name: "comet_store_hits_total", value: float64(st.Hits)},
+			gauge{name: "comet_store_misses_total", value: float64(st.Misses)},
+			gauge{name: "comet_store_puts_total", value: float64(st.Puts)},
+			gauge{name: "comet_store_corrupt_records_total", value: float64(st.CorruptRecords)},
+			gauge{name: "comet_store_evictions_total", value: float64(st.Evictions)},
+			gauge{name: "comet_store_compactions_total", value: float64(st.Compactions)},
+		)
+	}
 	s.metrics.render(&sb, extra)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = w.Write([]byte(sb.String()))

@@ -61,6 +61,17 @@ func (s *lruStore[V]) put(key string, val V) (evicted string, ok bool) {
 	return e.key, true
 }
 
+// values snapshots the stored values, most recently used first.
+func (s *lruStore[V]) values() []V {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]V, 0, s.ll.Len())
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry[V]).val)
+	}
+	return out
+}
+
 // len returns the number of stored entries.
 func (s *lruStore[V]) len() int {
 	s.mu.Lock()
