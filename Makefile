@@ -7,7 +7,7 @@ GO ?= go
 # verify-store can audit them afterwards.
 E2E_STORE_DIR ?= /tmp/comet-e2e-store
 
-.PHONY: build test test-race test-e2e verify-store examples bench bench-smoke lint vet fmt fmt-check
+.PHONY: build test test-race test-e2e test-cluster verify-store examples bench bench-smoke lint vet fmt fmt-check
 
 build:
 	$(GO) build ./...
@@ -32,12 +32,21 @@ test-race:
 test-e2e:
 	COMET_E2E_STORE_DIR=$(E2E_STORE_DIR) $(GO) test -race -run 'TestServeEndToEnd|TestServeKillResumeByteIdentical' -v ./cmd/comet-serve
 
-# Audit the durable store the e2e kill/resume test left behind: every
-# frame checksummed, corruption reported (and -strict fails the build on
-# any — after a graceful exit the store must be clean).
+# Cluster e2e: a coordinator shards a corpus job across two real worker
+# processes; one worker is SIGKILLed mid-lease and the coordinator is
+# SIGKILLed and restarted on the same store — the job must complete with
+# per-block JSON byte-identical to a single-process run.
+test-cluster:
+	COMET_E2E_STORE_DIR=$(E2E_STORE_DIR) $(GO) test -race -run TestClusterE2E -v ./cmd/comet-serve
+
+# Audit the durable stores the e2e tests left behind: every frame
+# checksummed, corruption reported (and -strict fails the build on any —
+# after a graceful exit the stores must be clean).
 verify-store:
 	$(GO) run ./cmd/comet-store -dir $(E2E_STORE_DIR)/kill-resume -strict verify
 	$(GO) run ./cmd/comet-store -dir $(E2E_STORE_DIR)/kill-resume stats
+	$(GO) run ./cmd/comet-store -dir $(E2E_STORE_DIR)/cluster -strict verify
+	$(GO) run ./cmd/comet-store -dir $(E2E_STORE_DIR)/cluster stats
 
 # Full benchmark suite (regenerates the paper's tables at benchmark scale).
 bench:

@@ -7,22 +7,30 @@
 //	comet-bench -experiment table2
 //	comet-bench -all
 //	comet-bench -all -full        # paper-scale parameters (hours)
-//	comet-bench -corpus 50        # batched ExplainAll vs sequential Explain
-//	comet-bench -corpus 50 -store # warm durable-store speedup (cold vs disk-served)
+//	comet-bench -corpus 50            # batched ExplainAll vs sequential Explain
+//	comet-bench -corpus 50 -store     # warm durable-store speedup (cold vs disk-served)
+//	comet-bench -corpus 50 -cluster 4 # shard across 4 in-process workers; 1→N scaling
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
 	"github.com/comet-explain/comet"
+	"github.com/comet-explain/comet/internal/cluster"
+	"github.com/comet-explain/comet/internal/core"
 	"github.com/comet-explain/comet/internal/experiments"
 	"github.com/comet-explain/comet/internal/persist"
+	"github.com/comet-explain/comet/internal/service"
+	"github.com/comet-explain/comet/internal/wire"
 )
 
 func main() {
@@ -42,14 +50,18 @@ func main() {
 		jsonOut     = flag.String("json-out", "", `write a machine-readable corpus benchmark summary to this file (e.g. BENCH_corpus.json) so the repo's perf trajectory is tracked run over run`)
 		storeMode   = flag.Bool("store", false, "with -corpus: benchmark the durable explanation store instead — a cold pass that populates a fresh store, then a warm pass served from it, reporting the warm speedup and store hit/miss counters")
 		storeDir    = flag.String("store-dir", "", "store benchmark directory (default: a temp dir, removed afterwards)")
+		clusterW    = flag.Int("cluster", 0, "with -corpus: benchmark the sharded cluster instead — spawn N in-process comet-serve workers, shard the corpus across 1 and then all N, and report scaling efficiency and re-lease counts (results byte-checked against a local run)")
 	)
 	flag.Parse()
 
 	if *corpusN > 0 {
 		var err error
-		if *storeMode {
+		switch {
+		case *clusterW > 0:
+			err = clusterBench(*corpusModel, *corpusN, *workers, *clusterW, *jsonOut)
+		case *storeMode:
 			err = storeBench(*corpusModel, *corpusN, *workers, *storeDir, *jsonOut)
-		} else {
+		default:
 			err = corpusBench(*corpusModel, *corpusN, *workers, *jsonOut)
 		}
 		if err != nil {
@@ -129,6 +141,19 @@ type benchSummary struct {
 	StoreHits        uint64  `json:"store_hits,omitempty"`
 	StoreMisses      uint64  `json:"store_misses,omitempty"`
 	StoreBytes       int64   `json:"store_bytes,omitempty"`
+
+	// Cluster-benchmark fields (-cluster N): the corpus sharded across 1
+	// worker and then across all N, byte-checked against a local run.
+	// Efficiency is Speedup/N — 1.0 is perfect linear scaling (expect
+	// far less when all N workers share one machine's cores, as here).
+	ClusterWorkers       int     `json:"cluster_workers,omitempty"`
+	ClusterSingleSeconds float64 `json:"cluster_single_seconds,omitempty"`
+	ClusterSeconds       float64 `json:"cluster_seconds,omitempty"`
+	ClusterSpeedup       float64 `json:"cluster_speedup,omitempty"`
+	ClusterEfficiency    float64 `json:"cluster_efficiency,omitempty"`
+	ClusterLeases        uint64  `json:"cluster_leases,omitempty"`
+	ClusterReleases      uint64  `json:"cluster_releases,omitempty"`
+	ClusterStragglers    uint64  `json:"cluster_stragglers,omitempty"`
 }
 
 // corpusBench measures the batched, cached ExplainAll engine against a
@@ -224,6 +249,175 @@ func corpusBench(modelSpec string, n, workers int, jsonOut string) error {
 			CacheHits:         hits,
 			CacheHitRate:      hitRate,
 			ModelCalls:        calls,
+		}
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", jsonOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonOut)
+	}
+	return nil
+}
+
+// clusterBench measures the sharded explanation cluster: clusterW
+// in-process comet-serve workers behind real HTTP, the corpus sharded
+// across one of them and then across all of them by the same lease
+// scheduler cometd's coordinator mode runs. Every pass's per-block wire
+// JSON is compared against a local ExplainAll at the same seed — the
+// distributed runs must be byte-identical, or the bench fails. The
+// single-worker and N-worker passes run on disjoint (cold) workers so
+// cache warmth doesn't flatter the scaling number.
+func clusterBench(modelSpec string, n, workers, clusterW int, jsonOut string) error {
+	spec, err := comet.ParseModelSpec(modelSpec)
+	if err != nil {
+		return err
+	}
+	spec = spec.WithDefaultParam("ithemal", "train", "400")
+	rm, err := comet.ResolveModel(spec)
+	if err != nil {
+		return err
+	}
+	blocks := comet.GenerateBlocks(n, 1)
+	texts := make([]string, len(blocks))
+	for i, b := range blocks {
+		texts[i] = b.String()
+	}
+
+	cfg := comet.DefaultConfig()
+	cfg.Epsilon = rm.Epsilon
+	cfg.CoverageSamples = 500
+	// Shard bytes must not depend on any machine's core count.
+	cfg.Parallelism = 1
+	snap := wire.SnapshotConfig(core.ApplyOptions(cfg))
+	arch := wire.ArchName(rm.Model.Arch())
+
+	// Local reference: the bytes every distributed pass must reproduce.
+	localExpls, err := comet.NewExplainer(rm.Model, cfg).ExplainCorpus(blocks, comet.CorpusOptions{Workers: workers})
+	if err != nil {
+		return fmt.Errorf("local reference pass: %w", err)
+	}
+	// The comparison bytes zero the cache accounting: cache_hits vs
+	// model_calls depends on shared-cache warmth (the local run shares
+	// one cache across all blocks; disjoint workers can't), while every
+	// other field must match exactly.
+	normalize := func(e *wire.Explanation) ([]byte, error) {
+		n := *e
+		n.CacheHits, n.ModelCalls = 0, 0
+		return json.Marshal(&n)
+	}
+	ref := make(map[int][]byte, len(localExpls))
+	for i, e := range localExpls {
+		raw, err := normalize(wire.FromExplanation(e))
+		if err != nil {
+			return err
+		}
+		ref[i] = raw
+	}
+
+	// 1+N in-process workers; each pass gets cold ones. Models are
+	// warmed before the clock starts, like a production pool would be.
+	startWorker := func() (string, func(), error) {
+		srv := service.New(service.Config{})
+		if err := srv.WarmModel(rm.Spec.String(), arch); err != nil {
+			return "", nil, err
+		}
+		srv.SetReady()
+		ts := httptest.NewServer(srv.Handler())
+		return ts.URL, func() {
+			ts.Close()
+			_ = srv.Shutdown(context.Background())
+		}, nil
+	}
+	urls := make([]string, clusterW+1)
+	for i := range urls {
+		u, cleanup, err := startWorker()
+		if err != nil {
+			return fmt.Errorf("starting worker %d: %w", i, err)
+		}
+		defer cleanup()
+		urls[i] = u
+	}
+
+	runPass := func(passURLs []string) (time.Duration, wire.ClusterStatus, error) {
+		coord := cluster.New(cluster.NewPool(passURLs, cluster.Options{}), cluster.Options{})
+		got := make(map[int][]byte, len(blocks))
+		var emitErr error
+		start := time.Now()
+		err := coord.Run(context.Background(), cluster.Job{
+			ID:      "bench",
+			Spec:    rm.Spec.String(),
+			Arch:    arch,
+			Config:  snap,
+			Blocks:  texts,
+			Workers: workers,
+		}, func(res cluster.Result) {
+			if res.Error != "" {
+				if emitErr == nil {
+					emitErr = fmt.Errorf("block %d: %s", res.Index, res.Error)
+				}
+				return
+			}
+			raw, err := normalize(res.Explanation)
+			if err == nil {
+				got[res.Index] = raw
+			} else if emitErr == nil {
+				emitErr = err
+			}
+		})
+		elapsed := time.Since(start)
+		if err == nil {
+			err = emitErr
+		}
+		if err != nil {
+			return elapsed, coord.Status(), err
+		}
+		for i := range blocks {
+			if !bytes.Equal(got[i], ref[i]) {
+				return elapsed, coord.Status(), fmt.Errorf("block %d: sharded explanation differs from local:\n got %s\nwant %s", i, got[i], ref[i])
+			}
+		}
+		return elapsed, coord.Status(), nil
+	}
+
+	singleElapsed, _, err := runPass(urls[:1])
+	if err != nil {
+		return fmt.Errorf("1-worker pass: %w", err)
+	}
+	fullElapsed, fullStatus, err := runPass(urls[1:])
+	if err != nil {
+		return fmt.Errorf("%d-worker pass: %w", clusterW, err)
+	}
+
+	speedup := singleElapsed.Seconds() / fullElapsed.Seconds()
+	fmt.Printf("cluster benchmark: %d blocks, model %s (spec %s), %d workers (in-process, GOMAXPROCS=%d)\n",
+		n, rm.Model.Name(), rm.Spec, clusterW, runtime.GOMAXPROCS(0))
+	fmt.Printf("  1 worker:                       %10v  (%.2f blocks/s)\n",
+		singleElapsed.Round(time.Millisecond), float64(n)/singleElapsed.Seconds())
+	fmt.Printf("  %d workers:                      %10v  (%.2f blocks/s)\n",
+		clusterW, fullElapsed.Round(time.Millisecond), float64(n)/fullElapsed.Seconds())
+	fmt.Printf("  speedup:                        %.2fx (efficiency %.2f; identical bytes vs local)\n",
+		speedup, speedup/float64(clusterW))
+	fmt.Printf("  leases:                         %d dispatched, %d re-leased, %d straggler re-dispatches\n",
+		fullStatus.LeasesDispatched, fullStatus.LeasesReleased, fullStatus.StragglerDispatches)
+
+	if jsonOut != "" {
+		summary := benchSummary{
+			Model:                rm.Model.Name(),
+			Spec:                 rm.Spec.String(),
+			Blocks:               n,
+			Workers:              workers,
+			GoMaxProcs:           runtime.GOMAXPROCS(0),
+			ClusterWorkers:       clusterW,
+			ClusterSingleSeconds: singleElapsed.Seconds(),
+			ClusterSeconds:       fullElapsed.Seconds(),
+			ClusterSpeedup:       speedup,
+			ClusterEfficiency:    speedup / float64(clusterW),
+			ClusterLeases:        fullStatus.LeasesDispatched,
+			ClusterReleases:      fullStatus.LeasesReleased,
+			ClusterStragglers:    fullStatus.StragglerDispatches,
 		}
 		data, err := json.MarshalIndent(summary, "", "  ")
 		if err != nil {

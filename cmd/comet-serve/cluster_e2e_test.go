@@ -1,0 +1,183 @@
+package main
+
+// The cluster acceptance criterion (make test-cluster): a corpus job
+// sharded across two real comet-serve worker processes produces
+// per-block JSON byte-identical to a single-process run at the same
+// seed — including after one worker is SIGKILLed mid-lease and the
+// coordinator itself is SIGKILLed and restarted on the same -store-dir.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/comet-explain/comet/internal/wire"
+)
+
+// clusterJSON compares explanation content; the cache-warmth accounting
+// legitimately differs between runs.
+func clusterJSON(t *testing.T, results []wire.CorpusResult) map[int][]byte {
+	t.Helper()
+	m := make(map[int][]byte, len(results))
+	for _, r := range results {
+		if r.Explanation == nil {
+			t.Fatalf("result %d has no explanation: %+v", r.Index, r)
+		}
+		e := *r.Explanation
+		e.CacheHits, e.ModelCalls = 0, 0
+		b, err := json.Marshal(&e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m[r.Index] = b
+	}
+	return m
+}
+
+func TestClusterE2EKillWorkerAndCoordinator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping cluster e2e test in -short mode")
+	}
+	storeRoot := os.Getenv("COMET_E2E_STORE_DIR")
+	if storeRoot == "" {
+		storeRoot = t.TempDir()
+	}
+	storeDir := filepath.Join(storeRoot, "cluster")
+	if err := os.RemoveAll(storeDir); err != nil {
+		t.Fatal(err)
+	}
+
+	bin := buildServe(t)
+	workerArgs := []string{"-addr", "127.0.0.1:0", "-coverage-samples", "250"}
+	w1 := startServe(t, bin, workerArgs...)
+	w2 := startServe(t, bin, workerArgs...)
+
+	coordArgs := func(workers string) []string {
+		return []string{
+			"-addr", "127.0.0.1:0",
+			"-workers", workers,
+			"-store-dir", storeDir,
+			"-checkpoint-every", "1",
+			"-lease-blocks", "1",
+			"-lease-retries", "6",
+			"-lease-timeout", "2m",
+			"-coverage-samples", "250",
+			"-drain-timeout", "30s",
+		}
+	}
+	co := startServe(t, bin, coordArgs(w1.base+","+w2.base)...)
+
+	req := wire.CorpusRequest{
+		Blocks: []string{
+			"add rcx, rax\nmov rdx, rcx\npop rbx",
+			"imul rax, rbx\nimul rax, rcx",
+			"mov qword ptr [rdi], rax\nmov rbx, qword ptr [rdi]",
+			"vaddss xmm0, xmm1, xmm2\nvmulss xmm3, xmm0, xmm0",
+			"add rax, rbx\nsub rcx, rdx\nxor rsi, rsi",
+			"imul rdx, rsi\nadd rdx, rdi\nmov rax, rdx",
+			"xor rax, rax\nadd rax, rcx\nimul rax, rax",
+			"mov rbx, rcx\nadd rbx, rdx\nsub rbx, rsi",
+		},
+		Model: "uica",
+	}
+	acc := postCorpus(t, co.base, req)
+
+	// Phase 1: SIGKILL worker 1 as soon as the job has made some
+	// progress — leases it holds die with it and must land on worker 2.
+	waitProgress := func(base string, min int) wire.JobStatus {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Minute)
+		var st wire.JobStatus
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("job never reached %d done blocks: %+v", min, st)
+			}
+			st, _ = pollJob(t, base, acc.ID)
+			if st.Done >= min || st.State == wire.JobDone || st.State == wire.JobFailed {
+				return st
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	atKill := waitProgress(co.base, 1)
+	if err := w1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-w1.exited
+	if atKill.State == wire.JobDone {
+		t.Logf("note: job finished (%d/%d) before the worker kill", atKill.Done, len(req.Blocks))
+	}
+
+	// Phase 2: SIGKILL the coordinator mid-job and restart it on the same
+	// store, now with only the surviving worker.
+	atCoordKill := waitProgress(co.base, 2)
+	if err := co.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-co.exited
+	if atCoordKill.State == wire.JobDone {
+		t.Logf("note: job finished (%d/%d) before the coordinator kill; exercising restore-finished instead of resume", atCoordKill.Done, len(req.Blocks))
+	}
+
+	co2 := startServe(t, bin, coordArgs(w2.base)...)
+	resumed := waitJobDone(t, co2.base, acc.ID, 4*time.Minute)
+	if resumed.State != wire.JobDone || resumed.Done != len(req.Blocks) || resumed.Failed != 0 {
+		t.Fatalf("resumed cluster job did not complete cleanly: %+v\ncoordinator stderr:\n%s", resumed, co2.stderr.String())
+	}
+	if resumed.BlocksDone != resumed.Done || resumed.BlocksTotal != len(req.Blocks) {
+		t.Errorf("progress fields out of step: %+v", resumed)
+	}
+
+	// Reference: the same request on a plain single-process server (the
+	// surviving worker) — an uninterrupted local ExplainAll at the same
+	// seed.
+	ref := waitJobDone(t, w2.base, postCorpus(t, w2.base, req).ID, 4*time.Minute)
+	if ref.State != wire.JobDone || ref.Done != len(req.Blocks) {
+		t.Fatalf("reference job did not complete: %+v", ref)
+	}
+
+	got, want := clusterJSON(t, resumed.Results), clusterJSON(t, ref.Results)
+	for i := 0; i < len(req.Blocks); i++ {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("block %d: cluster result differs from single-process run:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+
+	// The cluster surfaces report the topology: the restarted coordinator
+	// knows its worker, and distributed blocks carry worker attribution
+	// (blocks finished before the coordinator kill were restored from the
+	// store, so attribution covers at least the post-restart remainder).
+	resp, err := http.Get(co2.base + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs wire.ClusterStatus
+	err = json.NewDecoder(resp.Body).Decode(&cs)
+	resp.Body.Close()
+	if err != nil || len(cs.Workers) != 1 {
+		t.Errorf("cluster status after restart: %+v (err %v)", cs, err)
+	}
+	if len(resumed.Workers) == 0 && resumed.Done > atCoordKill.Done {
+		t.Errorf("resumed job carries no worker attribution: %+v", resumed)
+	}
+
+	// Graceful exits: the surviving worker and coordinator drain cleanly.
+	for _, p := range []*serveProc{co2, w2} {
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-p.exited:
+			if err != nil {
+				t.Fatalf("process exited uncleanly: %v\n%s", err, p.stderr.String())
+			}
+		case <-time.After(time.Minute):
+			t.Fatal("process did not exit after SIGTERM")
+		}
+	}
+}

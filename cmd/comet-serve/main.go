@@ -4,14 +4,28 @@
 //
 // API (see the README's Serving section for a curl quickstart):
 //
-//	POST /v1/explain    explain one block synchronously
-//	POST /v1/predict    batch cost-model queries (remote-model backend)
-//	POST /v1/corpus     submit an asynchronous corpus job
-//	GET  /v1/jobs       list every known job (including restored ones)
-//	GET  /v1/jobs/{id}  poll a job (?offset=&limit= paginate results)
-//	GET  /v1/models     registered model specs + default configs
-//	GET  /healthz       liveness
-//	GET  /metrics       Prometheus text metrics
+//	POST /v1/explain        explain one block synchronously
+//	POST /v1/predict        batch cost-model queries (remote-model backend)
+//	POST /v1/corpus         submit an asynchronous corpus job
+//	GET  /v1/jobs           list every known job (including restored ones)
+//	GET  /v1/jobs/{id}      poll a job (?offset=&limit= paginate results)
+//	GET  /v1/models         registered model specs + default configs
+//	POST /v1/shard          execute one lease of a sharded corpus job
+//	POST /v1/cluster/join   worker self-registration + heartbeat (coordinator)
+//	GET  /v1/cluster        worker pool + lease-scheduler counters (coordinator)
+//	GET  /healthz           liveness
+//	GET  /readyz            readiness (200 only after warm-up and Restore)
+//	GET  /metrics           Prometheus text metrics
+//
+// Cluster mode: -coordinator (or a static -workers url1,url2 list) turns
+// the server into a coordinator that shards corpus jobs across workers;
+// -join <coordinator-url> turns it into a worker that self-registers and
+// heartbeats. Leases carry the original per-block seeds and effective
+// config, so a sharded job's per-block JSON is byte-identical to a
+// single-process run (modulo the cache-warmth accounting fields
+// cache_hits/model_calls) — across worker deaths, re-leases, and
+// coordinator restarts (with -store-dir, a restarted coordinator resumes
+// distributed jobs from the store under their original IDs).
 //
 // Models are addressed by registry spec strings — "uica", "c@skl",
 // "ithemal@hsw?hidden=64&train=2000", or "remote@http://other:8372" to
@@ -38,7 +52,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -50,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/comet-explain/comet/internal/cluster"
 	"github.com/comet-explain/comet/internal/core"
 	"github.com/comet-explain/comet/internal/persist"
 	"github.com/comet-explain/comet/internal/service"
@@ -79,6 +96,18 @@ func main() {
 		storeDir     = flag.String("store-dir", "", "durable store directory: explanations and corpus-job checkpoints persist across restarts, which reload warm results and resume interrupted jobs (empty = in-memory only)")
 		storeMax     = flag.Int64("store-max-bytes", 1<<30, "durable-store live-data budget enforced at compaction (0 = 1 GiB; negative = unbounded)")
 		checkpoint   = flag.Int("checkpoint-every", 16, "fsync the durable store every N completed corpus-job blocks (completed blocks survive SIGKILL regardless; this bounds power-loss exposure)")
+
+		coordinator  = flag.Bool("coordinator", false, "coordinator mode: shard corpus jobs across cluster workers (static -workers list plus POST /v1/cluster/join self-registration)")
+		workersList  = flag.String("workers", "", "comma-separated worker base URLs to seed the cluster pool (implies -coordinator)")
+		joinURL      = flag.String("join", "", "worker mode: register with this coordinator base URL and keep heartbeating")
+		advertise    = flag.String("advertise", "", "base URL this worker advertises when joining (default: derived from the listen address; required when listening on a wildcard address)")
+		capacity     = flag.Int("capacity", 1, "worker mode: concurrent leases this worker accepts")
+		heartbeat    = flag.Duration("heartbeat", 5*time.Second, "worker mode: heartbeat interval (keep well under the coordinator's -heartbeat-ttl)")
+		heartbeatTTL = flag.Duration("heartbeat-ttl", 15*time.Second, "coordinator: drop a self-registered worker after this long without a heartbeat")
+		leaseBlocks  = flag.Int("lease-blocks", 4, "coordinator: blocks per lease")
+		leaseTimeout = flag.Duration("lease-timeout", 5*time.Minute, "coordinator: re-lease a dispatched lease after this long without an answer")
+		leaseRetries = flag.Int("lease-retries", 3, "coordinator: dispatch attempts per lease before its blocks fail")
+		straggler    = flag.Duration("straggler-after", 30*time.Second, "coordinator: re-dispatch an in-flight lease to an idle worker after this long")
 	)
 	flag.Parse()
 
@@ -100,6 +129,13 @@ func main() {
 		store = log
 	}
 
+	var staticWorkers []string
+	for _, u := range strings.Split(*workersList, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			staticWorkers = append(staticWorkers, u)
+		}
+	}
+
 	srv := service.New(service.Config{
 		Base:                  base,
 		DefaultModel:          *defaultModel,
@@ -116,6 +152,15 @@ func main() {
 		JobHistorySize:        *jobHistory,
 		JobCheckpointEvery:    *checkpoint,
 		Store:                 store,
+		Coordinator:           *coordinator || len(staticWorkers) > 0,
+		ClusterWorkers:        staticWorkers,
+		Cluster: cluster.Options{
+			LeaseBlocks:    *leaseBlocks,
+			LeaseTimeout:   *leaseTimeout,
+			LeaseRetries:   *leaseRetries,
+			HeartbeatTTL:   *heartbeatTTL,
+			StragglerAfter: *straggler,
+		},
 	})
 
 	if store != nil {
@@ -159,6 +204,24 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
+	// Warm-up (Restore, -preload) is done and the listener is up: report
+	// ready, so load balancers and coordinators may route here.
+	srv.SetReady()
+
+	// Worker mode: self-register with the coordinator and keep
+	// heartbeating until shutdown. Registration starts only now — after
+	// readiness — so a coordinator never learns of a cold worker.
+	stopJoin := func() {}
+	if *joinURL != "" {
+		adv, err := advertiseURL(*advertise, ln)
+		if err != nil {
+			fatal(err)
+		}
+		joinCtx, cancelJoin := context.WithCancel(context.Background())
+		stopJoin = cancelJoin
+		go heartbeatLoop(joinCtx, *joinURL, adv, *capacity, *heartbeat)
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -168,6 +231,7 @@ func main() {
 		fatal(err)
 	}
 
+	stopJoin()
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
@@ -186,6 +250,88 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "comet-serve: bye")
+}
+
+// advertiseURL resolves the base URL a worker advertises to its
+// coordinator: the -advertise flag verbatim, or one derived from the
+// bound listener. A wildcard listen address has no routable host to
+// derive, so loopback is assumed (right for local clusters and tests;
+// real deployments pass -advertise).
+func advertiseURL(flagValue string, ln net.Listener) (string, error) {
+	if flagValue != "" {
+		return cluster.CanonicalURL(flagValue), nil
+	}
+	addr, ok := ln.Addr().(*net.TCPAddr)
+	if !ok {
+		return "", fmt.Errorf("cannot derive -advertise from listener %v; pass -advertise explicitly", ln.Addr())
+	}
+	host := addr.IP.String()
+	if addr.IP.IsUnspecified() {
+		host = "127.0.0.1"
+		fmt.Fprintf(os.Stderr, "comet-serve: listening on a wildcard address; advertising %s:%d (pass -advertise for a routable URL)\n", host, addr.Port)
+	}
+	return fmt.Sprintf("http://%s", net.JoinHostPort(host, fmt.Sprint(addr.Port))), nil
+}
+
+// heartbeatLoop registers the worker with the coordinator and re-joins
+// every interval — the join call doubles as the heartbeat. Failures are
+// retried forever (the coordinator may simply not be up yet); the first
+// successful join and every reconnection are logged.
+func heartbeatLoop(ctx context.Context, coordinatorURL, advertise string, capacity int, interval time.Duration) {
+	coordinatorURL = cluster.CanonicalURL(coordinatorURL)
+	client := &http.Client{Timeout: 10 * time.Second}
+	joined := false
+	// Failures log on every state change (including before the first
+	// successful join — a coordinator missing -coordinator 404s forever,
+	// and that misconfiguration must not be silent) but never repeat, so
+	// a coordinator that is simply still booting doesn't spam the log.
+	lastFailure := ""
+	fail := func(msg string) {
+		if msg != lastFailure {
+			fmt.Fprintf(os.Stderr, "comet-serve: joining %s: %s (retrying every %v)\n", coordinatorURL, msg, interval)
+		}
+		lastFailure = msg
+		joined = false
+	}
+	join := func() {
+		body, _ := json.Marshal(wire.JoinRequest{URL: advertise, Capacity: capacity})
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			coordinatorURL+"/v1/cluster/join", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			fail(err.Error())
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg := fmt.Sprintf("status %d", resp.StatusCode)
+			if resp.StatusCode == http.StatusNotFound {
+				msg += " (is the coordinator running with -coordinator?)"
+			}
+			fail(msg)
+			return
+		}
+		if !joined {
+			fmt.Fprintf(os.Stderr, "comet-serve: joined cluster at %s as %s\n", coordinatorURL, advertise)
+		}
+		joined = true
+		lastFailure = ""
+	}
+	join()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			join()
+		case <-ctx.Done():
+			return
+		}
+	}
 }
 
 func fatal(err error) {

@@ -45,6 +45,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -55,6 +56,8 @@ import (
 	"time"
 
 	"github.com/comet-explain/comet"
+	"github.com/comet-explain/comet/internal/cluster"
+	"github.com/comet-explain/comet/internal/core"
 	"github.com/comet-explain/comet/internal/persist"
 	"github.com/comet-explain/comet/internal/wire"
 )
@@ -74,7 +77,9 @@ func main() {
 		loadModel  = flag.String("load-model", "", "shorthand for the ithemal load= spec parameter")
 		report     = flag.Bool("report", false, "also print the pipeline bottleneck report")
 		corpus     = flag.String("corpus", "", `corpus mode: a file of "---"-separated blocks, or gen:N for a synthetic corpus`)
-		workers    = flag.Int("workers", 0, "corpus mode: concurrent blocks (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "corpus mode: concurrent blocks (0 = GOMAXPROCS); with -cluster, the per-lease concurrency hint sent to each worker")
+		clusterTo  = flag.String("cluster", "", "corpus mode: comma-separated comet-serve worker URLs — shard the corpus across them instead of explaining locally (per-block output is byte-identical apart from cache-accounting counters; pins sampling parallelism to 1)")
+		leaseN     = flag.Int("lease-blocks", 4, "with -cluster: blocks per lease")
 		batchSize  = flag.Int("batch", 0, "model query batch size (0 = default 64)")
 		noCache    = flag.Bool("no-cache", false, "disable the prediction cache")
 		jsonOut    = flag.Bool("json", false, "emit the comet-serve wire format (one explanation object, or one corpus result per line)")
@@ -89,6 +94,34 @@ func main() {
 
 	if *listModels {
 		printModels()
+		return
+	}
+
+	if *clusterTo != "" {
+		if *corpus == "" {
+			fatal(fmt.Errorf("-cluster requires -corpus"))
+		}
+		err := explainClusterCorpus(clusterParams{
+			workerURLs:  *clusterTo,
+			modelSpec:   *modelSpec,
+			arch:        *archName,
+			trainN:      *trainN,
+			loadModel:   *loadModel,
+			corpus:      *corpus,
+			workers:     *workers,
+			leaseBlocks: *leaseN,
+			jsonOut:     *jsonOut,
+			storeDir:    *storeDir,
+			resume:      *resume,
+			seed:        *seed,
+			coverage:    *coverage,
+			threshold:   *threshold,
+			batchSize:   *batchSize,
+			epsilon:     *epsilon,
+		})
+		if err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -325,6 +358,242 @@ func explainCorpus(model comet.CostModel, cfg comet.Config, spec string, workers
 		storeHits, storeMisses := artifacts.Counters()
 		fmt.Fprintf(summary, "store:   %d blocks served from disk, %d computed and persisted\n",
 			storeHits, storeMisses)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d blocks failed", failed, len(blocks))
+	}
+	return nil
+}
+
+// clusterParams collects the -cluster corpus invocation's knobs.
+type clusterParams struct {
+	workerURLs  string
+	modelSpec   string
+	arch        string
+	trainN      int
+	loadModel   string
+	corpus      string
+	workers     int
+	leaseBlocks int
+	jsonOut     bool
+	storeDir    string
+	resume      bool
+	seed        int64
+	coverage    int
+	threshold   float64
+	batchSize   int
+	epsilon     float64
+}
+
+// explainClusterCorpus shards a corpus across comet-serve workers
+// through the cluster coordinator — the same lease scheduler cometd's
+// coordinator mode runs — and streams results exactly like the local
+// corpus engine. Per-block seeds travel with every lease, so the output
+// is byte-identical to a local run at the same seed; sampling
+// parallelism is pinned to 1 for exactly that reason. With -store, every
+// block already on disk is served from there (and reported with
+// -resume), and fresh results are persisted, so an interrupted cluster
+// run resumes where it stopped.
+func explainClusterCorpus(p clusterParams) error {
+	blocks, err := loadCorpus(p.corpus)
+	if err != nil {
+		return err
+	}
+	var urls []string
+	for _, u := range strings.Split(p.workerURLs, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-cluster lists no worker URLs")
+	}
+
+	// Canonicalize the spec without resolving it: the workers own the
+	// model; the client only needs the registry identity and the default
+	// ε the spec advertises. The legacy convenience flags fold into the
+	// spec exactly as resolveModel does for local runs, so the same
+	// flags address the same model either way. (Specs that make workers
+	// read files, like load=, require -allow-restricted-specs there.)
+	spec, err := comet.ParseModelSpec(p.modelSpec)
+	if err != nil {
+		return err
+	}
+	spec = spec.WithDefaultTarget(p.arch)
+	if p.trainN > 0 {
+		spec = spec.WithDefaultParam("ithemal", "train", fmt.Sprint(p.trainN))
+	}
+	if p.loadModel != "" {
+		spec = spec.WithDefaultParam("ithemal", "load", p.loadModel)
+	}
+	canon, err := comet.CanonicalSpec(spec)
+	if err != nil {
+		return err
+	}
+	eps := p.epsilon
+	if eps <= 0 {
+		if def, ok := comet.LookupModel(canon.Name); ok && def.Epsilon > 0 {
+			eps = def.Epsilon
+		} else {
+			eps = 0.5
+		}
+	}
+	cfg := comet.DefaultConfig()
+	cfg.Seed = p.seed
+	cfg.CoverageSamples = p.coverage
+	cfg.PrecisionThreshold = p.threshold
+	cfg.BatchSize = p.batchSize
+	cfg.Epsilon = eps
+	cfg.Parallelism = 1 // shard keys and bytes must not depend on any machine's core count
+	snap := wire.SnapshotConfig(core.ApplyOptions(cfg))
+
+	// With a durable store, blocks already on disk are emitted from it
+	// and never leased; fresh results are persisted as they arrive.
+	var storeLog *persist.Log
+	if p.storeDir != "" {
+		storeLog, err = persist.Open(p.storeDir, persist.Options{})
+		if err != nil {
+			return err
+		}
+		defer storeLog.Close()
+	}
+	texts := make([]string, len(blocks))
+	keys := make([]string, len(blocks))
+	snaps := make([]wire.ConfigSnapshot, len(blocks))
+	for i, b := range blocks {
+		texts[i] = b.String()
+		c := snap
+		c.Seed = comet.BlockSeed(snap.Seed, i)
+		snaps[i] = c
+		keys[i] = persist.ExplanationKey(canon.String(), c, texts[i])
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	var queries, hits, calls, failed, certified, fromStore int
+	emitResult := func(res wire.CorpusResult) error {
+		if p.jsonOut {
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+		}
+		if res.Error != "" {
+			failed++
+			fmt.Fprintf(os.Stderr, "\ncomet: block %d: %s\n", res.Index, res.Error)
+			return nil
+		}
+		expl := res.Explanation
+		queries += expl.Queries
+		hits += expl.CacheHits
+		calls += expl.ModelCalls
+		if expl.Certified {
+			certified++
+		}
+		if !p.jsonOut {
+			lib, err := expl.Core()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("[%4d] %s\n", res.Index, lib)
+		}
+		return nil
+	}
+
+	skip := make(map[int]bool)
+	if storeLog != nil {
+		for i := range blocks {
+			rec, ok := storeLog.Get(wire.RecordExplanation, keys[i])
+			if !ok || rec.Explanation == nil {
+				continue
+			}
+			skip[i] = true
+			fromStore++
+			if err := emitResult(wire.CorpusResult{Index: i, Block: texts[i], Explanation: rec.Explanation}); err != nil {
+				return err
+			}
+		}
+		if p.resume {
+			fmt.Fprintf(os.Stderr, "comet: resuming: %d/%d blocks already in the store\n", fromStore, len(blocks))
+		}
+	}
+
+	pool := cluster.NewPool(urls, cluster.Options{})
+	coord := cluster.New(pool, cluster.Options{
+		LeaseBlocks: p.leaseBlocks,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "comet: cluster: "+format+"\n", args...)
+		},
+	})
+	start := time.Now()
+	done := len(skip)
+	emitted := make(map[int]bool)
+	var emitErr error
+	runErr := coord.Run(context.Background(), cluster.Job{
+		ID:      "cli",
+		Spec:    canon.String(),
+		Config:  snap,
+		Blocks:  texts,
+		Skip:    func(i int) bool { return skip[i] },
+		Workers: p.workers,
+	}, func(res cluster.Result) {
+		done++
+		emitted[res.Index] = true
+		fmt.Fprintf(os.Stderr, "\r%d/%d blocks", done, len(blocks))
+		if emitErr == nil {
+			emitErr = emitResult(res.CorpusResult)
+		}
+		if storeLog != nil && res.Error == "" {
+			err := storeLog.Put(&wire.Record{
+				V:           wire.RecordVersion,
+				Kind:        wire.RecordExplanation,
+				Key:         keys[res.Index],
+				Spec:        canon.String(),
+				Config:      &snaps[res.Index],
+				Explanation: res.Explanation,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "\ncomet: store: %v\n", err)
+			}
+		}
+	})
+	elapsed := time.Since(start)
+	if emitErr != nil {
+		return emitErr
+	}
+	if runErr != nil {
+		if !errors.Is(runErr, cluster.ErrLeasesAbandoned) {
+			return fmt.Errorf("cluster run: %w", runErr)
+		}
+		// Abandoned blocks were never computed (the CLI has no local
+		// engine to fall back on — rerun, or rerun with -store to keep
+		// the finished work); count them as failures.
+		for i := range blocks {
+			if !skip[i] && !emitted[i] {
+				failed++
+				fmt.Fprintf(os.Stderr, "\ncomet: block %d: %v\n", i, runErr)
+			}
+		}
+	}
+
+	fmt.Fprintln(os.Stderr)
+	summary := os.Stdout
+	if p.jsonOut {
+		summary = os.Stderr
+	}
+	st := coord.Stats()
+	fmt.Fprintf(summary, "\ncorpus: %d blocks (%d certified, %d failed) in %v (%.1f blocks/s) across %d workers\n",
+		len(blocks), certified, failed, elapsed.Round(time.Millisecond),
+		float64(len(blocks))/elapsed.Seconds(), len(urls))
+	fmt.Fprintf(summary, "cluster: %d leases dispatched, %d re-leased, %d straggler re-dispatches\n",
+		st.LeasesDispatched.Load(), st.LeasesReleased.Load(), st.StragglerDispatches.Load())
+	hitRate := 0.0
+	if queries > 0 {
+		hitRate = float64(hits) / float64(queries)
+	}
+	fmt.Fprintf(summary, "queries: %d total, %d cache/dedup hits (%.1f%%), %d model evaluations\n",
+		queries, hits, 100*hitRate, calls)
+	if storeLog != nil {
+		fmt.Fprintf(summary, "store:   %d blocks served from disk, %d computed and persisted\n",
+			fromStore, len(blocks)-fromStore-failed)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d blocks failed", failed, len(blocks))

@@ -1,0 +1,510 @@
+// Package cluster implements the coordinator/worker fan-out that shards
+// corpus jobs across comet-serve processes. The coordinator partitions a
+// job's blocks into leases, dispatches them over POST /v1/shard to the
+// workers in its Pool, and re-leases on the full failure matrix — lease
+// timeouts, worker death mid-lease, stragglers — with bounded retries.
+//
+// Determinism is the core invariant: every lease carries the original
+// per-block seeds (core.BlockSeed over the job's base seed) and the
+// job's full effective configuration, so any worker produces per-block
+// bytes identical to a single-process ExplainAll at the same seed —
+// modulo the cache_hits/model_calls accounting fields, which report
+// cache warmth and so depend on placement — no matter how blocks are
+// partitioned, which workers run them, or how many times a lease is
+// re-dispatched. Duplicate results from straggler re-dispatch are
+// deduplicated by block index; since the bytes are deterministic,
+// whichever copy wins is the same answer.
+//
+// The package is service-agnostic: it speaks the wire shard protocol to
+// any HTTP endpoint, so the comet CLI drives the same coordinator that
+// cometd uses for its async jobs.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/wire"
+)
+
+// ErrNoWorkers reports that a job could not be (or stopped being)
+// dispatchable: the pool is empty, or no worker became ready within
+// ReadyTimeout. Callers with a local engine should fall back to it —
+// determinism makes local and sharded execution interchangeable.
+var ErrNoWorkers = errors.New("cluster: no ready workers")
+
+// ErrLeasesAbandoned reports that some leases exhausted their retry
+// budget. Their blocks were NOT emitted — a lease failing is an
+// infrastructure problem, not a property of the blocks, so the blocks
+// are left to the caller's fallback (cometd finishes them on the
+// coordinator's local engine) rather than recorded as failed.
+var ErrLeasesAbandoned = errors.New("cluster: leases abandoned after exhausting retries")
+
+// Options tunes the coordinator. Zero values get production-sane
+// defaults; tests shrink the timeouts.
+type Options struct {
+	// LeaseBlocks is how many blocks one lease carries (default 4).
+	// Smaller leases spread better and re-lease cheaper; larger leases
+	// amortize HTTP round trips.
+	LeaseBlocks int
+	// LeaseTimeout bounds one dispatch: a worker that holds a lease
+	// longer is presumed dead and the lease is re-dispatched (default 5m).
+	LeaseTimeout time.Duration
+	// LeaseRetries is the total dispatch attempts a lease gets before its
+	// blocks are abandoned with error results (default 3). Straggler
+	// re-dispatches spend from the same budget.
+	LeaseRetries int
+	// HeartbeatTTL is how long a dynamic worker stays registered without
+	// a heartbeat (default 15s). Static workers never expire.
+	HeartbeatTTL time.Duration
+	// ProbeBackoff is the delay before re-probing a worker that failed a
+	// dispatch or a readiness probe (default 2s).
+	ProbeBackoff time.Duration
+	// StragglerAfter re-dispatches an in-flight lease to an idle worker
+	// once it has been out this long with no pending leases left
+	// (default 30s; the first finished copy wins, bytes are identical).
+	StragglerAfter time.Duration
+	// ReadyTimeout is how long Run waits for a first ready worker — and
+	// how long it tolerates a ready-worker drought mid-job — before
+	// giving up with ErrNoWorkers (default 1m).
+	ReadyTimeout time.Duration
+	// Tick is the scheduler's re-evaluation interval (default 50ms).
+	Tick time.Duration
+	// Client is the HTTP client for shard dispatch and readiness probes
+	// (nil = a client with no overall timeout; LeaseTimeout bounds each
+	// dispatch via its context).
+	Client *http.Client
+	// Logf, if non-nil, receives scheduler events (re-leases, worker
+	// deaths, abandonments) for the operator log.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseBlocks <= 0 {
+		o.LeaseBlocks = 4
+	}
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = 5 * time.Minute
+	}
+	if o.LeaseRetries <= 0 {
+		o.LeaseRetries = 3
+	}
+	if o.HeartbeatTTL <= 0 {
+		o.HeartbeatTTL = 15 * time.Second
+	}
+	if o.ProbeBackoff <= 0 {
+		o.ProbeBackoff = 2 * time.Second
+	}
+	if o.StragglerAfter <= 0 {
+		o.StragglerAfter = 30 * time.Second
+	}
+	if o.ReadyTimeout <= 0 {
+		o.ReadyTimeout = time.Minute
+	}
+	if o.Tick <= 0 {
+		o.Tick = 50 * time.Millisecond
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// Stats are the coordinator's lifetime counters (atomic; read with Load).
+type Stats struct {
+	// LeasesDispatched counts every dispatch attempt, including retries
+	// and straggler duplicates.
+	LeasesDispatched atomic.Uint64
+	// LeasesReleased counts leases requeued after a failed or timed-out
+	// dispatch — the "re-lease" events of the failure matrix.
+	LeasesReleased atomic.Uint64
+	// StragglerDispatches counts duplicate dispatches of still-in-flight
+	// leases to idle workers.
+	StragglerDispatches atomic.Uint64
+	// BlocksDone counts blocks whose results were emitted.
+	BlocksDone atomic.Uint64
+	// ShardErrors counts failed dispatches (transport errors, non-2xx,
+	// malformed responses, timeouts).
+	ShardErrors atomic.Uint64
+}
+
+// Job is one corpus job to shard: the canonical model spec, the full
+// effective configuration, and the corpus blocks in canonical text form
+// (index = corpus index). Skip marks indices already done (resume).
+type Job struct {
+	ID     string
+	Spec   string
+	Arch   string
+	Config wire.ConfigSnapshot
+	Blocks []string
+	// Skip, if non-nil, reports corpus indices whose results already
+	// exist (restored from a durable store); they are never leased.
+	Skip func(index int) bool
+	// Workers is the per-lease block concurrency hint sent to workers
+	// (0 = worker default). Results are identical at any value.
+	Workers int
+}
+
+// Result is one completed block, attributed to the worker that ran it.
+type Result struct {
+	wire.CorpusResult
+	Worker string
+}
+
+// Coordinator shards jobs across a worker pool. One coordinator serves
+// any number of sequential or concurrent Run calls; the pool, options,
+// and stats are shared across all of them.
+type Coordinator struct {
+	pool  *Pool
+	opts  Options
+	stats Stats
+}
+
+// New builds a coordinator over a pool.
+func New(pool *Pool, opts Options) *Coordinator {
+	return &Coordinator{pool: pool, opts: opts.withDefaults()}
+}
+
+// Pool returns the coordinator's worker pool (for join handling and
+// status rendering).
+func (c *Coordinator) Pool() *Pool { return c.pool }
+
+// Stats returns the coordinator's lifetime counters.
+func (c *Coordinator) Stats() *Stats { return &c.stats }
+
+// Status renders the coordinator for GET /v1/cluster.
+func (c *Coordinator) Status() wire.ClusterStatus {
+	c.pool.mu.Lock()
+	deaths := c.pool.deaths
+	c.pool.mu.Unlock()
+	return wire.ClusterStatus{
+		Workers:             c.pool.Snapshot(),
+		LeasesDispatched:    c.stats.LeasesDispatched.Load(),
+		LeasesReleased:      c.stats.LeasesReleased.Load(),
+		StragglerDispatches: c.stats.StragglerDispatches.Load(),
+		WorkerDeaths:        deaths,
+		BlocksDone:          c.stats.BlocksDone.Load(),
+		ShardErrors:         c.stats.ShardErrors.Load(),
+	}
+}
+
+// lease is one unit of dispatch: a slice of shard blocks plus its retry
+// accounting. All fields are owned by the Run goroutine.
+type lease struct {
+	id       string
+	blocks   []wire.ShardBlock
+	attempts int       // dispatches started
+	inflight int       // dispatches outstanding
+	done     bool      // results emitted (or abandoned)
+	lastSent time.Time // most recent dispatch start, for straggler aging
+	lastErr  error
+}
+
+// dispatchResult is one finished dispatch, reported to the Run loop.
+type dispatchResult struct {
+	lease   *lease
+	worker  string
+	results []wire.CorpusResult
+	err     error
+}
+
+// Run shards one job across the pool, calling emit at most once per
+// non-skipped block, from the Run goroutine, in completion order.
+// Worker-side per-block failures surface in CorpusResult.Error and
+// never abort the run. It returns nil when every block was emitted;
+// ErrNoWorkers when dispatch starved, or ErrLeasesAbandoned when some
+// leases ran out of retries — in both cases the blocks not emitted were
+// never computed, and callers with a local engine should run them there
+// (determinism makes the mixed result identical either way); or ctx.Err
+// on cancellation.
+func (c *Coordinator) Run(ctx context.Context, job Job, emit func(Result)) error {
+	if c.pool.Size() == 0 {
+		return ErrNoWorkers
+	}
+	leases := c.partition(job)
+	if len(leases) == 0 {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	pending := make([]*lease, len(leases))
+	copy(pending, leases)
+	remaining := len(leases)
+	emitted := make(map[int]bool)
+	resc := make(chan dispatchResult)
+	ticker := time.NewTicker(c.opts.Tick)
+	defer ticker.Stop()
+	// starved tracks how long the scheduler has been unable to dispatch
+	// anything: pending (or straggling) leases exist but no worker is
+	// ready. A drought longer than ReadyTimeout ends the run.
+	var starvedSince time.Time
+	abandoned := 0
+
+	for remaining > 0 {
+		dispatched := c.fill(ctx, job, &pending, leases, resc)
+		if dispatched || !c.starving(pending, leases) {
+			starvedSince = time.Time{}
+		} else if starvedSince.IsZero() {
+			starvedSince = time.Now()
+		} else if time.Since(starvedSince) > c.opts.ReadyTimeout {
+			c.logf("job %s: no ready workers for %v, giving up (%d blocks undone)",
+				job.ID, c.opts.ReadyTimeout, undoneBlocks(leases))
+			return ErrNoWorkers
+		}
+		c.pool.probe(c.opts.Client)
+
+		select {
+		case r := <-resc:
+			l := r.lease
+			l.inflight--
+			c.pool.release(r.worker, r.err == nil, len(r.results))
+			if r.err != nil {
+				c.stats.ShardErrors.Add(1)
+				l.lastErr = r.err
+				if l.done {
+					break
+				}
+				c.logf("job %s: lease %s failed on %s (attempt %d/%d): %v",
+					job.ID, l.id, r.worker, l.attempts, c.opts.LeaseRetries, r.err)
+				if l.attempts < c.opts.LeaseRetries {
+					if l.inflight == 0 {
+						pending = append(pending, l)
+						c.stats.LeasesReleased.Add(1)
+					}
+					// With a copy still in flight the lease stays out; the
+					// surviving dispatch decides its fate.
+					break
+				}
+				if l.inflight == 0 {
+					// Retry budget exhausted and nothing left in flight:
+					// abandon. The blocks are NOT emitted — they were never
+					// computed, and the caller's fallback engine runs them.
+					c.logf("job %s: lease %s abandoned after %d attempts (%d blocks left to the caller): %v",
+						job.ID, l.id, l.attempts, len(l.blocks), l.lastErr)
+					l.done = true
+					remaining--
+					abandoned++
+				}
+				break
+			}
+			if l.done {
+				break // late straggler duplicate; bytes identical, drop it
+			}
+			for _, res := range r.results {
+				if emitted[res.Index] {
+					continue
+				}
+				emitted[res.Index] = true
+				c.stats.BlocksDone.Add(1)
+				emit(Result{Worker: r.worker, CorpusResult: res})
+			}
+			l.done = true
+			remaining--
+		case <-ticker.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if abandoned > 0 {
+		return fmt.Errorf("%w (%d of %d leases)", ErrLeasesAbandoned, abandoned, len(leases))
+	}
+	return nil
+}
+
+// fill dispatches pending leases to idle ready workers, then straggler
+// re-dispatches when the pending queue is dry. It reports whether
+// anything was dispatched.
+func (c *Coordinator) fill(ctx context.Context, job Job, pending *[]*lease, leases []*lease, resc chan<- dispatchResult) bool {
+	dispatched := false
+	now := time.Now()
+	for len(*pending) > 0 {
+		w := c.pool.acquire(now)
+		if w == "" {
+			break
+		}
+		l := (*pending)[0]
+		*pending = (*pending)[1:]
+		c.send(ctx, job, l, w, resc, false)
+		dispatched = true
+	}
+	if len(*pending) == 0 {
+		// Straggler re-dispatch: duplicate old in-flight leases onto idle
+		// workers, oldest first, spending from the same retry budget.
+		var old []*lease
+		for _, l := range leases {
+			if !l.done && l.inflight > 0 && l.attempts < c.opts.LeaseRetries &&
+				now.Sub(l.lastSent) > c.opts.StragglerAfter {
+				old = append(old, l)
+			}
+		}
+		sort.Slice(old, func(i, j int) bool { return old[i].lastSent.Before(old[j].lastSent) })
+		for _, l := range old {
+			w := c.pool.acquire(now)
+			if w == "" {
+				break
+			}
+			c.send(ctx, job, l, w, resc, true)
+			dispatched = true
+		}
+	}
+	return dispatched
+}
+
+// send starts one dispatch goroutine for a lease.
+func (c *Coordinator) send(ctx context.Context, job Job, l *lease, workerID string, resc chan<- dispatchResult, straggler bool) {
+	l.attempts++
+	l.inflight++
+	l.lastSent = time.Now()
+	c.stats.LeasesDispatched.Add(1)
+	if straggler {
+		c.stats.StragglerDispatches.Add(1)
+		c.logf("job %s: straggler re-dispatch of lease %s to %s", job.ID, l.id, workerID)
+	}
+	req := wire.ShardRequest{
+		JobID:   job.ID,
+		Lease:   l.id,
+		Spec:    job.Spec,
+		Arch:    job.Arch,
+		Config:  job.Config,
+		Blocks:  l.blocks,
+		Workers: job.Workers,
+	}
+	go func() {
+		results, err := c.dispatch(ctx, workerID, req)
+		select {
+		case resc <- dispatchResult{lease: l, worker: workerID, results: results, err: err}:
+		case <-ctx.Done():
+			// Run has returned (job done, starved, or canceled) and will
+			// never read this result. The pool outlives the run, so the
+			// worker's inflight slot must still come back — quietly: a
+			// dispatch nobody waited for says nothing about the worker.
+			c.pool.releaseQuiet(workerID)
+		}
+	}()
+}
+
+// dispatch performs one POST /v1/shard round trip, bounded by
+// LeaseTimeout, and validates the response against the lease.
+func (c *Coordinator) dispatch(ctx context.Context, workerURL string, sreq wire.ShardRequest) ([]wire.CorpusResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.LeaseTimeout)
+	defer cancel()
+	body, err := json.Marshal(sreq)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, workerURL+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var werr wire.Error
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&werr) == nil && werr.Error != "" {
+			return nil, fmt.Errorf("worker status %d: %s", resp.StatusCode, werr.Error)
+		}
+		return nil, fmt.Errorf("worker status %d", resp.StatusCode)
+	}
+	var out wire.ShardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decoding shard response: %w", err)
+	}
+	// The response must answer exactly the leased blocks: a worker that
+	// dropped or invented indices is as wrong as a transport failure.
+	want := make(map[int]bool, len(sreq.Blocks))
+	for _, b := range sreq.Blocks {
+		want[b.Index] = true
+	}
+	if len(out.Results) != len(sreq.Blocks) {
+		return nil, fmt.Errorf("worker answered %d of %d leased blocks", len(out.Results), len(sreq.Blocks))
+	}
+	for _, r := range out.Results {
+		if !want[r.Index] {
+			return nil, fmt.Errorf("worker answered unleased or duplicate block index %d", r.Index)
+		}
+		delete(want, r.Index)
+	}
+	return out.Results, nil
+}
+
+// partition slices the job's non-skipped blocks into leases of
+// LeaseBlocks, each block carrying its corpus index and its original
+// per-block seed — the whole determinism contract in one struct.
+func (c *Coordinator) partition(job Job) []*lease {
+	var leases []*lease
+	var cur []wire.ShardBlock
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		leases = append(leases, &lease{
+			id:     fmt.Sprintf("%s/l%d", job.ID, len(leases)),
+			blocks: cur,
+		})
+		cur = nil
+	}
+	for i, text := range job.Blocks {
+		if job.Skip != nil && job.Skip(i) {
+			continue
+		}
+		cur = append(cur, wire.ShardBlock{
+			Index: i,
+			Seed:  core.BlockSeed(job.Config.Seed, i),
+			Block: text,
+		})
+		if len(cur) >= c.opts.LeaseBlocks {
+			flush()
+		}
+	}
+	flush()
+	return leases
+}
+
+// starving reports whether there is undispatched work the pool cannot
+// currently absorb — the condition the ReadyTimeout drought clock runs
+// under.
+func (c *Coordinator) starving(pending []*lease, leases []*lease) bool {
+	if c.pool.readyCount() > 0 {
+		return false
+	}
+	if len(pending) > 0 {
+		return true
+	}
+	for _, l := range leases {
+		if !l.done && l.inflight == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// undoneBlocks counts blocks in leases that have not completed.
+func undoneBlocks(leases []*lease) int {
+	n := 0
+	for _, l := range leases {
+		if !l.done {
+			n += len(l.blocks)
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}

@@ -47,6 +47,19 @@ type CorpusOptions struct {
 	// blocks run, the skipped-and-restored union is identical to an
 	// uninterrupted run. Skip must be safe for concurrent calls.
 	Skip func(index int) bool
+	// Seeds, if non-nil, overrides the per-block seed: block index i runs
+	// under Seeds(i) instead of BlockSeed(cfg.Seed, i). This is the
+	// shard-slicing hook — a cluster worker explaining a slice of someone
+	// else's corpus passes the original per-block seeds here, so its
+	// results are byte-identical to the whole-corpus run that would have
+	// produced them. Seeds must be safe for concurrent calls.
+	Seeds func(index int) int64
+	// Index, if non-nil, remaps local slice positions to the indices
+	// results should carry — CorpusResult.Index and per-block error
+	// messages both use the remapped value, so a shard slice's outputs
+	// are indistinguishable from the whole-corpus run's. Index must be
+	// safe for concurrent calls.
+	Index func(index int) int
 }
 
 // CorpusResult is one streamed ExplainAll outcome. Results arrive in
@@ -110,11 +123,19 @@ func (e *Explainer) ExplainAll(blocks []*x86.BasicBlock, opts CorpusOptions) <-c
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				expl, err := pe.explainSeeded(blocks[i], BlockSeed(e.cfg.Seed, i))
-				if err != nil {
-					err = fmt.Errorf("block %d: %w", i, err)
+				seed := BlockSeed(e.cfg.Seed, i)
+				if opts.Seeds != nil {
+					seed = opts.Seeds(i)
 				}
-				internal <- CorpusResult{Index: i, Block: blocks[i], Explanation: expl, Err: err}
+				idx := i
+				if opts.Index != nil {
+					idx = opts.Index(i)
+				}
+				expl, err := pe.explainSeeded(blocks[i], seed)
+				if err != nil {
+					err = fmt.Errorf("block %d: %w", idx, err)
+				}
+				internal <- CorpusResult{Index: idx, Block: blocks[i], Explanation: expl, Err: err}
 			}
 		}()
 	}

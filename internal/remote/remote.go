@@ -18,9 +18,11 @@ package remote
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
@@ -46,6 +48,13 @@ type Options struct {
 	// errors or 429/503 backpressure before aborting (negative = 0;
 	// zero = default 2).
 	Retries int
+	// Context, when non-nil, bounds every request this model makes — the
+	// handshake, each predict round trip, and the backoff sleeps between
+	// retries. Canceling it aborts an in-flight batch immediately
+	// instead of letting the retry loop run its budget out. (The Model
+	// interface carries no per-call context, so the model's lifetime
+	// context is the cancellation scope.)
+	Context context.Context
 }
 
 // Model is the remote cost model. It is safe for concurrent use and
@@ -57,6 +66,7 @@ type Model struct {
 	reqModel string
 	reqArch  string
 	retries  int
+	ctx      context.Context
 
 	name    string
 	arch    x86.Arch
@@ -89,12 +99,17 @@ func Dial(baseURL string, o Options) (*Model, error) {
 	if retries < 0 {
 		retries = 0
 	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m := &Model{
 		url:      baseURL,
 		client:   client,
 		reqModel: o.Model,
 		reqArch:  o.Arch,
 		retries:  retries,
+		ctx:      ctx,
 	}
 	resp, err := m.post(nil)
 	if err != nil {
@@ -152,8 +167,18 @@ func (m *Model) PredictBatch(blocks []*x86.BasicBlock) []float64 {
 	return resp.Predictions
 }
 
+// retryBackoff returns the sleep before retry attempt n (1-based):
+// linear growth with up to 50% random jitter, so a fleet of clients
+// retrying against one recovering server doesn't re-arrive in lockstep.
+func retryBackoff(attempt int) time.Duration {
+	base := time.Duration(attempt) * 100 * time.Millisecond
+	return base + time.Duration(rand.Int63n(int64(base)/2+1))
+}
+
 // post sends one predict request, retrying transport errors and
-// 429/503 backpressure with linear backoff.
+// 429/503 backpressure with jittered linear backoff. The model's
+// lifetime context cancels in-flight requests and interrupts backoff
+// sleeps — a canceled caller never waits out the retry budget.
 func (m *Model) post(blocks []string) (*wire.PredictResponse, error) {
 	if blocks == nil {
 		blocks = []string{} // handshake: an explicit empty batch
@@ -166,12 +191,31 @@ func (m *Model) post(blocks []string) (*wire.PredictResponse, error) {
 	attempts := 0
 	for attempt := 0; attempt <= m.retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+			timer := time.NewTimer(retryBackoff(attempt))
+			select {
+			case <-timer.C:
+			case <-m.ctx.Done():
+				timer.Stop()
+				if lastErr == nil {
+					lastErr = m.ctx.Err()
+				}
+				return nil, fmt.Errorf("%w (canceled after %d attempt(s): %v)", lastErr, attempts, m.ctx.Err())
+			}
 		}
 		attempts++
-		resp, err := m.client.Post(m.url+"/v1/predict", "application/json", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(m.ctx, http.MethodPost, m.url+"/v1/predict", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := m.client.Do(req)
 		if err != nil {
 			lastErr = err
+			if m.ctx.Err() != nil {
+				// Mid-batch cancellation: stop immediately, don't burn the
+				// remaining retries against a caller that has left.
+				return nil, fmt.Errorf("%w (after %d attempt(s))", lastErr, attempts)
+			}
 			continue
 		}
 		out, retryable, err := decodePredict(resp)

@@ -1,0 +1,238 @@
+package service
+
+// Cluster endpoints. Every server is a capable worker: POST /v1/shard
+// executes one lease of a sharded corpus job with the exact per-block
+// seeds and effective config the lease carries, so its results are
+// byte-identical to the single-process run that would have produced
+// them. Servers started in coordinator mode additionally accept worker
+// self-registration (POST /v1/cluster/join, which doubles as the
+// heartbeat) and expose the pool and lease-scheduler counters on
+// GET /v1/cluster; their corpus jobs route through the cluster
+// scheduler (see jobs.go) instead of the local engine.
+
+import (
+	"context"
+	"net/http"
+	"sort"
+
+	"github.com/comet-explain/comet/internal/cluster"
+	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/wire"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// handleShard serves POST /v1/shard: one lease of a sharded corpus job.
+// The response carries one result per leased block, sorted by corpus
+// index; per-block explanation failures surface in CorpusResult.Error,
+// never as a non-2xx status (the coordinator must be able to tell "the
+// block is hard" from "the worker is broken").
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		return
+	}
+	if !s.ready.Load() {
+		// A cold worker sheds leases; the coordinator's readiness probe
+		// keeps them away in the first place.
+		writeError(w, http.StatusServiceUnavailable, "server is warming up")
+		return
+	}
+	var req wire.ShardRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Blocks) == 0 {
+		writeError(w, http.StatusBadRequest, "shard has no blocks")
+		return
+	}
+	if len(req.Blocks) > s.cfg.MaxCorpusBlocks {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"shard of %d blocks exceeds the limit of %d", len(req.Blocks), s.cfg.MaxCorpusBlocks)
+		return
+	}
+	arch, err := wire.ParseArch(req.Arch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	blocks := make([]*x86.BasicBlock, len(req.Blocks))
+	for i, sb := range req.Blocks {
+		b, err := x86.ParseBlock(sb.Block)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "block %d (index %d): %v", i, sb.Index, err)
+			return
+		}
+		blocks[i] = b
+	}
+	entry, err := s.lookupModel(req.Spec, arch)
+	if err != nil {
+		writeError(w, modelErrorStatus(err), "%v", err)
+		return
+	}
+	// The lease's config snapshot is authoritative: it is the job's
+	// effective configuration, Parallelism pin included, so the worker
+	// computes exactly what the coordinator would have.
+	cfg := req.Config.Apply(s.cfg.Base)
+
+	// One explain slot bounds the whole lease — the coordinator controls
+	// fan-out by lease count, the worker by its slot budget.
+	if err := s.acquireExplainSlot(); err != nil {
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	defer s.releaseExplainSlot()
+
+	// The run stops when the coordinator hangs up (lease timeout,
+	// re-lease, its own death) as well as on server shutdown — an
+	// abandoned lease must not keep burning this worker's slot.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	defer context.AfterFunc(s.ctx, cancel)()
+
+	explainer := core.NewExplainerWithCache(entry.model, cfg, entry.cache)
+	results := make([]wire.CorpusResult, 0, len(blocks))
+	// Seeds and Index remap the lease's local slice positions onto the
+	// original corpus: results (error messages included) come out
+	// exactly as the whole-corpus run would have produced them.
+	for res := range explainer.ExplainAll(blocks, core.CorpusOptions{
+		Workers: req.Workers,
+		Context: ctx,
+		Seeds:   func(i int) int64 { return req.Blocks[i].Seed },
+		Index:   func(i int) int { return req.Blocks[i].Index },
+	}) {
+		results = append(results, wire.FromCorpusResult(res))
+	}
+	if len(results) < len(blocks) {
+		// The run was cut short (shutdown or a vanished coordinator); an
+		// incomplete lease is a failed lease.
+		writeError(w, http.StatusServiceUnavailable, "shard interrupted after %d of %d blocks", len(results), len(blocks))
+		return
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Index < results[j].Index })
+	s.metrics.shardBlocks.Add(uint64(len(results)))
+	writeJSON(w, http.StatusOK, wire.ShardResponse{
+		JobID:   req.JobID,
+		Lease:   req.Lease,
+		Results: results,
+	})
+}
+
+// handleClusterJoin serves POST /v1/cluster/join (coordinator mode
+// only): worker self-registration and heartbeats.
+func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		return
+	}
+	var req wire.JoinRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	id, ttl, err := s.coordinator.Pool().Join(req.URL, req.Capacity)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.JoinResponse{Worker: id, TTLSeconds: ttl.Seconds()})
+}
+
+// handleCluster serves GET /v1/cluster (coordinator mode only): the
+// worker pool and lease-scheduler counters.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.coordinator.Status())
+}
+
+// clusterGauges renders the comet_cluster_* metrics (coordinator mode
+// only).
+func (s *Server) clusterGauges() []gauge {
+	if s.coordinator == nil {
+		return nil
+	}
+	st := s.coordinator.Status()
+	byState := map[string]int{}
+	for _, w := range st.Workers {
+		byState[w.State]++
+	}
+	out := []gauge{
+		{name: "comet_cluster_leases_dispatched_total", value: float64(st.LeasesDispatched)},
+		{name: "comet_cluster_leases_released_total", value: float64(st.LeasesReleased)},
+		{name: "comet_cluster_straggler_dispatches_total", value: float64(st.StragglerDispatches)},
+		{name: "comet_cluster_worker_deaths_total", value: float64(st.WorkerDeaths)},
+		{name: "comet_cluster_blocks_done_total", value: float64(st.BlocksDone)},
+		{name: "comet_cluster_shard_errors_total", value: float64(st.ShardErrors)},
+	}
+	states := make([]string, 0, len(byState))
+	for state := range byState {
+		states = append(states, state)
+	}
+	sort.Strings(states)
+	for _, state := range states {
+		out = append(out, gauge{
+			name:   "comet_cluster_workers",
+			labels: `state="` + state + `"`,
+			value:  float64(byState[state]),
+		})
+	}
+	return out
+}
+
+// runCluster executes a corpus job through the cluster scheduler,
+// feeding every emitted result into the same bookkeeping and durable
+// checkpoints the local engine uses. It returns cluster.ErrNoWorkers
+// when dispatch starved — the caller falls back to the local engine for
+// whatever was not emitted.
+func (m *jobManager) runCluster(j *job) error {
+	j.mu.Lock()
+	skip := make(map[int]bool, len(j.restored))
+	for i := range j.restored {
+		skip[i] = true
+	}
+	arch := ""
+	if j.entry != nil && j.entry.model != nil {
+		arch = wire.ArchName(j.entry.model.Arch())
+	}
+	j.mu.Unlock()
+
+	completed := 0
+	err := m.cluster.Run(m.ctx, cluster.Job{
+		ID:      j.id,
+		Spec:    j.spec,
+		Arch:    arch,
+		Config:  j.snapshot,
+		Blocks:  j.blockTexts(),
+		Skip:    func(i int) bool { return skip[i] },
+		Workers: j.workers,
+	}, func(res cluster.Result) {
+		j.mu.Lock()
+		j.done++
+		if res.Error != "" {
+			j.failed++
+		}
+		j.results = append(j.results, res.CorpusResult)
+		if j.workerDone == nil {
+			j.workerDone = make(map[string]int)
+		}
+		j.workerDone[res.Worker]++
+		j.mu.Unlock()
+		m.persistResult(j, res.CorpusResult)
+		completed++
+		if m.store != nil && completed%m.checkpointEvery == 0 {
+			if err := m.store.Sync(); err != nil {
+				m.storeErr(err)
+			}
+		}
+	})
+	return err
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/comet-explain/comet/internal/cluster"
 	"github.com/comet-explain/comet/internal/core"
 	"github.com/comet-explain/comet/internal/persist"
 	"github.com/comet-explain/comet/internal/wire"
@@ -57,6 +58,25 @@ type job struct {
 	failed  int
 	err     string
 	results []wire.CorpusResult
+	// workerDone attributes completed blocks to the cluster workers that
+	// produced them ("local" for coordinator-fallback blocks); nil for
+	// plain single-node jobs.
+	workerDone map[string]int
+}
+
+// blockTexts returns (building once, under the job lock) the canonical
+// block texts — the persistence envelope's and the shard protocol's view
+// of the corpus.
+func (j *job) blockTexts() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.texts == nil {
+		j.texts = make([]string, len(j.blocks))
+		for i, b := range j.blocks {
+			j.texts[i] = b.String()
+		}
+	}
+	return j.texts
 }
 
 // status snapshots the job with results[offset:offset+limit].
@@ -75,16 +95,32 @@ func (j *job) status(offset, limit int) wire.JobStatus {
 	}
 	page := make([]wire.CorpusResult, end-offset)
 	copy(page, j.results[offset:end])
+	var workers []wire.WorkerBlocks
+	if len(j.workerDone) > 0 {
+		ids := make([]string, 0, len(j.workerDone))
+		for id := range j.workerDone {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		workers = make([]wire.WorkerBlocks, len(ids))
+		for i, id := range ids {
+			workers[i] = wire.WorkerBlocks{Worker: id, Blocks: j.workerDone[id]}
+		}
+	}
 	return wire.JobStatus{
-		ID:         j.id,
-		State:      j.state,
-		Total:      len(j.blocks),
-		Done:       j.done,
-		Failed:     j.failed,
-		Error:      j.err,
-		Offset:     offset,
-		NextOffset: end,
-		Results:    page,
+		ID:           j.id,
+		State:        j.state,
+		Total:        len(j.blocks),
+		Done:         j.done,
+		Failed:       j.failed,
+		BlocksTotal:  len(j.blocks),
+		BlocksDone:   j.done,
+		BlocksFailed: j.failed,
+		Error:        j.err,
+		Workers:      workers,
+		Offset:       offset,
+		NextOffset:   end,
+		Results:      page,
 	}
 }
 
@@ -126,6 +162,13 @@ type jobManager struct {
 	store           persist.Store
 	checkpointEvery int
 	storeErr        func(error)
+
+	// cluster, when non-nil, is the coordinator jobs shard through; the
+	// local engine remains the fallback when no worker is ready, so a
+	// coordinator with an empty (or dead) pool degrades to a single node
+	// instead of stalling. Determinism makes the two paths emit
+	// identical bytes.
+	cluster *cluster.Coordinator
 
 	queued  atomic.Int64 // jobs waiting in the queue
 	running atomic.Int64 // jobs currently executing
@@ -265,21 +308,34 @@ func (m *jobManager) run(j *job) {
 	j.mu.Unlock()
 	m.persistJob(j)
 
-	// Resume support: indices restored from the store are never re-fed
-	// to a worker. Their results are already in j.results, and because
-	// every block runs under BlockSeed(cfg.Seed, index), the blocks that
-	// do run produce exactly what an uninterrupted run would have.
-	var skip func(int) bool
-	if len(j.restored) > 0 {
-		skip = func(i int) bool { return j.restored[i] }
+	// Coordinator mode: shard the job across the cluster. Any dispatch
+	// shortfall — no ready workers, leases abandoned after retries —
+	// leaves the affected blocks unemitted, and the local engine below
+	// finishes exactly those; per-block seeding makes the mixed run
+	// byte-identical to either pure path. Only shutdown ends the job
+	// with blocks missing.
+	if m.cluster != nil {
+		err := m.runCluster(j)
+		if err == nil || m.ctx.Err() != nil {
+			m.finalize(j)
+			return
+		}
 	}
+
+	// Resume support (and cluster fallback): indices restored from the
+	// store — or already emitted by a partial cluster run — are never
+	// re-fed to a worker. Their results are already in j.results, and
+	// because every block runs under BlockSeed(cfg.Seed, index), the
+	// blocks that do run produce exactly what an uninterrupted run would
+	// have.
+	skip := j.doneIndices()
 
 	explainer := core.NewExplainerWithCache(j.entry.model, j.cfg, j.entry.cache)
 	completed := 0
 	for res := range explainer.ExplainAll(j.blocks, core.CorpusOptions{
 		Workers: j.workers,
 		Context: m.ctx,
-		Skip:    skip,
+		Skip:    func(i int) bool { return skip[i] },
 	}) {
 		wres := wire.FromCorpusResult(res)
 		j.mu.Lock()
@@ -288,6 +344,12 @@ func (m *jobManager) run(j *job) {
 			j.failed++
 		}
 		j.results = append(j.results, wres)
+		if j.workerDone != nil || m.cluster != nil {
+			if j.workerDone == nil {
+				j.workerDone = make(map[string]int)
+			}
+			j.workerDone["local"]++
+		}
 		j.mu.Unlock()
 		// Each result is one all-or-nothing store append (survives
 		// SIGKILL); the periodic Sync is the power-loss checkpoint.
@@ -300,6 +362,12 @@ func (m *jobManager) run(j *job) {
 		}
 	}
 
+	m.finalize(j)
+}
+
+// finalize settles a job's terminal state, persists it, and moves it to
+// history.
+func (m *jobManager) finalize(j *job) {
 	j.mu.Lock()
 	switch {
 	case j.done < len(j.blocks):
@@ -321,24 +389,35 @@ func (m *jobManager) run(j *job) {
 	m.finish(j)
 }
 
+// doneIndices snapshots the block indices that already have results —
+// restored from the store or emitted by a partial cluster run — for the
+// local engine's Skip hook.
+func (j *job) doneIndices() map[int]bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	done := make(map[int]bool, len(j.results)+len(j.restored))
+	for i := range j.restored {
+		done[i] = true
+	}
+	for _, res := range j.results {
+		done[res.Index] = true
+	}
+	return done
+}
+
 // persistJob writes the job's envelope (inputs + current state) to the
 // durable store, superseding the previous envelope record.
 func (m *jobManager) persistJob(j *job) {
 	if m.store == nil {
 		return
 	}
+	texts := j.blockTexts()
 	j.mu.Lock()
-	if j.texts == nil {
-		j.texts = make([]string, len(j.blocks))
-		for i, b := range j.blocks {
-			j.texts[i] = b.String()
-		}
-	}
 	env := &wire.JobEnvelope{
 		ID:      j.id,
 		State:   j.state,
 		Spec:    j.spec,
-		Blocks:  j.texts,
+		Blocks:  texts,
 		Config:  j.snapshot,
 		Workers: j.workers,
 		Error:   j.err,

@@ -24,6 +24,7 @@ type metrics struct {
 	resultStoreHits atomic.Uint64 // explain requests served by the LRU store
 	explanations    atomic.Uint64 // explanations actually computed
 	predictions     atomic.Uint64 // blocks predicted via /v1/predict
+	shardBlocks     atomic.Uint64 // blocks explained for coordinators via /v1/shard
 	persistHits     atomic.Uint64 // explain requests served by the durable store
 	persistMisses   atomic.Uint64 // durable-store lookups that fell through
 	storeErrors     atomic.Uint64 // durable-store write/sync failures
@@ -109,6 +110,9 @@ func (m *metrics) render(sb *strings.Builder, extra []gauge) {
 	fmt.Fprintf(sb, "# HELP comet_predictions_served_total Blocks predicted through POST /v1/predict.\n")
 	fmt.Fprintf(sb, "# TYPE comet_predictions_served_total counter\n")
 	fmt.Fprintf(sb, "comet_predictions_served_total %d\n", m.predictions.Load())
+	fmt.Fprintf(sb, "# HELP comet_shard_blocks_total Blocks explained on behalf of cluster coordinators through POST /v1/shard.\n")
+	fmt.Fprintf(sb, "# TYPE comet_shard_blocks_total counter\n")
+	fmt.Fprintf(sb, "comet_shard_blocks_total %d\n", m.shardBlocks.Load())
 	fmt.Fprintf(sb, "# HELP comet_persist_hits_total Explain requests served from the durable store.\n")
 	fmt.Fprintf(sb, "# TYPE comet_persist_hits_total counter\n")
 	fmt.Fprintf(sb, "comet_persist_hits_total %d\n", m.persistHits.Load())

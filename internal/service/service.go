@@ -5,14 +5,18 @@
 //
 // Routes:
 //
-//	POST /v1/explain    synchronous single-block explanation
-//	POST /v1/predict    batch cost-model queries (the remote-model backend)
-//	POST /v1/corpus     asynchronous corpus job (bounded queue, 429 on overflow)
-//	GET  /v1/jobs       list every known job (queued, running, finished, restored)
-//	GET  /v1/jobs/{id}  job status + paginated results (?offset=&limit=)
-//	GET  /v1/models     registered model specs + their default configs
-//	GET  /healthz       liveness
-//	GET  /metrics       Prometheus text metrics
+//	POST /v1/explain        synchronous single-block explanation
+//	POST /v1/predict        batch cost-model queries (the remote-model backend)
+//	POST /v1/corpus         asynchronous corpus job (bounded queue, 429 on overflow)
+//	GET  /v1/jobs           list every known job (queued, running, finished, restored)
+//	GET  /v1/jobs/{id}      job status + paginated results (?offset=&limit=)
+//	GET  /v1/models         registered model specs + their default configs
+//	POST /v1/shard          execute one lease of a sharded corpus job (cluster worker)
+//	POST /v1/cluster/join   worker self-registration + heartbeat (coordinator mode)
+//	GET  /v1/cluster        worker pool + lease-scheduler counters (coordinator mode)
+//	GET  /healthz           liveness
+//	GET  /readyz            readiness (200 only after SetReady: warm-up + Restore done)
+//	GET  /metrics           Prometheus text metrics
 //
 // Models are addressed by registry spec strings ("uica", "c@skl",
 // "ithemal@hsw?hidden=64&train=2000", "remote@http://other:8372") and
@@ -38,6 +42,11 @@
 //     results and resumes interrupted jobs with output identical to an
 //     uninterrupted run. The store is an accelerator, never a
 //     dependency — its failures are counted, not surfaced.
+//   - In coordinator mode (Config.Coordinator / ClusterWorkers), corpus
+//     jobs shard across the worker pool through internal/cluster; leases
+//     carry the original per-block seeds, so distributed results are
+//     byte-identical to local ones, and the local engine remains the
+//     fallback when no worker is ready.
 package service
 
 import (
@@ -53,6 +62,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/comet-explain/comet/internal/cluster"
 	"github.com/comet-explain/comet/internal/core"
 	"github.com/comet-explain/comet/internal/costmodel"
 	"github.com/comet-explain/comet/internal/persist"
@@ -115,6 +125,18 @@ type Config struct {
 	// SIGKILL) as soon as they complete; the checkpoint cadence only
 	// bounds what a power loss can lose.
 	JobCheckpointEvery int
+	// Coordinator enables cluster-coordinator mode: corpus jobs are
+	// sharded across the worker pool (static ClusterWorkers plus workers
+	// that self-register via POST /v1/cluster/join), falling back to the
+	// local engine when no worker is ready. Results are byte-identical
+	// either way.
+	Coordinator bool
+	// ClusterWorkers seeds the coordinator's pool with static worker
+	// base URLs; a non-empty list implies Coordinator.
+	ClusterWorkers []string
+	// Cluster tunes the coordinator's lease scheduler (lease size,
+	// timeouts, retry budget, heartbeat TTL).
+	Cluster cluster.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -164,14 +186,15 @@ func defaultParallelism() int { return runtime.GOMAXPROCS(0) }
 // Server is the cometd HTTP server. Construct with New, mount Handler,
 // and call Shutdown on the way out.
 type Server struct {
-	cfg     Config
-	models  *modelRegistry
-	flights flightGroup
-	results *lruStore[*wire.Explanation]
-	jobs    *jobManager
-	metrics *metrics
-	mux     *http.ServeMux
-	store   persist.Store
+	cfg         Config
+	models      *modelRegistry
+	flights     flightGroup
+	results     *lruStore[*wire.Explanation]
+	jobs        *jobManager
+	metrics     *metrics
+	mux         *http.ServeMux
+	store       persist.Store
+	coordinator *cluster.Coordinator
 
 	explainSlots   chan struct{}
 	explainWaiting atomic.Int64
@@ -180,6 +203,7 @@ type Server struct {
 	cancel   context.CancelFunc
 	draining atomic.Bool
 	restored atomic.Bool
+	ready    atomic.Bool
 }
 
 // New builds a server. Models warm lazily on first use; use RegisterModel
@@ -198,8 +222,18 @@ func New(cfg Config) *Server {
 		ctx:          ctx,
 		cancel:       cancel,
 	}
+	if cfg.Coordinator || len(cfg.ClusterWorkers) > 0 {
+		copts := cfg.Cluster
+		if copts.Logf == nil {
+			copts.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "comet-serve: cluster: "+format+"\n", args...)
+			}
+		}
+		s.coordinator = cluster.New(cluster.NewPool(cfg.ClusterWorkers, copts), copts)
+	}
 	s.jobs = newJobManager(ctx, cfg.JobWorkers, cfg.JobQueueDepth, cfg.JobHistorySize,
 		cfg.JobCheckpointEvery, cfg.Store, s.storeError)
+	s.jobs.cluster = s.coordinator
 	// Client-initiated model warm-ups (training, remote handshakes) share
 	// the explain concurrency budget instead of running unbounded.
 	s.models.warmGate = func() (func(), error) {
@@ -214,10 +248,23 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/jobs", s.instrument("jobs", s.handleJobs))
 	s.mux.HandleFunc("/v1/jobs/", s.instrument("jobs", s.handleJob))
 	s.mux.HandleFunc("/v1/models", s.instrument("models", s.handleModels))
+	s.mux.HandleFunc("/v1/shard", s.instrument("shard", s.handleShard))
+	if s.coordinator != nil {
+		s.mux.HandleFunc("/v1/cluster/join", s.instrument("join", s.handleClusterJoin))
+		s.mux.HandleFunc("/v1/cluster", s.instrument("cluster", s.handleCluster))
+	}
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	return s
 }
+
+// SetReady flips /readyz to 200. Call it after warm-up is complete —
+// Restore has run and -preload models are resolved — so load balancers
+// and cluster coordinators never route to a cold server. Handlers other
+// than /v1/shard still answer before readiness (a cold server can serve
+// cache hits); readiness is a routing signal, not a gate.
+func (s *Server) SetReady() { s.ready.Store(true) }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -626,7 +673,9 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 	return n, nil
 }
 
-// handleHealthz serves GET /healthz.
+// handleHealthz serves GET /healthz: pure liveness — the process is up
+// and serving HTTP. Restart on failure; do not route on it (that is
+// /readyz's job).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	state := "ok"
 	code := http.StatusOK
@@ -635,6 +684,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]string{"status": state})
+}
+
+// handleReadyz serves GET /readyz: readiness — 200 only after the
+// operator called SetReady (model warm-up and store Restore complete)
+// and while not draining. Load balancers and cluster coordinators route
+// on this, so cold or draining servers receive no traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 // handleMetrics serves GET /metrics in the Prometheus text format.
@@ -647,6 +711,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	extra = append(extra, s.jobs.gauges()...)
 	extra = append(extra, s.models.cacheGauges()...)
+	extra = append(extra, s.clusterGauges()...)
 	if s.store != nil {
 		st := s.store.Stats()
 		extra = append(extra,

@@ -369,6 +369,97 @@ type ModelsResponse struct {
 	Warmed []string `json:"warmed,omitempty"`
 }
 
+// ShardBlock is one block of a shard lease: the block's canonical text,
+// its index in the original corpus, and the per-block seed the
+// coordinator derived from the job's base seed (core.BlockSeed). Seeds
+// travel with the lease so any worker — on any machine, at any worker
+// count — produces bytes identical to a single-process run.
+type ShardBlock struct {
+	Index int    `json:"index"`
+	Seed  int64  `json:"seed"`
+	Block string `json:"block"`
+}
+
+// ShardRequest is the body of POST /v1/shard: one lease of a sharded
+// corpus job, dispatched by a cluster coordinator to a worker. Spec is
+// the canonical model spec and Config the job's full effective
+// configuration, so the worker reconstructs exactly the computation the
+// coordinator would have run locally.
+type ShardRequest struct {
+	JobID string `json:"job_id"`
+	Lease string `json:"lease"`
+	// Spec is the canonical model spec the job runs under.
+	Spec string `json:"spec"`
+	// Arch fills in the spec's target when it has none ("" = hsw).
+	Arch string `json:"arch,omitempty"`
+	// Config is the job's effective explanation configuration.
+	Config ConfigSnapshot `json:"config"`
+	// Blocks are the leased blocks with their corpus indices and seeds.
+	Blocks []ShardBlock `json:"blocks"`
+	// Workers bounds the worker's block-level concurrency for this lease
+	// (0 = the worker's default). Results are identical at any count.
+	Workers int `json:"workers,omitempty"`
+}
+
+// ShardResponse is the body of a successful POST /v1/shard. Results
+// carry the original corpus indices and are sorted by index.
+type ShardResponse struct {
+	JobID   string         `json:"job_id"`
+	Lease   string         `json:"lease"`
+	Results []CorpusResult `json:"results"`
+}
+
+// JoinRequest is the body of POST /v1/cluster/join — a worker's initial
+// self-registration with a coordinator and every subsequent heartbeat
+// (join is idempotent; re-joining refreshes the heartbeat clock).
+type JoinRequest struct {
+	// URL is the worker's advertised base URL ("http://host:port").
+	URL string `json:"url"`
+	// Capacity is how many leases the worker accepts concurrently (0 = 1).
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// JoinResponse is the body of a successful POST /v1/cluster/join.
+type JoinResponse struct {
+	// Worker is the coordinator's id for this worker (its canonical URL).
+	Worker string `json:"worker"`
+	// TTLSeconds is how long the registration lasts without another
+	// heartbeat; workers should re-join at a comfortably shorter interval.
+	TTLSeconds float64 `json:"ttl_seconds"`
+}
+
+// ClusterWorker is one worker in GET /v1/cluster.
+type ClusterWorker struct {
+	ID string `json:"id"`
+	// State is "ready", "joining" (readiness not yet probed), "down"
+	// (failed a dispatch or probe; re-probed after a backoff), or
+	// "expired" (a dynamic worker whose heartbeats stopped).
+	State string `json:"state"`
+	// Static marks workers from the coordinator's -workers list (they
+	// never expire; dynamic workers joined via POST /v1/cluster/join).
+	Static   bool `json:"static,omitempty"`
+	Capacity int  `json:"capacity"`
+	// Inflight is the number of leases currently dispatched to the worker.
+	Inflight int `json:"inflight"`
+	// BlocksDone and LeasesDone count completed work; Failures counts
+	// failed dispatches attributed to this worker.
+	BlocksDone int `json:"blocks_done"`
+	LeasesDone int `json:"leases_done"`
+	Failures   int `json:"failures"`
+}
+
+// ClusterStatus is the body of GET /v1/cluster: the worker pool and the
+// lease scheduler's lifetime counters.
+type ClusterStatus struct {
+	Workers             []ClusterWorker `json:"workers"`
+	LeasesDispatched    uint64          `json:"leases_dispatched"`
+	LeasesReleased      uint64          `json:"leases_released"`
+	StragglerDispatches uint64          `json:"straggler_dispatches"`
+	WorkerDeaths        uint64          `json:"worker_deaths"`
+	BlocksDone          uint64          `json:"blocks_done"`
+	ShardErrors         uint64          `json:"shard_errors"`
+}
+
 // Job states.
 const (
 	JobQueued   = "queued"
@@ -390,15 +481,31 @@ type JobAccepted struct {
 // NextOffset is the offset of the first result not included (equal to
 // Offset+len(Results); poll again from there).
 type JobStatus struct {
-	ID         string         `json:"id"`
-	State      string         `json:"state"`
-	Total      int            `json:"total"`
-	Done       int            `json:"done"`
-	Failed     int            `json:"failed"`
-	Error      string         `json:"error,omitempty"`
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Total  int    `json:"total"`
+	Done   int    `json:"done"`
+	Failed int    `json:"failed"`
+	// BlocksTotal/BlocksDone/BlocksFailed are the progress fields under
+	// the names dashboards and load balancers consume; they always equal
+	// Total/Done/Failed (which predate them and stay for compatibility).
+	BlocksTotal  int    `json:"blocks_total"`
+	BlocksDone   int    `json:"blocks_done"`
+	BlocksFailed int    `json:"blocks_failed"`
+	Error        string `json:"error,omitempty"`
+	// Workers attributes completed blocks to the cluster workers that
+	// produced them (coordinator-run jobs only; "local" for blocks the
+	// coordinator computed itself on fallback). Sorted by worker id.
+	Workers    []WorkerBlocks `json:"workers,omitempty"`
 	Offset     int            `json:"offset"`
 	NextOffset int            `json:"next_offset"`
 	Results    []CorpusResult `json:"results,omitempty"`
+}
+
+// WorkerBlocks is one worker's completed-block count in a cluster job.
+type WorkerBlocks struct {
+	Worker string `json:"worker"`
+	Blocks int    `json:"blocks"`
 }
 
 // Error is the JSON error envelope every non-2xx response carries.

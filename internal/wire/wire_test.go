@@ -195,3 +195,46 @@ func TestParseArchAndHazard(t *testing.T) {
 		t.Error("Feature.Lib accepted unknown kind")
 	}
 }
+
+// TestClusterEnvelopesByteStable extends the byte-stability contract to
+// the shard protocol: leases and their envelopes cross machine
+// boundaries, so unmarshal → marshal must reproduce exact bytes.
+func TestClusterEnvelopesByteStable(t *testing.T) {
+	check := func(name string, v any, decoded any) {
+		t.Helper()
+		first, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(first, decoded); err != nil {
+			t.Fatal(err)
+		}
+		second, err := json.Marshal(decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("%s marshal not byte-stable:\n first %s\nsecond %s", name, first, second)
+		}
+	}
+	check("ShardRequest", &ShardRequest{
+		JobID: "job-1", Lease: "job-1/l0", Spec: "uica@hsw", Arch: "hsw",
+		Config: ConfigSnapshot{Epsilon: 0.5, PrecisionThreshold: 0.7, CoverageSamples: 1000, BatchSize: 64, Parallelism: 1, Seed: 7},
+		Blocks: []ShardBlock{{Index: 3, Seed: -12345, Block: "add rcx, rax"}},
+	}, &ShardRequest{})
+	check("ShardResponse", &ShardResponse{
+		JobID: "job-1", Lease: "job-1/l0",
+		Results: []CorpusResult{{Index: 3, Block: "add rcx, rax", Explanation: FromExplanation(explain(t))}},
+	}, &ShardResponse{})
+	check("JoinRequest", &JoinRequest{URL: "http://w1:8372", Capacity: 2}, &JoinRequest{})
+	check("JoinResponse", &JoinResponse{Worker: "http://w1:8372", TTLSeconds: 15}, &JoinResponse{})
+	check("ClusterStatus", &ClusterStatus{
+		Workers:          []ClusterWorker{{ID: "http://w1:8372", State: "ready", Static: true, Capacity: 1, Inflight: 1, BlocksDone: 9, LeasesDone: 3, Failures: 1}},
+		LeasesDispatched: 4, LeasesReleased: 1, StragglerDispatches: 1, WorkerDeaths: 1, BlocksDone: 9, ShardErrors: 2,
+	}, &ClusterStatus{})
+	check("JobStatus", &JobStatus{
+		ID: "job-1", State: JobRunning, Total: 4, Done: 2, Failed: 1,
+		BlocksTotal: 4, BlocksDone: 2, BlocksFailed: 1,
+		Workers: []WorkerBlocks{{Worker: "http://w1:8372", Blocks: 2}},
+	}, &JobStatus{})
+}

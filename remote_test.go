@@ -10,8 +10,13 @@ package comet_test
 import (
 	"context"
 	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/comet-explain/comet"
 	"github.com/comet-explain/comet/internal/service"
@@ -112,5 +117,135 @@ func TestRemoteFailureSurfacesAsError(t *testing.T) {
 	// Dialing a dead backend fails fast, and so does registry resolution.
 	if _, err := comet.ResolveModelString("remote@" + ts.URL + "?retries=0"); err == nil {
 		t.Error("resolving a dead backend succeeded")
+	}
+}
+
+// TestRemoteRetriesExhausted: persistent 503 backpressure burns exactly
+// the retry budget (initial attempt + Retries) and surfaces an error
+// naming the attempt count.
+func TestRemoteRetriesExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"overloaded"}`))
+	}))
+	defer ts.Close()
+
+	_, err := comet.DialRemoteModel(ts.URL, comet.RemoteModelOptions{Retries: 2})
+	if err == nil {
+		t.Fatal("dialing a permanently overloaded backend succeeded")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("backend saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+	if !strings.Contains(err.Error(), "3 attempt(s)") || !strings.Contains(err.Error(), "overloaded") {
+		t.Errorf("error %q does not report the attempts and cause", err)
+	}
+}
+
+// TestRemote502IsFinal: a 502 from the backend (its own chained model
+// failed) is not backpressure — it must surface immediately, without
+// burning retries, with the gateway error's message intact.
+func TestRemote502IsFinal(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+		_, _ = w.Write([]byte(`{"error":"backend predict failed: chained model is gone"}`))
+	}))
+	defer ts.Close()
+
+	_, err := comet.DialRemoteModel(ts.URL, comet.RemoteModelOptions{Retries: 3})
+	if err == nil {
+		t.Fatal("dialing through a broken gateway succeeded")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("backend saw %d attempts, want 1 (502 is final)", got)
+	}
+	if !strings.Contains(err.Error(), "server status 502") || !strings.Contains(err.Error(), "chained model is gone") {
+		t.Errorf("error %q does not carry the 502 mapping", err)
+	}
+}
+
+// TestRemoteCancelDuringBackoff: a canceled lifetime context interrupts
+// the retry loop's backoff sleep — the caller never waits out the
+// budget against a backend that keeps saying 503.
+func TestRemoteCancelDuringBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"overloaded"}`))
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// 20 retries of jittered linear backoff would sleep for minutes;
+	// cancellation must cut that to the 30ms fuse.
+	_, err := comet.DialRemoteModel(ts.URL, comet.RemoteModelOptions{Retries: 20, Context: ctx})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dial succeeded against a canceled context")
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("canceled dial took %v, want prompt return", elapsed)
+	}
+}
+
+// TestRemoteMidBatchCancel: canceling the model's context mid-predict
+// aborts the in-flight explanation promptly with an error (via the
+// explainer's QueryError recovery boundary), not a hang or a panic.
+func TestRemoteMidBatchCancel(t *testing.T) {
+	backend := startBackend(t)
+	handshook := make(chan struct{}, 1)
+	stop := make(chan struct{})
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case handshook <- struct{}{}:
+			// First request (the discovery handshake): pass through.
+			resp, err := http.Post(backend.URL+r.URL.Path, "application/json", r.Body)
+			if err != nil {
+				w.WriteHeader(http.StatusBadGateway)
+				return
+			}
+			defer resp.Body.Close()
+			w.WriteHeader(resp.StatusCode)
+			_, _ = io.Copy(w, resp.Body)
+		default:
+			// Every later batch hangs until the client gives up (or the
+			// test tears down; without the stop channel proxy.Close can
+			// wait on a parked handler forever).
+			select {
+			case <-r.Context().Done():
+			case <-stop:
+			}
+		}
+	}))
+	defer proxy.Close()
+	defer close(stop)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rm, err := comet.DialRemoteModel(proxy.URL, comet.RemoteModelOptions{Model: "uica", Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	cfg := comet.DefaultConfig()
+	cfg.CoverageSamples = 50
+	block := comet.MustParseBlock("add rcx, rax\nmov rdx, rcx")
+	start := time.Now()
+	_, err = comet.NewExplainer(rm, cfg).ExplainContext(context.Background(), block, comet.WithSeed(1))
+	if err == nil {
+		t.Fatal("explanation succeeded over a canceled remote model")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("mid-batch cancel took %v to surface", elapsed)
 	}
 }
