@@ -7,7 +7,7 @@ GO ?= go
 # verify-store can audit them afterwards.
 E2E_STORE_DIR ?= /tmp/comet-e2e-store
 
-.PHONY: build test test-race test-e2e test-cluster verify-store examples bench bench-smoke lint vet fmt fmt-check
+.PHONY: build test test-race test-e2e test-cluster verify-store examples bench bench-smoke bench-check bench-baseline fuzz-smoke lint vet staticcheck fmt fmt-check
 
 build:
 	$(GO) build ./...
@@ -43,9 +43,9 @@ test-cluster:
 # checksummed, corruption reported (and -strict fails the build on any —
 # after a graceful exit the stores must be clean).
 verify-store:
-	$(GO) run ./cmd/comet-store -dir $(E2E_STORE_DIR)/kill-resume -strict verify
+	$(GO) run ./cmd/comet-store -dir $(E2E_STORE_DIR)/kill-resume -strict -json verify
 	$(GO) run ./cmd/comet-store -dir $(E2E_STORE_DIR)/kill-resume stats
-	$(GO) run ./cmd/comet-store -dir $(E2E_STORE_DIR)/cluster -strict verify
+	$(GO) run ./cmd/comet-store -dir $(E2E_STORE_DIR)/cluster -strict -json verify
 	$(GO) run ./cmd/comet-store -dir $(E2E_STORE_DIR)/cluster stats
 
 # Full benchmark suite (regenerates the paper's tables at benchmark scale).
@@ -56,7 +56,48 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-lint: fmt-check vet
+# Wire benchmark scale. The stream runs at the baseline's full 100000
+# blocks: the bench's built-in memory-flatness gate compares peak heap
+# against the result volume, which must dwarf fixed overhead (bounded
+# caches, GC slack) for the comparison to mean anything.
+BENCH_WIRE_REQUESTS ?= 3000
+BENCH_WIRE_BLOCKS   ?= 100000
+
+# The CI regression gate: rerun the wire benchmark and compare against
+# the committed baseline. Fails on >25% regression of the binary-vs-JSON
+# speedup or >10% growth in per-request allocations — both machine-
+# portable; raw req/s is recorded but never gated (it measures the
+# runner, not the code). BENCH_current.json is the fresh summary, kept
+# for upload as a CI artifact.
+bench-check:
+	$(GO) run ./cmd/comet-bench -wire \
+		-wire-requests $(BENCH_WIRE_REQUESTS) -stream-blocks $(BENCH_WIRE_BLOCKS) \
+		-json-out BENCH_current.json -check BENCH_baseline.json
+
+# Refresh the committed baseline at full scale (run on a quiet machine,
+# then commit BENCH_baseline.json with the change that moved it).
+bench-baseline:
+	$(GO) run ./cmd/comet-bench -wire -json-out BENCH_baseline.json
+
+# Brief native fuzzing of the frame scanner, the binary decoder, and the
+# JSON wire types, starting from the committed corpus in
+# internal/wire/testdata/fuzz. One -fuzz pattern per invocation: go test
+# rejects multiple fuzz targets in a single fuzzing run.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBinary$$' -fuzztime=30s ./internal/wire
+	$(GO) test -run='^$$' -fuzz='^FuzzScanFrames$$' -fuzztime=30s ./internal/wire
+	$(GO) test -run='^$$' -fuzz='^FuzzWireJSON$$' -fuzztime=30s ./internal/wire
+
+lint: fmt-check vet staticcheck
+
+# staticcheck is optional locally (skipped when the binary is absent) but
+# required in CI, which installs it explicitly.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 vet:
 	$(GO) vet ./...

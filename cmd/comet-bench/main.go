@@ -51,8 +51,21 @@ func main() {
 		storeMode   = flag.Bool("store", false, "with -corpus: benchmark the durable explanation store instead — a cold pass that populates a fresh store, then a warm pass served from it, reporting the warm speedup and store hit/miss counters")
 		storeDir    = flag.String("store-dir", "", "store benchmark directory (default: a temp dir, removed afterwards)")
 		clusterW    = flag.Int("cluster", 0, "with -corpus: benchmark the sharded cluster instead — spawn N in-process comet-serve workers, shard the corpus across 1 and then all N, and report scaling efficiency and re-lease counts (results byte-checked against a local run)")
+
+		wireMode     = flag.Bool("wire", false, "wire benchmark: warm-path explain requests/s over the JSON facade vs the binary frame codec (byte-identity verified), plus a stream-only corpus job's memory profile; -json-out writes the BENCH_baseline.json schema")
+		wireRequests = flag.Int("wire-requests", 5000, "with -wire: warm-path requests measured per encoding")
+		streamBlocks = flag.Int("stream-blocks", 100000, "with -wire: blocks in the streamed corpus job")
+		checkPath    = flag.String("check", "", "with -wire: compare against this baseline summary (BENCH_baseline.json) and exit non-zero on >25% binary-speedup regression or >10% per-request allocation growth")
 	)
 	flag.Parse()
+
+	if *wireMode {
+		if err := wireBench(*wireRequests, *streamBlocks, *jsonOut, *checkPath); err != nil {
+			fmt.Fprintln(os.Stderr, "comet-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *corpusN > 0 {
 		var err error

@@ -1,0 +1,54 @@
+package bitset
+
+import "testing"
+
+func TestSet(t *testing.T) {
+	s := New(10)
+	if s.Len() != 0 {
+		t.Fatalf("new set has %d elements", s.Len())
+	}
+	if !s.Add(3) || !s.Add(200) || !s.Add(0) {
+		t.Fatal("fresh adds reported false")
+	}
+	if s.Add(3) {
+		t.Fatal("duplicate add reported true")
+	}
+	if s.Add(-1) || s.Has(-1) {
+		t.Fatal("negative index accepted")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for _, i := range []int{0, 3, 200} {
+		if !s.Has(i) {
+			t.Fatalf("Has(%d) = false", i)
+		}
+	}
+	if s.Has(1) || s.Has(64) || s.Has(1000) {
+		t.Fatal("Has reported an absent element")
+	}
+	var got []int
+	s.Range(func(i int) bool { got = append(got, i); return true })
+	want := []int{0, 3, 200}
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range visited %v, want %v", got, want)
+		}
+	}
+	got = got[:0]
+	s.Range(func(i int) bool { got = append(got, i); return false })
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("early-stop Range visited %v", got)
+	}
+	var nilSet *Set
+	if nilSet.Len() != 0 {
+		t.Fatal("nil set Len != 0")
+	}
+	var zero Set
+	if !zero.Add(5) || !zero.Has(5) {
+		t.Fatal("zero-value set unusable")
+	}
+}

@@ -29,9 +29,11 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"github.com/comet-explain/comet/internal/bitset"
 	"github.com/comet-explain/comet/internal/core"
 	"github.com/comet-explain/comet/internal/wire"
 )
@@ -167,6 +169,10 @@ type Coordinator struct {
 	pool  *Pool
 	opts  Options
 	stats Stats
+	// binaryOff disables the frame codec for shard dispatch once any
+	// worker rejects a framed request (a mixed fleet downgrades the
+	// whole coordinator to JSON — correct either way, just slower).
+	binaryOff atomic.Bool
 }
 
 // New builds a coordinator over a pool.
@@ -240,7 +246,7 @@ func (c *Coordinator) Run(ctx context.Context, job Job, emit func(Result)) error
 	pending := make([]*lease, len(leases))
 	copy(pending, leases)
 	remaining := len(leases)
-	emitted := make(map[int]bool)
+	emitted := bitset.New(len(job.Blocks))
 	resc := make(chan dispatchResult)
 	ticker := time.NewTicker(c.opts.Tick)
 	defer ticker.Stop()
@@ -301,10 +307,9 @@ func (c *Coordinator) Run(ctx context.Context, job Job, emit func(Result)) error
 				break // late straggler duplicate; bytes identical, drop it
 			}
 			for _, res := range r.results {
-				if emitted[res.Index] {
+				if !emitted.Add(res.Index) {
 					continue
 				}
-				emitted[res.Index] = true
 				c.stats.BlocksDone.Add(1)
 				emit(Result{Worker: r.worker, CorpusResult: res})
 			}
@@ -394,11 +399,21 @@ func (c *Coordinator) send(ctx context.Context, job Job, l *lease, workerID stri
 }
 
 // dispatch performs one POST /v1/shard round trip, bounded by
-// LeaseTimeout, and validates the response against the lease.
+// LeaseTimeout, and validates the response against the lease. Leases
+// ride the binary frame codec until any worker rejects one, which
+// downgrades the coordinator to JSON and retries the round trip
+// immediately.
 func (c *Coordinator) dispatch(ctx context.Context, workerURL string, sreq wire.ShardRequest) ([]wire.CorpusResult, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.opts.LeaseTimeout)
 	defer cancel()
-	body, err := json.Marshal(sreq)
+	binary := !c.binaryOff.Load()
+	var body []byte
+	var err error
+	if binary {
+		body, err = wire.EncodeBinary(&sreq)
+	} else {
+		body, err = json.Marshal(sreq)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -406,39 +421,93 @@ func (c *Coordinator) dispatch(ctx context.Context, workerURL string, sreq wire.
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if binary {
+		req.Header.Set("Content-Type", wire.FrameContentType)
+		req.Header.Set("Accept", wire.FrameContentType)
+	} else {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := c.opts.Client.Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var werr wire.Error
-		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&werr) == nil && werr.Error != "" {
-			return nil, fmt.Errorf("worker status %d: %s", resp.StatusCode, werr.Error)
+		if binary && (resp.StatusCode == http.StatusBadRequest || resp.StatusCode == http.StatusUnsupportedMediaType) {
+			// A worker from before the codec existed; fall back to JSON
+			// for every future lease. A genuinely bad request fails the
+			// same way on the JSON retry.
+			c.binaryOff.Store(true)
+			c.logf("worker %s rejected a binary lease (status %d); downgrading to JSON", workerURL, resp.StatusCode)
+			return c.dispatch(ctx, workerURL, sreq)
 		}
-		return nil, fmt.Errorf("worker status %d", resp.StatusCode)
+		return nil, shardStatusError(resp)
 	}
-	var out wire.ShardResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("decoding shard response: %w", err)
+	out, err := decodeShardResponse(resp)
+	if err != nil {
+		return nil, err
 	}
 	// The response must answer exactly the leased blocks: a worker that
 	// dropped or invented indices is as wrong as a transport failure.
-	want := make(map[int]bool, len(sreq.Blocks))
+	want := bitset.New(len(sreq.Blocks))
 	for _, b := range sreq.Blocks {
-		want[b.Index] = true
+		want.Add(b.Index)
 	}
 	if len(out.Results) != len(sreq.Blocks) {
 		return nil, fmt.Errorf("worker answered %d of %d leased blocks", len(out.Results), len(sreq.Blocks))
 	}
+	seen := bitset.New(len(sreq.Blocks))
 	for _, r := range out.Results {
-		if !want[r.Index] {
+		if !want.Has(r.Index) || !seen.Add(r.Index) {
 			return nil, fmt.Errorf("worker answered unleased or duplicate block index %d", r.Index)
 		}
-		delete(want, r.Index)
 	}
 	return out.Results, nil
+}
+
+// shardStatusError extracts the error envelope (framed or JSON) from a
+// non-2xx shard response.
+func shardStatusError(resp *http.Response) error {
+	limited := io.LimitReader(resp.Body, 1<<16)
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), wire.FrameContentType) {
+		if b, err := io.ReadAll(limited); err == nil {
+			if msg, derr := wire.DecodeBinary(b); derr == nil {
+				if werr, ok := msg.(*wire.Error); ok && werr.Error != "" {
+					return fmt.Errorf("worker status %d: %s", resp.StatusCode, werr.Error)
+				}
+			}
+		}
+		return fmt.Errorf("worker status %d", resp.StatusCode)
+	}
+	var werr wire.Error
+	if json.NewDecoder(limited).Decode(&werr) == nil && werr.Error != "" {
+		return fmt.Errorf("worker status %d: %s", resp.StatusCode, werr.Error)
+	}
+	return fmt.Errorf("worker status %d", resp.StatusCode)
+}
+
+// decodeShardResponse parses a 200 shard response on either wire format.
+func decodeShardResponse(resp *http.Response) (*wire.ShardResponse, error) {
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), wire.FrameContentType) {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("reading shard response: %w", err)
+		}
+		msg, err := wire.DecodeBinary(b)
+		if err != nil {
+			return nil, fmt.Errorf("decoding shard frame: %w", err)
+		}
+		out, ok := msg.(*wire.ShardResponse)
+		if !ok {
+			return nil, fmt.Errorf("shard response frame carries %T", msg)
+		}
+		return out, nil
+	}
+	out := &wire.ShardResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return nil, fmt.Errorf("decoding shard response: %w", err)
+	}
+	return out, nil
 }
 
 // partition slices the job's non-skipped blocks into leases of

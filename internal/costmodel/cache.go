@@ -1,7 +1,6 @@
 package costmodel
 
 import (
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 
@@ -58,10 +57,19 @@ func NewCache(maxEntries int) *Cache {
 // instruction text, which is exactly the information a cost model sees.
 func BlockKey(b *x86.BasicBlock) string { return b.String() }
 
+// fnv32a is an inlined, allocation-free FNV-1a over the key (hash/fnv's
+// streaming hasher costs one allocation per call on this hot path).
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
 func (c *Cache) shard(key string) *cacheShard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &c.shards[h.Sum32()%cacheShards]
+	return &c.shards[fnv32a(key)%cacheShards]
 }
 
 // Get returns the cached prediction for key, if present.
@@ -142,11 +150,20 @@ func PredictThrough(cache *Cache, model BatchModel, blocks []*x86.BasicBlock, ba
 	if batch <= 0 {
 		batch = len(blocks)
 	}
-	// pending maps a canonical key awaiting prediction to every result slot
-	// that needs it.
-	pending := make(map[string][]int)
-	var missKeys []string
-	var missBlocks []*x86.BasicBlock
+	// The dedup bookkeeping is pooled: every explanation calls
+	// PredictThrough once per sampling round, and a fresh map plus three
+	// slices per call dominated the query path's allocations. Duplicate
+	// slots chain through next (an intrusive linked list over slot
+	// indices) instead of per-key []int slices.
+	sc := ptScratchPool.Get().(*predictScratch)
+	defer sc.release()
+	pending := sc.pending // canonical key → most recent slot wanting it
+	if cap(sc.next) < len(blocks) {
+		sc.next = make([]int, len(blocks))
+	}
+	next := sc.next[:len(blocks)]
+	missKeys := sc.missKeys[:0]
+	missBlocks := sc.missBlocks[:0]
 	for i, b := range blocks {
 		key := BlockKey(b)
 		if cache != nil {
@@ -156,15 +173,18 @@ func PredictThrough(cache *Cache, model BatchModel, blocks []*x86.BasicBlock, ba
 				continue
 			}
 		}
-		if slots, ok := pending[key]; ok {
-			pending[key] = append(slots, i)
+		if head, ok := pending[key]; ok {
+			next[i] = head
+			pending[key] = i
 			saved++
 			continue
 		}
-		pending[key] = []int{i}
+		next[i] = -1
+		pending[key] = i
 		missKeys = append(missKeys, key)
 		missBlocks = append(missBlocks, b)
 	}
+	sc.missKeys, sc.missBlocks = missKeys, missBlocks // keep grown buffers
 	for start := 0; start < len(missBlocks); start += batch {
 		end := start + batch
 		if end > len(missBlocks) {
@@ -176,12 +196,45 @@ func PredictThrough(cache *Cache, model BatchModel, blocks []*x86.BasicBlock, ba
 			if cache != nil {
 				cache.Put(key, v)
 			}
-			for _, slot := range pending[key] {
+			for slot := pending[key]; slot >= 0; slot = next[slot] {
 				preds[slot] = v
 			}
 		}
 	}
 	return saved, len(missBlocks)
+}
+
+// predictScratch is PredictThrough's pooled working state.
+type predictScratch struct {
+	pending    map[string]int
+	next       []int
+	missKeys   []string
+	missBlocks []*x86.BasicBlock
+}
+
+var ptScratchPool = sync.Pool{
+	New: func() any {
+		return &predictScratch{pending: make(map[string]int, 64)}
+	},
+}
+
+// release clears pointer-bearing state (so pooled scratch never pins
+// blocks or key strings) and returns the scratch to the pool. Scratch
+// that ballooned on a giant batch is dropped rather than pinned.
+func (sc *predictScratch) release() {
+	if len(sc.pending) > 1<<16 || cap(sc.next) > 1<<20 {
+		return
+	}
+	clear(sc.pending)
+	for i := range sc.missKeys {
+		sc.missKeys[i] = ""
+	}
+	for i := range sc.missBlocks {
+		sc.missBlocks[i] = nil
+	}
+	sc.missKeys = sc.missKeys[:0]
+	sc.missBlocks = sc.missBlocks[:0]
+	ptScratchPool.Put(sc)
 }
 
 // CachedModel wraps a BatchModel with a prediction cache. It implements

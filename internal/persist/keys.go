@@ -2,7 +2,6 @@ package persist
 
 import (
 	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"io"
 
@@ -16,18 +15,27 @@ import (
 // machines, or two years) computing the same explanation agree on the
 // key without coordination.
 
-// ExplanationKey returns the content address of an explanation artifact.
-// spec must be the canonical model spec string and blockText the block's
-// canonical rendering (x86.BasicBlock.String); cfg must be the effective,
-// normalized configuration the explanation ran (or would run) under.
-func ExplanationKey(spec string, cfg wire.ConfigSnapshot, blockText string) string {
+// ExplanationID returns the content address of an explanation artifact
+// as an interned wire.ContentID — hashed once; compared, cached, and
+// single-flighted as 32 fixed bytes. The on-disk store key is its Hex
+// rendering (ExplanationKey), unchanged from before interning, so
+// existing stores stay readable.
+func ExplanationID(spec string, cfg wire.ConfigSnapshot, blockText string) wire.ContentID {
 	h := sha256.New()
 	fmt.Fprintf(h, "comet-explanation-v%d|%s|eps=%g|thr=%g|cov=%d|batch=%d|par=%d|seed=%d|",
 		wire.RecordVersion, spec,
 		cfg.Epsilon, cfg.PrecisionThreshold, cfg.CoverageSamples,
 		cfg.BatchSize, cfg.Parallelism, cfg.Seed)
 	io.WriteString(h, blockText)
-	return hex.EncodeToString(h.Sum(nil))
+	var id wire.ContentID
+	h.Sum(id[:0])
+	return id
+}
+
+// ExplanationKey returns the on-disk store key of an explanation
+// artifact: the hex rendering of its ExplanationID.
+func ExplanationKey(spec string, cfg wire.ConfigSnapshot, blockText string) string {
+	return ExplanationID(spec, cfg, blockText).Hex()
 }
 
 // JobKey returns the store key of a corpus-job envelope.

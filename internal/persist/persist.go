@@ -43,12 +43,9 @@
 package persist
 
 import (
-	"bytes"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -59,16 +56,15 @@ import (
 	"github.com/comet-explain/comet/internal/wire"
 )
 
-// Frame layout constants.
+// Frame layout constants. The framing itself (magic, length, CRC-32C)
+// lives in internal/wire — the same envelope the network codec speaks —
+// so the segment log only supplies the payload schema (JSON Records).
 const (
-	headerSize     = 12
-	maxRecordBytes = 64 << 20 // sanity bound on a single frame's payload
+	headerSize     = wire.FrameHeaderSize
+	maxRecordBytes = wire.MaxFramePayload // sanity bound on a single frame's payload
 )
 
 var (
-	magic      = []byte("CMT1")
-	castagnoli = crc32.MakeTable(crc32.Castagnoli)
-
 	errClosed   = errors.New("persist: store is closed")
 	errReadOnly = errors.New("persist: store is read-only")
 )
@@ -329,67 +325,31 @@ type scanResult struct {
 }
 
 // scanFrames walks a segment's frames, invoking cb for every record that
-// passes the checksum and decodes. Frames with a bad checksum or an
-// undecodable payload are counted and skipped; a corrupted header
-// resynchronizes on the next magic marker; an incomplete frame at the
-// end is counted as torn.
+// passes the checksum and decodes. The framing pass (checksums, magic
+// resynchronization, torn-tail detection) is wire.ScanFrames — shared
+// with the network codec; this wrapper adds the payload schema: frames
+// whose payload is not a decodable Record are counted as corrupt, and
+// future envelope versions are left on disk unindexed.
 func scanFrames(data []byte, cb func(off int64, frameSize int64, rec *wire.Record)) scanResult {
 	var res scanResult
-	off := 0
-	for off < len(data) {
-		if len(data)-off < headerSize {
-			res.corrupt++ // torn tail: not even a full header
-			return res
-		}
-		if !bytes.Equal(data[off:off+4], magic) {
-			// Corrupted header: count once and resynchronize on the next
-			// magic marker.
-			res.corrupt++
-			i := bytes.Index(data[off+1:], magic)
-			if i < 0 {
-				return res
-			}
-			off += 1 + i
-			continue
-		}
-		n := int(binary.LittleEndian.Uint32(data[off+4:]))
-		if n > maxRecordBytes {
-			res.corrupt++
-			i := bytes.Index(data[off+1:], magic)
-			if i < 0 {
-				return res
-			}
-			off += 1 + i
-			continue
-		}
-		if off+headerSize+n > len(data) {
-			res.corrupt++ // torn tail: payload cut short
-			return res
-		}
-		payload := data[off+headerSize : off+headerSize+n]
-		frameSize := int64(headerSize + n)
-		frameOff := int64(off)
-		off += headerSize + n
-		res.goodEnd = int64(off)
-		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[frameOff+8:]) {
-			res.corrupt++
-			continue
-		}
+	frames := wire.ScanFrames(data, func(off, size int64, payload []byte) {
 		var rec wire.Record
 		if err := json.Unmarshal(payload, &rec); err != nil || rec.Kind == "" || rec.Key == "" {
 			res.corrupt++
-			continue
+			return
 		}
 		if rec.V > RecordVersionMax {
 			// A future envelope version: not corruption, but not ours to
 			// interpret either. Leave it on disk, don't index it.
-			continue
+			return
 		}
 		res.records++
 		if cb != nil {
-			cb(frameOff, frameSize, &rec)
+			cb(off, size, &rec)
 		}
-	}
+	})
+	res.corrupt += frames.Corrupt
+	res.goodEnd = frames.GoodEnd
 	return res
 }
 
@@ -501,10 +461,9 @@ func (l *Log) readEntry(e *entry) (*wire.Record, error) {
 	if _, err := s.f.ReadAt(buf, e.off); err != nil {
 		return nil, err
 	}
-	payload := buf[headerSize:]
-	if !bytes.Equal(buf[:4], magic) ||
-		crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[8:]) {
-		return nil, errors.New("persist: frame checksum mismatch")
+	payload, err := wire.VerifyFrame(buf)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
 	}
 	var rec wire.Record
 	if err := json.Unmarshal(payload, &rec); err != nil {
@@ -525,11 +484,10 @@ func (l *Log) Put(rec *wire.Record) error {
 	if len(payload) > maxRecordBytes {
 		return fmt.Errorf("persist: record of %d bytes exceeds the %d-byte frame bound", len(payload), maxRecordBytes)
 	}
-	frame := make([]byte, headerSize+len(payload))
-	copy(frame, magic)
-	binary.LittleEndian.PutUint32(frame[4:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[8:], crc32.Checksum(payload, castagnoli))
-	copy(frame[headerSize:], payload)
+	frame, err := wire.AppendFrame(make([]byte, 0, headerSize+len(payload)), payload)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/comet-explain/comet/internal/deps"
 	"github.com/comet-explain/comet/internal/features"
@@ -86,6 +87,10 @@ type Perturber struct {
 	block *x86.BasicBlock
 	graph *deps.Graph
 	feats features.Set
+	// used is the set of register families the original (immutable) block
+	// touches, computed once at New: freshFamily consults it on every
+	// rename, and recomputing it per draw dominated Sample's allocations.
+	used map[x86.RegFamily]bool
 }
 
 // New prepares a perturber for the block.
@@ -97,7 +102,53 @@ func New(b *x86.BasicBlock, cfg Config) (*Perturber, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Perturber{cfg: cfg, block: b, graph: g, feats: features.Extract(g)}, nil
+	p := &Perturber{cfg: cfg, block: b, graph: g, feats: features.Extract(g)}
+	p.used = p.computeUsedFamilies()
+	return p, nil
+}
+
+// scratch holds Sample's per-draw working state. Draws are hot — a single
+// explanation takes thousands of them — so the maps and slices are pooled
+// and reset instead of reallocated per call. Sample runs concurrently on
+// one Perturber (precision sampling is parallel), hence a pool rather
+// than a field.
+type scratch struct {
+	opcodeLocked  []bool
+	deleted       []bool
+	preservedDeps map[string]bool // Key of preserved dep features
+	lockedSlots   map[slot]bool
+	toBreak       []deps.Edge
+	slots         []slot // carrierSlots result buffer
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &scratch{
+			preservedDeps: make(map[string]bool, 8),
+			lockedSlots:   make(map[slot]bool, 16),
+		}
+	},
+}
+
+// getScratch borrows a cleared scratch sized for n instructions.
+func getScratch(n int) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	if cap(sc.opcodeLocked) < n {
+		sc.opcodeLocked = make([]bool, n)
+	}
+	if cap(sc.deleted) < n {
+		sc.deleted = make([]bool, n)
+	}
+	sc.opcodeLocked = sc.opcodeLocked[:n]
+	sc.deleted = sc.deleted[:n]
+	for i := 0; i < n; i++ {
+		sc.opcodeLocked[i] = false
+		sc.deleted[i] = false
+	}
+	clear(sc.preservedDeps)
+	clear(sc.lockedSlots)
+	sc.toBreak = sc.toBreak[:0]
+	return sc
 }
 
 // Block returns the original block.
@@ -134,9 +185,11 @@ func (p *Perturber) Sample(rng *rand.Rand, preserve features.Set) Result {
 		insts[i] = inst.Clone()
 	}
 
+	sc := getScratch(len(insts))
+	defer scratchPool.Put(sc)
 	preserveEta := false
-	opcodeLocked := make([]bool, len(insts))
-	preservedDeps := make(map[string]bool) // Key of preserved dep features
+	opcodeLocked := sc.opcodeLocked
+	preservedDeps := sc.preservedDeps
 	for _, f := range preserve {
 		switch f.Kind {
 		case features.KindCount:
@@ -161,28 +214,26 @@ func (p *Perturber) Sample(rng *rand.Rand, preserve features.Set) Result {
 	// Decide, per non-preserved dependency edge, whether it is explicitly
 	// retained (locked), passively retained, or slated for breaking. Edges
 	// that carry a preserved feature are always locked.
-	lockedSlots := make(map[slot]bool)
-	type breakPlan struct{ edge deps.Edge }
-	var toBreak []breakPlan
+	lockedSlots := sc.lockedSlots
 	for _, e := range p.graph.Edges {
 		key := features.Feature{Kind: features.KindDep, Src: e.Src, Dst: e.Dst, Hazard: e.Hazard}.Key()
 		if preservedDeps[key] {
-			p.lockEdgeSlots(e, lockedSlots)
+			p.lockEdgeSlots(sc, e, lockedSlots)
 			continue
 		}
 		r := rng.Float64()
 		switch {
 		case r < p.cfg.PExplicitDepRetain:
-			p.lockEdgeSlots(e, lockedSlots)
+			p.lockEdgeSlots(sc, e, lockedSlots)
 		case r < p.cfg.PExplicitDepRetain+(1-p.cfg.PExplicitDepRetain)*p.cfg.PDepRetain:
 			// passively retained this draw
 		default:
-			toBreak = append(toBreak, breakPlan{edge: e})
+			sc.toBreak = append(sc.toBreak, e)
 		}
 	}
 
 	// Vertex perturbation: delete or replace opcodes.
-	deleted := make([]bool, len(insts))
+	deleted := sc.deleted
 	remaining := len(insts)
 	for i := range insts {
 		if opcodeLocked[i] {
@@ -201,12 +252,11 @@ func (p *Perturber) Sample(rng *rand.Rand, preserve features.Set) Result {
 	}
 
 	// Edge perturbation: break dependencies by renaming carrier operands.
-	for _, plan := range toBreak {
-		e := plan.edge
+	for _, e := range sc.toBreak {
 		if deleted[e.Src] || deleted[e.Dst] {
 			continue // the edge died with its endpoint
 		}
-		p.breakEdge(rng, insts, e, lockedSlots)
+		p.breakEdge(sc, rng, insts, e, lockedSlots)
 	}
 
 	// Assemble the surviving instructions and the index mapping.
@@ -252,7 +302,7 @@ func (p *Perturber) replaceOpcode(rng *rand.Rand, insts []x86.Instruction, i int
 // Locking a memory location also locks its base and index registers:
 // renaming those would change the address and silently break the
 // dependency.
-func (p *Perturber) lockEdgeSlots(e deps.Edge, locked map[slot]bool) {
+func (p *Perturber) lockEdgeSlots(sc *scratch, e deps.Edge, locked map[slot]bool) {
 	lock := func(s slot) {
 		locked[s] = true
 		if s.part == partMemWhole {
@@ -260,10 +310,10 @@ func (p *Perturber) lockEdgeSlots(e deps.Edge, locked map[slot]bool) {
 			locked[slot{s.inst, s.op, partIndex}] = true
 		}
 	}
-	for _, s := range p.carrierSlots(e, e.Src) {
+	for _, s := range p.carrierSlots(sc, e, e.Src) {
 		lock(s)
 	}
-	for _, s := range p.carrierSlots(e, e.Dst) {
+	for _, s := range p.carrierSlots(sc, e, e.Dst) {
 		lock(s)
 	}
 }
@@ -271,8 +321,10 @@ func (p *Perturber) lockEdgeSlots(e deps.Edge, locked map[slot]bool) {
 // carrierSlots returns the operand slots of instruction idx through which
 // edge e is carried (write side for the earlier instruction of RAW/WAW,
 // read side for the later instruction of RAW, and so on). Implicit
-// register accesses have no slot and thus cannot be renamed.
-func (p *Perturber) carrierSlots(e deps.Edge, idx int) []slot {
+// register accesses have no slot and thus cannot be renamed. The result
+// is appended into sc's slot buffer and is valid until the next
+// carrierSlots call on the same scratch.
+func (p *Perturber) carrierSlots(sc *scratch, e deps.Edge, idx int) []slot {
 	inst := p.block.Instructions[idx]
 	spec, ok := inst.Spec()
 	if !ok {
@@ -292,7 +344,7 @@ func (p *Perturber) carrierSlots(e deps.Edge, idx int) []slot {
 		wantWrite = true
 	}
 
-	var slots []slot
+	slots := sc.slots[:0]
 	switch e.Loc.Kind {
 	case deps.LocReg:
 		fam := e.Loc.Fam
@@ -328,6 +380,7 @@ func (p *Perturber) carrierSlots(e deps.Edge, idx int) []slot {
 	case deps.LocStack, deps.LocFlags:
 		// Carried implicitly; not renameable.
 	}
+	sc.slots = slots // keep the (possibly grown) buffer for the next call
 	return slots
 }
 
@@ -335,13 +388,13 @@ func (p *Perturber) carrierSlots(e deps.Edge, idx int) []slot {
 // operands on one side. Preference goes to the destination instruction;
 // if all carrier slots on both sides are locked or implicit, the
 // dependency is retained (the block-specific probability shift of App. D).
-func (p *Perturber) breakEdge(rng *rand.Rand, insts []x86.Instruction, e deps.Edge, locked map[slot]bool) {
+func (p *Perturber) breakEdge(sc *scratch, rng *rand.Rand, insts []x86.Instruction, e deps.Edge, locked map[slot]bool) {
 	sides := [2]int{e.Dst, e.Src}
 	if rng.Intn(2) == 0 {
 		sides = [2]int{e.Src, e.Dst}
 	}
 	for _, side := range sides {
-		slots := p.carrierSlots(e, side)
+		slots := p.carrierSlots(sc, e, side)
 		if len(slots) == 0 {
 			continue
 		}
@@ -433,7 +486,7 @@ func (p *Perturber) freshFamily(rng *rand.Rand, old x86.Reg) x86.RegFamily {
 	} else {
 		return x86.FamNone
 	}
-	used := p.usedFamilies()
+	used := p.used
 	var unused, others []x86.RegFamily
 	for _, f := range pool {
 		if f == x86.FamRSP || f == old.Family {
@@ -471,7 +524,10 @@ func (p *Perturber) randomRegLike(rng *rand.Rand, old x86.Reg) x86.Reg {
 	}
 }
 
-func (p *Perturber) usedFamilies() map[x86.RegFamily]bool {
+// computeUsedFamilies walks the original block once at New; the result is
+// immutable for the Perturber's lifetime (Sample never mutates the
+// original block, only clones).
+func (p *Perturber) computeUsedFamilies() map[x86.RegFamily]bool {
 	used := make(map[x86.RegFamily]bool)
 	for _, inst := range p.block.Instructions {
 		for _, o := range inst.Operands {
@@ -537,11 +593,13 @@ func (p *Perturber) SpaceSize(preserve features.Set) float64 {
 	// has the same alternative pool regardless of how many dependencies it
 	// carries.
 	const regAlternatives = 14.0 // same-bank families excluding RSP and current
+	sc := getScratch(p.block.Len())
+	defer scratchPool.Put(sc)
 	lockedSlots := make(map[slot]bool)
 	for _, e := range p.graph.Edges {
 		key := features.Feature{Kind: features.KindDep, Src: e.Src, Dst: e.Dst, Hazard: e.Hazard}.Key()
 		if preservedDeps[key] {
-			p.lockEdgeSlots(e, lockedSlots)
+			p.lockEdgeSlots(sc, e, lockedSlots)
 		}
 	}
 	seen := make(map[slot]bool)
@@ -550,7 +608,7 @@ func (p *Perturber) SpaceSize(preserve features.Set) float64 {
 			if locked[idx] {
 				continue
 			}
-			for _, s := range p.carrierSlots(e, idx) {
+			for _, s := range p.carrierSlots(sc, e, idx) {
 				if seen[s] || lockedSlots[s] {
 					continue
 				}

@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/comet-explain/comet/internal/costmodel"
@@ -55,6 +56,11 @@ type Options struct {
 	// interface carries no per-call context, so the model's lifetime
 	// context is the cancellation scope.)
 	Context context.Context
+	// ForceJSON disables the binary frame codec: every request is plain
+	// JSON. By default the client speaks binary frames and downgrades to
+	// JSON permanently the first time the server rejects one, so it
+	// interoperates with servers from before the codec existed.
+	ForceJSON bool
 }
 
 // Model is the remote cost model. It is safe for concurrent use and
@@ -67,6 +73,9 @@ type Model struct {
 	reqArch  string
 	retries  int
 	ctx      context.Context
+	// binary tracks whether the server speaks the frame codec; it flips
+	// off (permanently for this model) on the first rejection.
+	binary atomic.Bool
 
 	name    string
 	arch    x86.Arch
@@ -111,6 +120,7 @@ func Dial(baseURL string, o Options) (*Model, error) {
 		retries:  retries,
 		ctx:      ctx,
 	}
+	m.binary.Store(!o.ForceJSON)
 	resp, err := m.post(nil)
 	if err != nil {
 		return nil, fmt.Errorf("remote: handshake with %s: %w", baseURL, err)
@@ -179,14 +189,16 @@ func retryBackoff(attempt int) time.Duration {
 // 429/503 backpressure with jittered linear backoff. The model's
 // lifetime context cancels in-flight requests and interrupts backoff
 // sleeps — a canceled caller never waits out the retry budget.
+//
+// The request rides the binary frame codec while the server accepts it;
+// a 400/415 answer to a framed request downgrades this model to JSON
+// permanently and retries immediately (a genuine bad request fails the
+// same way on the JSON path, just one round trip later).
 func (m *Model) post(blocks []string) (*wire.PredictResponse, error) {
 	if blocks == nil {
 		blocks = []string{} // handshake: an explicit empty batch
 	}
-	body, err := json.Marshal(wire.PredictRequest{Blocks: blocks, Model: m.reqModel, Arch: m.reqArch})
-	if err != nil {
-		return nil, err
-	}
+	wreq := &wire.PredictRequest{Blocks: blocks, Model: m.reqModel, Arch: m.reqArch}
 	var lastErr error
 	attempts := 0
 	for attempt := 0; attempt <= m.retries; attempt++ {
@@ -203,11 +215,27 @@ func (m *Model) post(blocks []string) (*wire.PredictResponse, error) {
 			}
 		}
 		attempts++
+		binary := m.binary.Load()
+		var body []byte
+		var err error
+		if binary {
+			body, err = wire.EncodeBinary(wreq)
+		} else {
+			body, err = json.Marshal(wreq)
+		}
+		if err != nil {
+			return nil, err
+		}
 		req, err := http.NewRequestWithContext(m.ctx, http.MethodPost, m.url+"/v1/predict", bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
-		req.Header.Set("Content-Type", "application/json")
+		if binary {
+			req.Header.Set("Content-Type", wire.FrameContentType)
+			req.Header.Set("Accept", wire.FrameContentType)
+		} else {
+			req.Header.Set("Content-Type", "application/json")
+		}
 		resp, err := m.client.Do(req)
 		if err != nil {
 			lastErr = err
@@ -218,11 +246,17 @@ func (m *Model) post(blocks []string) (*wire.PredictResponse, error) {
 			}
 			continue
 		}
+		status := resp.StatusCode
 		out, retryable, err := decodePredict(resp)
 		if err == nil {
 			return out, nil
 		}
 		lastErr = err
+		if binary && (status == http.StatusBadRequest || status == http.StatusUnsupportedMediaType) {
+			m.binary.Store(false)
+			attempt-- // downgrade retry, free of charge (happens at most once)
+			continue
+		}
 		if !retryable {
 			break
 		}
@@ -230,18 +264,46 @@ func (m *Model) post(blocks []string) (*wire.PredictResponse, error) {
 	return nil, fmt.Errorf("%w (after %d attempt(s))", lastErr, attempts)
 }
 
-// decodePredict parses one predict response, reporting whether a failure
-// is worth retrying (server backpressure) or final (bad request).
+// decodePredict parses one predict response — framed or JSON, keyed on
+// its Content-Type — reporting whether a failure is worth retrying
+// (server backpressure) or final (bad request).
 func decodePredict(resp *http.Response) (*wire.PredictResponse, bool, error) {
 	defer resp.Body.Close()
+	framed := strings.HasPrefix(resp.Header.Get("Content-Type"), wire.FrameContentType)
 	if resp.StatusCode != http.StatusOK {
 		retryable := resp.StatusCode == http.StatusTooManyRequests ||
 			resp.StatusCode == http.StatusServiceUnavailable
+		limited := io.LimitReader(resp.Body, 1<<16)
+		if framed {
+			if b, rerr := io.ReadAll(limited); rerr == nil {
+				if msg, derr := wire.DecodeBinary(b); derr == nil {
+					if werr, ok := msg.(*wire.Error); ok && werr.Error != "" {
+						return nil, retryable, fmt.Errorf("server status %d: %s", resp.StatusCode, werr.Error)
+					}
+				}
+			}
+			return nil, retryable, fmt.Errorf("server status %d", resp.StatusCode)
+		}
 		var werr wire.Error
-		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&werr) == nil && werr.Error != "" {
+		if json.NewDecoder(limited).Decode(&werr) == nil && werr.Error != "" {
 			return nil, retryable, fmt.Errorf("server status %d: %s", resp.StatusCode, werr.Error)
 		}
 		return nil, retryable, fmt.Errorf("server status %d", resp.StatusCode)
+	}
+	if framed {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, false, fmt.Errorf("reading predict response: %w", err)
+		}
+		msg, err := wire.DecodeBinary(b)
+		if err != nil {
+			return nil, false, fmt.Errorf("decoding predict frame: %w", err)
+		}
+		out, ok := msg.(*wire.PredictResponse)
+		if !ok {
+			return nil, false, fmt.Errorf("predict response frame carries %T", msg)
+		}
+		return out, false, nil
 	}
 	var out wire.PredictResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {

@@ -17,25 +17,32 @@ import (
 // cache, so queries repeated across clients — or already answered for a
 // local explanation — cost no model work.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	binResp := acceptsFrame(r)
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		s.writeErrorNeg(w, binResp, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		s.writeErrorNeg(w, binResp, http.StatusServiceUnavailable, "%v", errDraining)
 		return
 	}
 	var req wire.PredictRequest
-	if !s.decodeBody(w, r, &req) {
+	if isFrameRequest(r) {
+		p, ok := decodeFrameBody[wire.PredictRequest](s, w, r, binResp)
+		if !ok {
+			return
+		}
+		req = *p
+	} else if !s.decodeBody(w, r, &req) {
 		return
 	}
 	arch, err := wire.ParseArch(req.Arch)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeErrorNeg(w, binResp, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if len(req.Blocks) > s.cfg.MaxCorpusBlocks {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		s.writeErrorNeg(w, binResp, http.StatusRequestEntityTooLarge,
 			"batch of %d blocks exceeds the limit of %d", len(req.Blocks), s.cfg.MaxCorpusBlocks)
 		return
 	}
@@ -43,14 +50,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	for i, src := range req.Blocks {
 		b, err := x86.ParseBlock(src)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "block %d: %v", i, err)
+			s.writeErrorNeg(w, binResp, http.StatusBadRequest, "block %d: %v", i, err)
 			return
 		}
 		blocks[i] = b
 	}
 	entry, err := s.lookupModel(req.Model, arch)
 	if err != nil {
-		writeError(w, modelErrorStatus(err), "%v", err)
+		s.writeErrorNeg(w, binResp, modelErrorStatus(err), "%v", err)
 		return
 	}
 
@@ -59,7 +66,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// Real compute shares the explain slots, so predict traffic and
 		// explain traffic are backpressured by one budget.
 		if err := s.acquireExplainSlot(); err != nil {
-			writeError(w, http.StatusTooManyRequests, "%v", err)
+			s.writeErrorNeg(w, binResp, http.StatusTooManyRequests, "%v", err)
 			return
 		}
 		err := func() (err error) {
@@ -80,12 +87,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return nil
 		}()
 		if err != nil {
-			writeError(w, http.StatusBadGateway, "backend predict failed: %v", err)
+			s.writeErrorNeg(w, binResp, http.StatusBadGateway, "backend predict failed: %v", err)
 			return
 		}
 		s.metrics.predictions.Add(uint64(len(blocks)))
 	}
-	writeJSON(w, http.StatusOK, wire.PredictResponse{
+	writeNegotiated(w, binResp, http.StatusOK, &wire.PredictResponse{
 		Model:       entry.model.Name(),
 		Arch:        wire.ArchName(entry.model.Arch()),
 		Spec:        entry.specString(),

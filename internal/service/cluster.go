@@ -27,50 +27,57 @@ import (
 // never as a non-2xx status (the coordinator must be able to tell "the
 // block is hard" from "the worker is broken").
 func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	binResp := acceptsFrame(r)
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		s.writeErrorNeg(w, binResp, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		s.writeErrorNeg(w, binResp, http.StatusServiceUnavailable, "%v", errDraining)
 		return
 	}
 	if !s.ready.Load() {
 		// A cold worker sheds leases; the coordinator's readiness probe
 		// keeps them away in the first place.
-		writeError(w, http.StatusServiceUnavailable, "server is warming up")
+		s.writeErrorNeg(w, binResp, http.StatusServiceUnavailable, "server is warming up")
 		return
 	}
 	var req wire.ShardRequest
-	if !s.decodeBody(w, r, &req) {
+	if isFrameRequest(r) {
+		p, ok := decodeFrameBody[wire.ShardRequest](s, w, r, binResp)
+		if !ok {
+			return
+		}
+		req = *p
+	} else if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Blocks) == 0 {
-		writeError(w, http.StatusBadRequest, "shard has no blocks")
+		s.writeErrorNeg(w, binResp, http.StatusBadRequest, "shard has no blocks")
 		return
 	}
 	if len(req.Blocks) > s.cfg.MaxCorpusBlocks {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		s.writeErrorNeg(w, binResp, http.StatusRequestEntityTooLarge,
 			"shard of %d blocks exceeds the limit of %d", len(req.Blocks), s.cfg.MaxCorpusBlocks)
 		return
 	}
 	arch, err := wire.ParseArch(req.Arch)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeErrorNeg(w, binResp, http.StatusBadRequest, "%v", err)
 		return
 	}
 	blocks := make([]*x86.BasicBlock, len(req.Blocks))
 	for i, sb := range req.Blocks {
 		b, err := x86.ParseBlock(sb.Block)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "block %d (index %d): %v", i, sb.Index, err)
+			s.writeErrorNeg(w, binResp, http.StatusBadRequest, "block %d (index %d): %v", i, sb.Index, err)
 			return
 		}
 		blocks[i] = b
 	}
 	entry, err := s.lookupModel(req.Spec, arch)
 	if err != nil {
-		writeError(w, modelErrorStatus(err), "%v", err)
+		s.writeErrorNeg(w, binResp, modelErrorStatus(err), "%v", err)
 		return
 	}
 	// The lease's config snapshot is authoritative: it is the job's
@@ -81,7 +88,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	// One explain slot bounds the whole lease — the coordinator controls
 	// fan-out by lease count, the worker by its slot budget.
 	if err := s.acquireExplainSlot(); err != nil {
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		s.writeErrorNeg(w, binResp, http.StatusTooManyRequests, "%v", err)
 		return
 	}
 	defer s.releaseExplainSlot()
@@ -109,12 +116,12 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	if len(results) < len(blocks) {
 		// The run was cut short (shutdown or a vanished coordinator); an
 		// incomplete lease is a failed lease.
-		writeError(w, http.StatusServiceUnavailable, "shard interrupted after %d of %d blocks", len(results), len(blocks))
+		s.writeErrorNeg(w, binResp, http.StatusServiceUnavailable, "shard interrupted after %d of %d blocks", len(results), len(blocks))
 		return
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Index < results[j].Index })
 	s.metrics.shardBlocks.Add(uint64(len(results)))
-	writeJSON(w, http.StatusOK, wire.ShardResponse{
+	writeNegotiated(w, binResp, http.StatusOK, &wire.ShardResponse{
 		JobID:   req.JobID,
 		Lease:   req.Lease,
 		Results: results,
@@ -195,10 +202,7 @@ func (s *Server) clusterGauges() []gauge {
 // whatever was not emitted.
 func (m *jobManager) runCluster(j *job) error {
 	j.mu.Lock()
-	skip := make(map[int]bool, len(j.restored))
-	for i := range j.restored {
-		skip[i] = true
-	}
+	skip := j.restored.Clone()
 	arch := ""
 	if j.entry != nil && j.entry.model != nil {
 		arch = wire.ArchName(j.entry.model.Arch())
@@ -212,20 +216,10 @@ func (m *jobManager) runCluster(j *job) error {
 		Arch:    arch,
 		Config:  j.snapshot,
 		Blocks:  j.blockTexts(),
-		Skip:    func(i int) bool { return skip[i] },
+		Skip:    skip.Has,
 		Workers: j.workers,
 	}, func(res cluster.Result) {
-		j.mu.Lock()
-		j.done++
-		if res.Error != "" {
-			j.failed++
-		}
-		j.results = append(j.results, res.CorpusResult)
-		if j.workerDone == nil {
-			j.workerDone = make(map[string]int)
-		}
-		j.workerDone[res.Worker]++
-		j.mu.Unlock()
+		j.appendResult(res.CorpusResult, res.Worker)
 		m.persistResult(j, res.CorpusResult)
 		completed++
 		if m.store != nil && completed%m.checkpointEvery == 0 {

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/comet-explain/comet/internal/bitset"
 	"github.com/comet-explain/comet/internal/cluster"
 	"github.com/comet-explain/comet/internal/core"
 	"github.com/comet-explain/comet/internal/persist"
@@ -49,8 +50,13 @@ type job struct {
 	snapshot wire.ConfigSnapshot
 	// restored marks block indices whose results were reloaded from the
 	// durable store; fromStore marks the job as surviving a restart.
-	restored  map[int]bool
+	restored  *bitset.Set
 	fromStore bool
+	// streamOnly jobs deliver results through GET /v1/jobs/{id}/stream
+	// and retain only the last ringCap results for catch-up reads, so a
+	// million-block corpus never buffers its full result set.
+	streamOnly bool
+	ringCap    int
 
 	mu      sync.Mutex
 	state   string
@@ -58,10 +64,71 @@ type job struct {
 	failed  int
 	err     string
 	results []wire.CorpusResult
+	// trimmed counts results evicted from the front of the slice by the
+	// stream ring; the stream sequence number of results[i] is trimmed+i.
+	trimmed int
+	// doneSet tracks every block index that has a result (restored ones
+	// included) — a bitset, because a map[int]bool over a million indices
+	// costs tens of megabytes.
+	doneSet *bitset.Set
+	// notify wakes stream readers on every append and state change;
+	// created lazily by the first waiter or appender that needs it.
+	notify *sync.Cond
 	// workerDone attributes completed blocks to the cluster workers that
 	// produced them ("local" for coordinator-fallback blocks); nil for
 	// plain single-node jobs.
 	workerDone map[string]int
+}
+
+// appendResult records one completed block: counters, the done bitset,
+// the (possibly ring-bounded) results slice, worker attribution, and a
+// stream wakeup.
+func (j *job) appendResult(res wire.CorpusResult, worker string) {
+	j.mu.Lock()
+	j.done++
+	if res.Error != "" {
+		j.failed++
+	}
+	if j.doneSet == nil {
+		j.doneSet = bitset.New(len(j.blocks))
+	}
+	j.doneSet.Add(res.Index)
+	j.results = append(j.results, res)
+	if j.streamOnly && j.ringCap > 0 && len(j.results) > j.ringCap {
+		// Drop the oldest half in one move — amortized O(1) per result.
+		// Stream readers that far behind get a lag error, not a stall.
+		drop := len(j.results) - j.ringCap/2
+		if drop < 1 {
+			drop = 1
+		}
+		n := copy(j.results, j.results[drop:])
+		tail := j.results[n:]
+		for i := range tail {
+			tail[i] = wire.CorpusResult{} // release for GC
+		}
+		j.results = j.results[:n]
+		j.trimmed += drop
+	}
+	if worker != "" {
+		if j.workerDone == nil {
+			j.workerDone = make(map[string]int)
+		}
+		j.workerDone[worker]++
+	}
+	if j.notify != nil {
+		j.notify.Broadcast()
+	}
+	j.mu.Unlock()
+}
+
+// wake broadcasts to stream readers (used on state transitions and by
+// disconnect watchers).
+func (j *job) wake() {
+	j.mu.Lock()
+	if j.notify != nil {
+		j.notify.Broadcast()
+	}
+	j.mu.Unlock()
 }
 
 // blockTexts returns (building once, under the job lock) the canonical
@@ -79,22 +146,28 @@ func (j *job) blockTexts() []string {
 	return j.texts
 }
 
-// status snapshots the job with results[offset:offset+limit].
+// status snapshots the job with results[offset:offset+limit]. Stream
+// jobs carry no result pages (the ring is the stream's catch-up buffer,
+// not a stable pagination window); their counters still report progress.
 func (j *job) status(offset, limit int) wire.JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if offset < 0 {
-		offset = 0
+	var page []wire.CorpusResult
+	end := offset
+	if !j.streamOnly {
+		if offset < 0 {
+			offset = 0
+		}
+		if offset > len(j.results) {
+			offset = len(j.results)
+		}
+		end = len(j.results)
+		if limit > 0 && offset+limit < end {
+			end = offset + limit
+		}
+		page = make([]wire.CorpusResult, end-offset)
+		copy(page, j.results[offset:end])
 	}
-	if offset > len(j.results) {
-		offset = len(j.results)
-	}
-	end := len(j.results)
-	if limit > 0 && offset+limit < end {
-		end = offset + limit
-	}
-	page := make([]wire.CorpusResult, end-offset)
-	copy(page, j.results[offset:end])
 	var workers []wire.WorkerBlocks
 	if len(j.workerDone) > 0 {
 		ids := make([]string, 0, len(j.workerDone))
@@ -128,6 +201,11 @@ func (j *job) status(offset, limit int) wire.JobStatus {
 func (j *job) summary() wire.JobSummary {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.summaryLocked()
+}
+
+// summaryLocked is summary with j.mu already held.
+func (j *job) summaryLocked() wire.JobSummary {
 	return wire.JobSummary{
 		ID:       j.id,
 		State:    j.state,
@@ -144,7 +222,7 @@ func (j *job) summary() wire.JobSummary {
 // every job's envelope and completed results.
 type jobManager struct {
 	queue   chan *job
-	history *lruStore[*job]
+	history *lruStore[string, *job]
 	active  sync.Map // id → *job, for jobs not yet in (or evicted from) history
 	ctx     context.Context
 	wg      sync.WaitGroup
@@ -198,7 +276,7 @@ func newJobManager(ctx context.Context, workers, queueDepth, historySize, checkp
 	}
 	m := &jobManager{
 		queue:           make(chan *job, queueDepth),
-		history:         newLRUStore[*job](historySize),
+		history:         newLRUStore[string, *job](historySize),
 		ctx:             ctx,
 		instance:        hex.EncodeToString(tag),
 		store:           store,
@@ -299,6 +377,9 @@ func (m *jobManager) run(j *job) {
 	if m.ctx.Err() != nil {
 		j.state = wire.JobCanceled
 		j.err = "canceled during shutdown"
+		if j.notify != nil {
+			j.notify.Broadcast()
+		}
 		j.mu.Unlock()
 		m.persistJob(j)
 		m.finish(j)
@@ -332,25 +413,17 @@ func (m *jobManager) run(j *job) {
 
 	explainer := core.NewExplainerWithCache(j.entry.model, j.cfg, j.entry.cache)
 	completed := 0
+	worker := ""
+	if m.cluster != nil {
+		worker = "local"
+	}
 	for res := range explainer.ExplainAll(j.blocks, core.CorpusOptions{
 		Workers: j.workers,
 		Context: m.ctx,
-		Skip:    func(i int) bool { return skip[i] },
+		Skip:    skip.Has,
 	}) {
 		wres := wire.FromCorpusResult(res)
-		j.mu.Lock()
-		j.done++
-		if res.Err != nil {
-			j.failed++
-		}
-		j.results = append(j.results, wres)
-		if j.workerDone != nil || m.cluster != nil {
-			if j.workerDone == nil {
-				j.workerDone = make(map[string]int)
-			}
-			j.workerDone["local"]++
-		}
-		j.mu.Unlock()
+		j.appendResult(wres, worker)
 		// Each result is one all-or-nothing store append (survives
 		// SIGKILL); the periodic Sync is the power-loss checkpoint.
 		m.persistResult(j, wres)
@@ -379,6 +452,9 @@ func (m *jobManager) finalize(j *job) {
 	default:
 		j.state = wire.JobDone
 	}
+	if j.notify != nil {
+		j.notify.Broadcast()
+	}
 	j.mu.Unlock()
 	m.persistJob(j)
 	if m.store != nil {
@@ -392,17 +468,10 @@ func (m *jobManager) finalize(j *job) {
 // doneIndices snapshots the block indices that already have results —
 // restored from the store or emitted by a partial cluster run — for the
 // local engine's Skip hook.
-func (j *job) doneIndices() map[int]bool {
+func (j *job) doneIndices() *bitset.Set {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	done := make(map[int]bool, len(j.results)+len(j.restored))
-	for i := range j.restored {
-		done[i] = true
-	}
-	for _, res := range j.results {
-		done[res.Index] = true
-	}
-	return done
+	return j.doneSet.Clone()
 }
 
 // persistJob writes the job's envelope (inputs + current state) to the

@@ -28,6 +28,9 @@ type metrics struct {
 	persistHits     atomic.Uint64 // explain requests served by the durable store
 	persistMisses   atomic.Uint64 // durable-store lookups that fell through
 	storeErrors     atomic.Uint64 // durable-store write/sync failures
+	internHits      atomic.Uint64 // binary requests answered from the intern table (no decode)
+	frameRequests   atomic.Uint64 // binary-framed request bodies decoded
+	streamedResults atomic.Uint64 // corpus results delivered over job streams
 }
 
 func newMetrics() *metrics {
@@ -122,6 +125,15 @@ func (m *metrics) render(sb *strings.Builder, extra []gauge) {
 	fmt.Fprintf(sb, "# HELP comet_store_errors_total Durable-store write or sync failures (requests are never failed on them).\n")
 	fmt.Fprintf(sb, "# TYPE comet_store_errors_total counter\n")
 	fmt.Fprintf(sb, "comet_store_errors_total %d\n", m.storeErrors.Load())
+	fmt.Fprintf(sb, "# HELP comet_intern_hits_total Binary explain requests answered from the intern table without decoding.\n")
+	fmt.Fprintf(sb, "# TYPE comet_intern_hits_total counter\n")
+	fmt.Fprintf(sb, "comet_intern_hits_total %d\n", m.internHits.Load())
+	fmt.Fprintf(sb, "# HELP comet_frame_requests_total Binary-framed request bodies decoded.\n")
+	fmt.Fprintf(sb, "# TYPE comet_frame_requests_total counter\n")
+	fmt.Fprintf(sb, "comet_frame_requests_total %d\n", m.frameRequests.Load())
+	fmt.Fprintf(sb, "# HELP comet_streamed_results_total Corpus results delivered over GET /v1/jobs/{id}/stream.\n")
+	fmt.Fprintf(sb, "# TYPE comet_streamed_results_total counter\n")
+	fmt.Fprintf(sb, "comet_streamed_results_total %d\n", m.streamedResults.Load())
 
 	byName := make(map[string][]gauge)
 	var names []string

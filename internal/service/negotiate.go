@@ -1,0 +1,195 @@
+package service
+
+// Content negotiation between the JSON facade and the binary frame
+// protocol. JSON remains the default and the compatibility surface;
+// clients opt into frames per message direction:
+//
+//   - a request with Content-Type: application/x-comet-frame carries a
+//     binary-framed body (one frame, one message);
+//   - a request whose Accept header lists application/x-comet-frame gets
+//     a binary-framed response, errors included (a framed wire.Error).
+//
+// Binary requests additionally unlock the interned fast path: the frame
+// bytes are a canonical encoding of the request, so SHA-256 over the raw
+// body is a complete request identity, computed once at ingress. A hit in
+// the intern table writes pre-encoded response bytes without parsing the
+// block, resolving the model, or even decoding the frame.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"github.com/comet-explain/comet/internal/wire"
+)
+
+// cachedExplanation is what the result store and the intern table hold:
+// the explanation plus lazily pre-encoded response bodies, so repeat
+// queries cost zero encoding work on either wire format.
+type cachedExplanation struct {
+	expl     *wire.Explanation
+	jsonOnce sync.Once
+	jsonBody []byte
+	binOnce  sync.Once
+	binBody  []byte
+}
+
+func newCachedExplanation(e *wire.Explanation) *cachedExplanation {
+	return &cachedExplanation{expl: e}
+}
+
+// JSON returns the explanation exactly as writeJSON would encode it —
+// json.Encoder appends a newline — so cached responses stay
+// byte-identical to first-time responses.
+func (c *cachedExplanation) JSON() []byte {
+	c.jsonOnce.Do(func() {
+		if b, err := json.Marshal(c.expl); err == nil {
+			c.jsonBody = append(b, '\n')
+		}
+	})
+	return c.jsonBody
+}
+
+// Frame returns the explanation as one binary frame.
+func (c *cachedExplanation) Frame() []byte {
+	c.binOnce.Do(func() {
+		if b, err := wire.EncodeBinary(c.expl); err == nil {
+			c.binBody = b
+		}
+	})
+	return c.binBody
+}
+
+// isFrameRequest reports whether the request body is a binary frame.
+func isFrameRequest(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return ct == wire.FrameContentType || strings.HasPrefix(ct, wire.FrameContentType+";")
+}
+
+// acceptsFrame reports whether the client asked for a binary response.
+func acceptsFrame(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), wire.FrameContentType)
+}
+
+// readAllInto reads r to EOF, appending into dst (which may have spare
+// capacity from a pooled buffer).
+func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// readRawBody reads the whole request body into a pooled buffer, honoring
+// MaxBodyBytes. On failure it writes the (negotiated) error response and
+// returns nil. The caller owns returning the buffer to the pool.
+func (s *Server) readRawBody(w http.ResponseWriter, r *http.Request, binResp bool) *[]byte {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	buf := wire.GetBuffer()
+	b, err := readAllInto((*buf)[:0], r.Body)
+	*buf = b
+	if err != nil {
+		wire.PutBuffer(buf)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeErrorNeg(w, binResp, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+		} else {
+			s.writeErrorNeg(w, binResp, http.StatusBadRequest, "reading request body: %v", err)
+		}
+		return nil
+	}
+	return buf
+}
+
+// decodeFrameBody reads and decodes a binary-framed request body into the
+// expected message type. On failure it writes the error response and
+// reports false.
+func decodeFrameBody[T any](s *Server, w http.ResponseWriter, r *http.Request, binResp bool) (*T, bool) {
+	buf := s.readRawBody(w, r, binResp)
+	if buf == nil {
+		return nil, false
+	}
+	defer wire.PutBuffer(buf)
+	msg, err := wire.DecodeBinary(*buf)
+	if err != nil {
+		s.writeErrorNeg(w, binResp, http.StatusBadRequest, "bad frame: %v", err)
+		return nil, false
+	}
+	s.metrics.frameRequests.Add(1)
+	typed, ok := msg.(*T)
+	if !ok {
+		s.writeErrorNeg(w, binResp, http.StatusBadRequest,
+			"frame carries %T, want %T", msg, (*T)(nil))
+		return nil, false
+	}
+	return typed, true
+}
+
+// writeFrame writes msg as one binary frame. It reports false when msg
+// has no binary encoding, in which case nothing was written and the
+// caller falls back to JSON.
+func writeFrame(w http.ResponseWriter, code int, msg any) bool {
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	b, err := wire.AppendBinary((*buf)[:0], msg)
+	if err != nil {
+		return false
+	}
+	*buf = b
+	w.Header().Set("Content-Type", wire.FrameContentType)
+	w.WriteHeader(code)
+	_, _ = w.Write(b)
+	return true
+}
+
+// writeNegotiated writes msg as a binary frame when the client accepts
+// one, as JSON otherwise.
+func writeNegotiated(w http.ResponseWriter, binResp bool, code int, msg any) {
+	if binResp && writeFrame(w, code, msg) {
+		return
+	}
+	writeJSON(w, code, msg)
+}
+
+// writeErrorNeg writes the error envelope on the negotiated format.
+func (s *Server) writeErrorNeg(w http.ResponseWriter, binResp bool, code int, format string, args ...any) {
+	if binResp {
+		writeNegotiated(w, true, code, &wire.Error{Error: fmt.Sprintf(format, args...)})
+		return
+	}
+	writeError(w, code, format, args...)
+}
+
+// writeExplanation writes a cached explanation on the negotiated format,
+// preferring the pre-encoded body (the common, zero-encode case).
+func (s *Server) writeExplanation(w http.ResponseWriter, binResp bool, c *cachedExplanation) {
+	if binResp {
+		if b := c.Frame(); b != nil {
+			w.Header().Set("Content-Type", wire.FrameContentType)
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(b)
+			return
+		}
+	}
+	if b := c.JSON(); b != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(b)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.expl)
+}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"sort"
 
+	"github.com/comet-explain/comet/internal/bitset"
 	"github.com/comet-explain/comet/internal/wire"
 	"github.com/comet-explain/comet/internal/x86"
 )
@@ -60,9 +61,12 @@ func (s *Server) Restore() (RestoreSummary, error) {
 		case wire.RecordExplanation:
 			if rec.Explanation != nil {
 				// Scan order is LRU→MRU, so the rehydrated result store
-				// inherits the previous process's recency order.
-				s.results.put(rec.Key, rec.Explanation)
-				sum.Explanations++
+				// inherits the previous process's recency order. On-disk
+				// keys are hex content IDs; unparseable ones are skipped.
+				if id, ok := wire.ParseContentID(rec.Key); ok {
+					s.results.put(id, newCachedExplanation(rec.Explanation))
+					sum.Explanations++
+				}
 			}
 		case wire.RecordJob:
 			if rec.Job != nil {
@@ -134,16 +138,17 @@ func (s *Server) restoreJob(env *wire.JobEnvelope, results map[int]wire.CorpusRe
 		}
 	}
 	sort.Ints(idxs)
-	j.restored = make(map[int]bool, len(idxs))
+	j.restored = bitset.New(len(j.blocks))
 	for _, i := range idxs {
 		res := results[i]
-		j.restored[i] = true
+		j.restored.Add(i)
 		j.results = append(j.results, res)
 		j.done++
 		if res.Error != "" {
 			j.failed++
 		}
 	}
+	j.doneSet = j.restored.Clone()
 
 	if j.done >= len(j.blocks) {
 		// Every block persisted before the restart: terminal, straight

@@ -10,6 +10,7 @@
 //	POST /v1/corpus         asynchronous corpus job (bounded queue, 429 on overflow)
 //	GET  /v1/jobs           list every known job (queued, running, finished, restored)
 //	GET  /v1/jobs/{id}      job status + paginated results (?offset=&limit=)
+//	GET  /v1/jobs/{id}/stream  chunked result stream (NDJSON, or binary frames via Accept)
 //	GET  /v1/models         registered model specs + their default configs
 //	POST /v1/shard          execute one lease of a sharded corpus job (cluster worker)
 //	POST /v1/cluster/join   worker self-registration + heartbeat (coordinator mode)
@@ -17,6 +18,12 @@
 //	GET  /healthz           liveness
 //	GET  /readyz            readiness (200 only after SetReady: warm-up + Restore done)
 //	GET  /metrics           Prometheus text metrics
+//
+// Every route speaks JSON by default; /v1/explain, /v1/predict,
+// /v1/shard, and the job stream additionally negotiate the COMET binary
+// frame codec — a request with Content-Type: application/x-comet-frame
+// carries a binary body, an Accept header listing it selects a binary
+// response (see internal/wire).
 //
 // Models are addressed by registry spec strings ("uica", "c@skl",
 // "ithemal@hsw?hidden=64&train=2000", "remote@http://other:8372") and
@@ -110,6 +117,15 @@ type Config struct {
 	MaxCorpusBlocks int
 	// ResultStoreSize caps the explanation LRU result store (0 = 1024).
 	ResultStoreSize int
+	// InternTableSize caps the binary-request intern table, which maps
+	// SHA-256 over raw frame bytes to pre-encoded responses (0 =
+	// ResultStoreSize).
+	InternTableSize int
+	// StreamRingSize bounds the results retained in memory by a
+	// streaming corpus job (CorpusRequest.Stream) for catch-up reads on
+	// GET /v1/jobs/{id}/stream; a reader that falls further behind than
+	// the ring gets a lag error instead of stalling the job (0 = 4096).
+	StreamRingSize int
 	// JobHistorySize caps retained finished jobs (0 = 64).
 	JobHistorySize int
 	// MaxBodyBytes caps request bodies (0 = 8 MiB).
@@ -169,6 +185,12 @@ func (c Config) withDefaults() Config {
 	if c.ResultStoreSize <= 0 {
 		c.ResultStoreSize = 1024
 	}
+	if c.InternTableSize <= 0 {
+		c.InternTableSize = c.ResultStoreSize
+	}
+	if c.StreamRingSize <= 0 {
+		c.StreamRingSize = 4096
+	}
 	if c.JobHistorySize <= 0 {
 		c.JobHistorySize = 64
 	}
@@ -186,10 +208,15 @@ func defaultParallelism() int { return runtime.GOMAXPROCS(0) }
 // Server is the cometd HTTP server. Construct with New, mount Handler,
 // and call Shutdown on the way out.
 type Server struct {
-	cfg         Config
-	models      *modelRegistry
-	flights     flightGroup
-	results     *lruStore[*wire.Explanation]
+	cfg    Config
+	models *modelRegistry
+	// flights and results are keyed by interned content IDs — 32 fixed
+	// bytes derived once per request — instead of hex strings.
+	flights flightGroup[wire.ContentID]
+	results *lruStore[wire.ContentID, *cachedExplanation]
+	// intern maps SHA-256 over raw binary request frames to cached
+	// responses: the binary fast path that skips parsing entirely.
+	intern      *lruStore[wire.ContentID, *cachedExplanation]
 	jobs        *jobManager
 	metrics     *metrics
 	mux         *http.ServeMux
@@ -214,7 +241,8 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:          cfg,
 		models:       newModelRegistry(cfg.PredictionCacheSize, cfg.TrainBlocks, cfg.MaxModelEntries, cfg.AllowRestrictedSpecs),
-		results:      newLRUStore[*wire.Explanation](cfg.ResultStoreSize),
+		results:      newLRUStore[wire.ContentID, *cachedExplanation](cfg.ResultStoreSize),
+		intern:       newLRUStore[wire.ContentID, *cachedExplanation](cfg.InternTableSize),
 		metrics:      newMetrics(),
 		mux:          http.NewServeMux(),
 		store:        cfg.Store,
@@ -377,36 +405,38 @@ func requestOptions(entry *modelEntry, o *wire.ConfigOverrides) []core.ExplainOp
 // canonical block text. snap must be the snapshot of the explainer's
 // effective config for the request's options, so the in-memory LRU and
 // the on-disk store agree on keys across processes.
-func explainKey(entry *modelEntry, snap wire.ConfigSnapshot, blockText string) string {
-	return persist.ExplanationKey(entry.specString(), snap, blockText)
+func explainKey(entry *modelEntry, snap wire.ConfigSnapshot, blockText string) wire.ContentID {
+	return persist.ExplanationID(entry.specString(), snap, blockText)
 }
 
 // persistLookup consults the durable store on a result-store miss,
-// rehydrating the in-memory LRU on a hit.
-func (s *Server) persistLookup(key string) (*wire.Explanation, bool) {
+// rehydrating the in-memory LRU on a hit. (On disk the key is the
+// content ID's hex form — the same bytes previous store versions wrote.)
+func (s *Server) persistLookup(key wire.ContentID) (*cachedExplanation, bool) {
 	if s.store == nil {
 		return nil, false
 	}
-	rec, ok := s.store.Get(wire.RecordExplanation, key)
+	rec, ok := s.store.Get(wire.RecordExplanation, key.Hex())
 	if !ok || rec.Explanation == nil {
 		s.metrics.persistMisses.Add(1)
 		return nil, false
 	}
 	s.metrics.persistHits.Add(1)
-	s.results.put(key, rec.Explanation)
-	return rec.Explanation, true
+	c := newCachedExplanation(rec.Explanation)
+	s.results.put(key, c)
+	return c, true
 }
 
 // persistPut deposits a freshly computed explanation in the durable
 // store. Persistence failures are counted, never surfaced to the client.
-func (s *Server) persistPut(key, spec string, snap wire.ConfigSnapshot, expl *wire.Explanation) {
+func (s *Server) persistPut(key wire.ContentID, spec string, snap wire.ConfigSnapshot, expl *wire.Explanation) {
 	if s.store == nil {
 		return
 	}
 	err := s.store.Put(&wire.Record{
 		V:           wire.RecordVersion,
 		Kind:        wire.RecordExplanation,
-		Key:         key,
+		Key:         key.Hex(),
 		Spec:        spec,
 		Config:      &snap,
 		Explanation: expl,
@@ -423,33 +453,68 @@ func (s *Server) storeError(err error) {
 	fmt.Fprintf(os.Stderr, "comet-serve: durable store: %v\n", err)
 }
 
-// handleExplain serves POST /v1/explain.
+// handleExplain serves POST /v1/explain on either wire format. A
+// binary-framed request takes the interned fast path first: SHA-256 over
+// the raw frame bytes (a canonical encoding of the request) is a complete
+// request identity, so a warm hit writes pre-encoded response bytes
+// without decoding the frame, parsing the block, or touching the model
+// registry.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	binResp := acceptsFrame(r)
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		s.writeErrorNeg(w, binResp, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		s.writeErrorNeg(w, binResp, http.StatusServiceUnavailable, "%v", errDraining)
 		return
 	}
 	var req wire.ExplainRequest
-	if !s.decodeBody(w, r, &req) {
+	var ikey wire.ContentID
+	interned := false
+	if isFrameRequest(r) {
+		buf := s.readRawBody(w, r, binResp)
+		if buf == nil {
+			return
+		}
+		ikey = wire.InternBytes(*buf)
+		interned = true
+		if c, ok := s.intern.get(ikey); ok {
+			wire.PutBuffer(buf)
+			s.metrics.internHits.Add(1)
+			s.metrics.resultStoreHits.Add(1)
+			s.writeExplanation(w, binResp, c)
+			return
+		}
+		msg, err := wire.DecodeBinary(*buf)
+		wire.PutBuffer(buf)
+		if err != nil {
+			s.writeErrorNeg(w, binResp, http.StatusBadRequest, "bad frame: %v", err)
+			return
+		}
+		s.metrics.frameRequests.Add(1)
+		preq, ok := msg.(*wire.ExplainRequest)
+		if !ok {
+			s.writeErrorNeg(w, binResp, http.StatusBadRequest, "frame carries %T, want *wire.ExplainRequest", msg)
+			return
+		}
+		req = *preq
+	} else if !s.decodeBody(w, r, &req) {
 		return
 	}
 	arch, err := wire.ParseArch(req.Arch)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeErrorNeg(w, binResp, http.StatusBadRequest, "%v", err)
 		return
 	}
 	block, err := x86.ParseBlock(req.Block)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad block: %v", err)
+		s.writeErrorNeg(w, binResp, http.StatusBadRequest, "bad block: %v", err)
 		return
 	}
 	entry, err := s.lookupModel(req.Model, arch)
 	if err != nil {
-		writeError(w, modelErrorStatus(err), "%v", err)
+		s.writeErrorNeg(w, binResp, modelErrorStatus(err), "%v", err)
 		return
 	}
 	opts := requestOptions(entry, req.Config)
@@ -457,13 +522,19 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	snap := wire.SnapshotConfig(cfg)
 	key := explainKey(entry, snap, block.String())
 
-	if expl, ok := s.results.get(key); ok {
+	finish := func(c *cachedExplanation) {
+		if interned {
+			s.intern.put(ikey, c)
+		}
+		s.writeExplanation(w, binResp, c)
+	}
+	if c, ok := s.results.get(key); ok {
 		s.metrics.resultStoreHits.Add(1)
-		writeJSON(w, http.StatusOK, expl)
+		finish(c)
 		return
 	}
-	if expl, ok := s.persistLookup(key); ok {
-		writeJSON(w, http.StatusOK, expl)
+	if c, ok := s.persistLookup(key); ok {
+		finish(c)
 		return
 	}
 
@@ -471,9 +542,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		// Double-check the store: a previous flight for this key may have
 		// finished (and stored its result) between our store miss and
 		// entering the flight.
-		if expl, ok := s.results.get(key); ok {
+		if c, ok := s.results.get(key); ok {
 			s.metrics.resultStoreHits.Add(1)
-			return expl, nil
+			return c, nil
 		}
 		// The flight is shared by every coalesced caller, so its slot wait
 		// and computation are bound to the server's lifetime (s.ctx), not
@@ -489,10 +560,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		s.metrics.explanations.Add(1)
-		wexpl := wire.FromExplanation(expl)
-		s.results.put(key, wexpl)
-		s.persistPut(key, entry.specString(), snap, wexpl)
-		return wexpl, nil
+		c := newCachedExplanation(wire.FromExplanation(expl))
+		s.results.put(key, c)
+		s.persistPut(key, entry.specString(), snap, c.expl)
+		return c, nil
 	})
 	if shared {
 		s.metrics.coalesced.Add(1)
@@ -500,15 +571,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, errOverloaded):
-			writeError(w, http.StatusTooManyRequests, "%v", err)
+			s.writeErrorNeg(w, binResp, http.StatusTooManyRequests, "%v", err)
 		case errors.Is(err, errDraining), errors.Is(err, context.Canceled):
-			writeError(w, http.StatusServiceUnavailable, "%v", errDraining)
+			s.writeErrorNeg(w, binResp, http.StatusServiceUnavailable, "%v", errDraining)
 		default:
-			writeError(w, http.StatusInternalServerError, "explain failed: %v", err)
+			s.writeErrorNeg(w, binResp, http.StatusInternalServerError, "explain failed: %v", err)
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, val.(*wire.Explanation))
+	finish(val.(*cachedExplanation))
 }
 
 // lookupModel resolves a request's model spec (falling back to the
@@ -620,6 +691,13 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		spec:     entry.specString(),
 		snapshot: wire.SnapshotConfig(cfg),
 	}
+	if req.Stream {
+		// Stream-only job: results are delivered through
+		// GET /v1/jobs/{id}/stream and only a bounded catch-up ring is
+		// retained, so memory stays flat however large the corpus is.
+		j.streamOnly = true
+		j.ringCap = s.cfg.StreamRingSize
+	}
 	if err := s.jobs.submit(j); err != nil {
 		switch {
 		case errors.Is(err, errQueueFull):
@@ -632,13 +710,18 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, wire.JobAccepted{ID: j.id, State: wire.JobQueued, Total: len(blocks)})
 }
 
-// handleJob serves GET /v1/jobs/{id}?offset=&limit=.
+// handleJob serves GET /v1/jobs/{id}?offset=&limit= and dispatches
+// GET /v1/jobs/{id}/stream to the streaming handler.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if stream, ok := strings.CutSuffix(id, "/stream"); ok && stream != "" && !strings.Contains(stream, "/") {
+		s.handleJobStream(w, r, stream)
+		return
+	}
 	if id == "" || strings.Contains(id, "/") {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
@@ -708,6 +791,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{name: "comet_explain_inflight", value: float64(len(s.explainSlots))},
 		{name: "comet_explain_waiting", value: float64(s.explainWaiting.Load())},
 		{name: "comet_result_store_entries", value: float64(s.results.len())},
+		{name: "comet_intern_entries", value: float64(s.intern.len())},
 	}
 	extra = append(extra, s.jobs.gauges()...)
 	extra = append(extra, s.models.cacheGauges()...)

@@ -3,16 +3,18 @@ package service
 import "sync"
 
 // flightGroup is a minimal single-flight: concurrent Do calls with the same
-// key share one execution of fn. cometd keys explain work by (model, arch,
-// config, canonical block text), so a burst of identical requests — the
-// common shape when a compiler pass or CI fleet asks about the same hot
-// block — costs exactly one explanation computation.
+// key share one execution of fn. cometd keys explain work by the interned
+// content ID over (model, arch, config, canonical block text), so a burst
+// of identical requests — the common shape when a compiler pass or CI
+// fleet asks about the same hot block — costs exactly one explanation
+// computation, and key comparison is 32 fixed bytes instead of a hex
+// string.
 //
 // (The x/sync/singleflight package is the reference design; this is a
 // dependency-free reimplementation of the subset cometd needs.)
-type flightGroup struct {
+type flightGroup[K comparable] struct {
 	mu sync.Mutex
-	m  map[string]*flightCall
+	m  map[K]*flightCall
 }
 
 type flightCall struct {
@@ -23,10 +25,10 @@ type flightCall struct {
 
 // Do executes fn once per key among concurrent callers. The boolean
 // reports whether this caller shared another caller's execution.
-func (g *flightGroup) Do(key string, fn func() (any, error)) (any, error, bool) {
+func (g *flightGroup[K]) Do(key K, fn func() (any, error)) (any, error, bool) {
 	g.mu.Lock()
 	if g.m == nil {
-		g.m = make(map[string]*flightCall)
+		g.m = make(map[K]*flightCall)
 	}
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()

@@ -5,36 +5,39 @@ import (
 	"sync"
 )
 
-// lruStore is a capped, thread-safe LRU map. cometd uses two: the
-// explanation result store (repeat explain queries are O(1) map hits, no
-// model work at all) and the job history (finished corpus jobs survive
-// polling until capacity evicts them).
-type lruStore[V any] struct {
+// lruStore is a capped, thread-safe LRU map, generic over the key so the
+// hot stores key on interned 32-byte content IDs instead of hex strings.
+// cometd uses three: the explanation result store (repeat explain queries
+// are O(1) map hits, no model work at all — keyed by wire.ContentID), the
+// request intern table (binary-path request identity → cached response
+// bytes), and the job history (finished corpus jobs survive polling until
+// capacity evicts them — keyed by job ID string).
+type lruStore[K comparable, V any] struct {
 	mu  sync.Mutex
 	cap int
 	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	m   map[K]*list.Element
 }
 
-type lruEntry[V any] struct {
-	key string
+type lruEntry[K comparable, V any] struct {
+	key K
 	val V
 }
 
-func newLRUStore[V any](capacity int) *lruStore[V] {
+func newLRUStore[K comparable, V any](capacity int) *lruStore[K, V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &lruStore[V]{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+	return &lruStore[K, V]{cap: capacity, ll: list.New(), m: make(map[K]*list.Element)}
 }
 
 // get returns the stored value and refreshes its recency.
-func (s *lruStore[V]) get(key string) (V, bool) {
+func (s *lruStore[K, V]) get(key K) (V, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.m[key]; ok {
 		s.ll.MoveToFront(el)
-		return el.Value.(*lruEntry[V]).val, true
+		return el.Value.(*lruEntry[K, V]).val, true
 	}
 	var zero V
 	return zero, false
@@ -42,38 +45,39 @@ func (s *lruStore[V]) get(key string) (V, bool) {
 
 // put inserts or refreshes a value, evicting the least recently used
 // entry beyond capacity. It reports the key of the evicted entry, if any.
-func (s *lruStore[V]) put(key string, val V) (evicted string, ok bool) {
+func (s *lruStore[K, V]) put(key K, val V) (evicted K, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var zero K
 	if el, hit := s.m[key]; hit {
-		el.Value.(*lruEntry[V]).val = val
+		el.Value.(*lruEntry[K, V]).val = val
 		s.ll.MoveToFront(el)
-		return "", false
+		return zero, false
 	}
-	s.m[key] = s.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	s.m[key] = s.ll.PushFront(&lruEntry[K, V]{key: key, val: val})
 	if s.ll.Len() <= s.cap {
-		return "", false
+		return zero, false
 	}
 	oldest := s.ll.Back()
 	s.ll.Remove(oldest)
-	e := oldest.Value.(*lruEntry[V])
+	e := oldest.Value.(*lruEntry[K, V])
 	delete(s.m, e.key)
 	return e.key, true
 }
 
 // values snapshots the stored values, most recently used first.
-func (s *lruStore[V]) values() []V {
+func (s *lruStore[K, V]) values() []V {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]V, 0, s.ll.Len())
 	for el := s.ll.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*lruEntry[V]).val)
+		out = append(out, el.Value.(*lruEntry[K, V]).val)
 	}
 	return out
 }
 
 // len returns the number of stored entries.
-func (s *lruStore[V]) len() int {
+func (s *lruStore[K, V]) len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.ll.Len()

@@ -1,0 +1,229 @@
+package wire
+
+// The COMET frame: the length-prefixed, CRC-32C-checksummed envelope the
+// persist layer has always written to disk, promoted to a shared format
+// so the network can speak it too. One frame is
+//
+//	magic "CMT1" (4B) | payload length (4B LE) | CRC-32C of payload (4B LE) | payload
+//
+// On disk (internal/persist) the payload is a JSON Record; on the wire
+// (Content-Type: application/x-comet-frame) it is a versioned binary
+// message (see binary.go). The framing guarantees are identical in both
+// places: a torn tail is detectable, a corrupted header resynchronizes
+// on the next magic marker, and a flipped payload bit fails the checksum.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// FrameContentType is the HTTP content type negotiating COMET frames on
+// the wire. Requests carrying it have a single-frame body; responses are
+// produced in kind when a request's Accept header lists it. JSON remains
+// the default facade on every endpoint.
+const FrameContentType = "application/x-comet-frame"
+
+const (
+	// FrameHeaderSize is the fixed frame header: magic, payload length,
+	// payload CRC-32C.
+	FrameHeaderSize = 12
+	// MaxFramePayload is the sanity bound on a single frame's payload,
+	// shared by the segment log and the network decoder.
+	MaxFramePayload = 64 << 20
+)
+
+var (
+	frameMagic = []byte("CMT1")
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// AppendFrame appends one complete frame carrying payload to dst and
+// returns the extended slice. Payloads over MaxFramePayload are refused.
+func AppendFrame(dst, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFramePayload {
+		return dst, fmt.Errorf("wire: frame payload of %d bytes exceeds the %d-byte bound", len(payload), MaxFramePayload)
+	}
+	dst = append(dst, frameMagic...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...), nil
+}
+
+// finishFrame fills in the header of a frame whose payload was appended
+// directly after a FrameHeaderSize placeholder at start (the in-place
+// counterpart of AppendFrame, for encoders that build the payload into
+// the destination buffer).
+func finishFrame(buf []byte, start int) ([]byte, error) {
+	payload := buf[start+FrameHeaderSize:]
+	if len(payload) > MaxFramePayload {
+		return buf, fmt.Errorf("wire: frame payload of %d bytes exceeds the %d-byte bound", len(payload), MaxFramePayload)
+	}
+	copy(buf[start:], frameMagic)
+	binary.LittleEndian.PutUint32(buf[start+4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+8:], crc32.Checksum(payload, castagnoli))
+	return buf, nil
+}
+
+// VerifyFrame checks that data is exactly one intact frame — magic,
+// length, checksum, no trailing bytes — and returns its payload (aliasing
+// data, not a copy).
+func VerifyFrame(data []byte) ([]byte, error) {
+	if len(data) < FrameHeaderSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes is shorter than the %d-byte header", len(data), FrameHeaderSize)
+	}
+	if !bytes.Equal(data[:4], frameMagic) {
+		return nil, fmt.Errorf("wire: bad frame magic")
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if n > MaxFramePayload {
+		return nil, fmt.Errorf("wire: frame payload length %d exceeds the %d-byte bound", n, MaxFramePayload)
+	}
+	if FrameHeaderSize+n != len(data) {
+		return nil, fmt.Errorf("wire: frame length %d does not match %d payload bytes", len(data), n)
+	}
+	payload := data[FrameHeaderSize:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[8:]) {
+		return nil, fmt.Errorf("wire: frame checksum mismatch")
+	}
+	return payload, nil
+}
+
+// ScanResult reports one ScanFrames pass.
+type ScanResult struct {
+	// Frames counts intact frames (magic, length, and checksum all good).
+	Frames int
+	// Corrupt counts framing-level corruption events: bad magic, an
+	// oversized length, a failed checksum, or a torn tail.
+	Corrupt int
+	// GoodEnd is the offset just past the last complete frame — the
+	// truncation point when the bytes beyond it are a torn tail.
+	GoodEnd int64
+}
+
+// ScanFrames walks a byte stream of concatenated frames, invoking cb with
+// the payload of every frame that passes the checksum. A corrupted header
+// resynchronizes on the next magic marker; an incomplete frame at the end
+// is counted as torn. The payload slice aliases data and is only valid
+// for the duration of the callback.
+func ScanFrames(data []byte, cb func(off, size int64, payload []byte)) ScanResult {
+	var res ScanResult
+	off := 0
+	for off < len(data) {
+		if len(data)-off < FrameHeaderSize {
+			res.Corrupt++ // torn tail: not even a full header
+			return res
+		}
+		if !bytes.Equal(data[off:off+4], frameMagic) {
+			// Corrupted header: count once and resynchronize on the next
+			// magic marker.
+			res.Corrupt++
+			i := bytes.Index(data[off+1:], frameMagic)
+			if i < 0 {
+				return res
+			}
+			off += 1 + i
+			continue
+		}
+		n := int(binary.LittleEndian.Uint32(data[off+4:]))
+		if n > MaxFramePayload {
+			res.Corrupt++
+			i := bytes.Index(data[off+1:], frameMagic)
+			if i < 0 {
+				return res
+			}
+			off += 1 + i
+			continue
+		}
+		if off+FrameHeaderSize+n > len(data) {
+			res.Corrupt++ // torn tail: payload cut short
+			return res
+		}
+		payload := data[off+FrameHeaderSize : off+FrameHeaderSize+n]
+		frameSize := int64(FrameHeaderSize + n)
+		frameOff := int64(off)
+		off += FrameHeaderSize + n
+		res.GoodEnd = int64(off)
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[frameOff+8:]) {
+			res.Corrupt++
+			continue
+		}
+		res.Frames++
+		if cb != nil {
+			cb(frameOff, frameSize, payload)
+		}
+	}
+	return res
+}
+
+// FrameReader reads a stream of concatenated frames (the body of a
+// chunked /v1/jobs/{id}/stream response, for example). Unlike ScanFrames
+// it is strict: any framing error fails the stream, because a live HTTP
+// body — unlike a crashed segment file — has no legitimate torn tail.
+type FrameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r for frame-at-a-time reading.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReader(r)}
+}
+
+// Next returns the payload of the next frame, or io.EOF at a clean
+// end-of-stream. The returned slice is reused by the next call.
+func (fr *FrameReader) Next() ([]byte, error) {
+	var hdr [FrameHeaderSize]byte
+	if _, err := io.ReadFull(fr.r, hdr[:1]); err != nil {
+		return nil, err // io.EOF: clean boundary
+	}
+	if _, err := io.ReadFull(fr.r, hdr[1:]); err != nil {
+		return nil, fmt.Errorf("wire: truncated frame header: %w", err)
+	}
+	if !bytes.Equal(hdr[:4], frameMagic) {
+		return nil, fmt.Errorf("wire: bad frame magic in stream")
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if n > MaxFramePayload {
+		return nil, fmt.Errorf("wire: stream frame payload length %d exceeds the %d-byte bound", n, MaxFramePayload)
+	}
+	if cap(fr.buf) < n {
+		fr.buf = make([]byte, n)
+	}
+	buf := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, buf); err != nil {
+		return nil, fmt.Errorf("wire: truncated frame payload: %w", err)
+	}
+	if crc32.Checksum(buf, castagnoli) != binary.LittleEndian.Uint32(hdr[8:]) {
+		return nil, fmt.Errorf("wire: frame checksum mismatch in stream")
+	}
+	return buf, nil
+}
+
+// bufPool recycles encode buffers across the explain, shard, and stream
+// paths so steady-state encoding allocates nothing.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuffer borrows a zero-length byte buffer from the shared pool.
+func GetBuffer() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// PutBuffer returns a buffer to the pool. Oversized buffers (from a rare
+// giant response) are dropped instead of pinned.
+func PutBuffer(b *[]byte) {
+	if b == nil || cap(*b) > 1<<20 {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}

@@ -306,6 +306,25 @@ type CorpusRequest struct {
 	// Workers bounds the job's block-level concurrency (0 = server
 	// default). Explanations are identical at any worker count.
 	Workers int `json:"workers,omitempty"`
+	// Stream marks the job stream-only: results are delivered exclusively
+	// through GET /v1/jobs/{id}/stream and the server retains only a
+	// bounded ring of recent results instead of the full result set, so
+	// arbitrarily large corpus jobs run in flat memory. Poll responses for
+	// a stream-only job carry progress counts but no Results pages, and a
+	// stream reader that falls behind the ring is disconnected with an
+	// error event.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// StreamEvent is one NDJSON line of GET /v1/jobs/{id}/stream (in binary
+// negotiation each event is one frame instead). Exactly one field is set:
+// Result for each completed block, then a final Done carrying the job's
+// terminal summary, or Error if the stream aborts (for example a lagged
+// reader on a stream-only job).
+type StreamEvent struct {
+	Result *CorpusResult `json:"result,omitempty"`
+	Done   *JobSummary   `json:"done,omitempty"`
+	Error  string        `json:"error,omitempty"`
 }
 
 // PredictRequest is the body of POST /v1/predict, the batch cost-model

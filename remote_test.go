@@ -206,13 +206,24 @@ func TestRemoteMidBatchCancel(t *testing.T) {
 	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case handshook <- struct{}{}:
-			// First request (the discovery handshake): pass through.
-			resp, err := http.Post(backend.URL+r.URL.Path, "application/json", r.Body)
+			// First request (the discovery handshake): pass through
+			// faithfully — headers included, so the client's content
+			// negotiation (binary frames vs JSON) works through the proxy.
+			fwd, err := http.NewRequest(r.Method, backend.URL+r.URL.Path, r.Body)
+			if err != nil {
+				w.WriteHeader(http.StatusBadGateway)
+				return
+			}
+			fwd.Header = r.Header.Clone()
+			resp, err := http.DefaultClient.Do(fwd)
 			if err != nil {
 				w.WriteHeader(http.StatusBadGateway)
 				return
 			}
 			defer resp.Body.Close()
+			if ct := resp.Header.Get("Content-Type"); ct != "" {
+				w.Header().Set("Content-Type", ct)
+			}
 			w.WriteHeader(resp.StatusCode)
 			_, _ = io.Copy(w, resp.Body)
 		default:
