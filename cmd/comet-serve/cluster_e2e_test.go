@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -37,6 +38,141 @@ func clusterJSON(t *testing.T, results []wire.CorpusResult) map[int][]byte {
 		m[r.Index] = b
 	}
 	return m
+}
+
+// fetchTraceSpans polls one process's /debug/traces/{id} until spans
+// for the trace appear (spans land in the ring when they end, which can
+// trail the observable effect by a beat) and returns their names.
+func fetchTraceSpans(t *testing.T, base, traceID string, timeout time.Duration) map[string]bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/debug/traces/" + traceID)
+		if err != nil {
+			t.Fatalf("debug/traces: %v", err)
+		}
+		var body struct {
+			Spans []struct {
+				TraceID string `json:"trace_id"`
+				Name    string `json:"name"`
+			} `json:"spans"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && err == nil && len(body.Spans) > 0 {
+			names := map[string]bool{}
+			for _, sp := range body.Spans {
+				if sp.TraceID != traceID {
+					t.Fatalf("%s returned span of trace %s under trace %s", base, sp.TraceID, traceID)
+				}
+				names[sp.Name] = true
+			}
+			return names
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never appeared at %s/debug/traces", traceID, base)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// traceLogLines counts the JSON log records in a process's stderr that
+// carry the trace ID, so the cross-process story is greppable from logs
+// alone as well as from the trace rings.
+func traceLogLines(t *testing.T, logs, traceID string) (count int, msgs map[string]bool) {
+	t.Helper()
+	msgs = map[string]bool{}
+	for _, line := range strings.Split(logs, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || line[0] != '{' {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Errorf("-log-format json emitted a non-JSON line: %q (%v)", line, err)
+			continue
+		}
+		if rec["trace_id"] == traceID {
+			count++
+			if msg, ok := rec["msg"].(string); ok {
+				msgs[msg] = true
+			}
+		}
+	}
+	return count, msgs
+}
+
+// TestClusterE2ETraceSpansProcesses asserts the observability
+// acceptance criterion: a corpus job submitted to a coordinator carries
+// ONE trace ID across both processes — retrievable from each process's
+// /debug/traces ring and greppable in both processes' JSON logs.
+func TestClusterE2ETraceSpansProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping cluster e2e test in -short mode")
+	}
+	bin := buildServe(t)
+	obsArgs := []string{"-addr", "127.0.0.1:0", "-coverage-samples", "250",
+		"-log-format", "json", "-trace-sample", "1"}
+	worker := startServe(t, bin, obsArgs...)
+	co := startServe(t, bin, append([]string{"-workers", worker.base, "-lease-blocks", "1"}, obsArgs...)...)
+
+	req := wire.CorpusRequest{
+		Blocks: []string{
+			"add rcx, rax\nmov rdx, rcx\npop rbx",
+			"imul rax, rbx\nimul rax, rcx",
+			"add rax, rbx\nsub rcx, rdx\nxor rsi, rsi",
+		},
+		Model: "uica",
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(co.base+"/v1/corpus", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceID := resp.Header.Get("X-Comet-Trace-Id")
+	var acc wire.JobAccepted
+	err = json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("corpus: status %d, decode err %v", resp.StatusCode, err)
+	}
+	if traceID == "" {
+		t.Fatal("corpus submission returned no X-Comet-Trace-Id header")
+	}
+
+	st := waitJobDone(t, co.base, acc.ID, 4*time.Minute)
+	if st.State != wire.JobDone || st.Done != len(req.Blocks) || st.Failed != 0 {
+		t.Fatalf("cluster job did not complete cleanly: %+v\ncoordinator stderr:\n%s", st, co.stderr.String())
+	}
+	if len(st.Workers) == 0 {
+		t.Fatalf("job was not distributed (no worker attribution): %+v\ncoordinator stderr:\n%s", st, co.stderr.String())
+	}
+
+	// The coordinator's ring holds the submission and the resumed job
+	// span; the worker's ring holds the lease executions — all under the
+	// one trace ID minted at submission.
+	coordSpans := fetchTraceSpans(t, co.base, traceID, 10*time.Second)
+	for _, want := range []string{"http.corpus", "job.run"} {
+		if !coordSpans[want] {
+			t.Errorf("coordinator trace %s is missing span %q (have %v)", traceID, want, coordSpans)
+		}
+	}
+	workerSpans := fetchTraceSpans(t, worker.base, traceID, 10*time.Second)
+	if !workerSpans["http.shard"] {
+		t.Errorf("worker trace %s is missing span %q (have %v)", traceID, "http.shard", workerSpans)
+	}
+
+	// The same trace ID is greppable in both processes' JSON logs.
+	coCount, coMsgs := traceLogLines(t, co.stderr.String(), traceID)
+	if coCount == 0 || !coMsgs["job finished"] {
+		t.Errorf("coordinator logs carry %d lines for trace %s (msgs %v); want a %q line",
+			coCount, traceID, coMsgs, "job finished")
+	}
+	wCount, wMsgs := traceLogLines(t, worker.stderr.String(), traceID)
+	if wCount == 0 || !wMsgs["shard lease executed"] {
+		t.Errorf("worker logs carry %d lines for trace %s (msgs %v); want a %q line",
+			wCount, traceID, wMsgs, "shard lease executed")
+	}
 }
 
 func TestClusterE2EKillWorkerAndCoordinator(t *testing.T) {

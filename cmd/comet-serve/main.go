@@ -16,6 +16,12 @@
 //	GET  /healthz           liveness
 //	GET  /readyz            readiness (200 only after warm-up and Restore)
 //	GET  /metrics           Prometheus text metrics
+//	GET  /debug/traces      recently finished traces (/debug/traces/{id} for spans)
+//
+// Observability: -log-format/-log-level select structured (slog) text or
+// JSON logs; -trace-sample controls request tracing (hot routes sample
+// 1-in-N, slow routes always trace, ?trace=1 forces it); -debug-addr
+// serves net/http/pprof on a separate listener.
 //
 // Cluster mode: -coordinator (or a static -workers url1,url2 list) turns
 // the server into a coordinator that shards corpus jobs across workers;
@@ -58,8 +64,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -68,6 +76,7 @@ import (
 
 	"github.com/comet-explain/comet/internal/cluster"
 	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/obs"
 	"github.com/comet-explain/comet/internal/persist"
 	"github.com/comet-explain/comet/internal/service"
 	"github.com/comet-explain/comet/internal/wire"
@@ -110,8 +119,25 @@ func main() {
 		leaseTimeout = flag.Duration("lease-timeout", 5*time.Minute, "coordinator: re-lease a dispatched lease after this long without an answer")
 		leaseRetries = flag.Int("lease-retries", 3, "coordinator: dispatch attempts per lease before its blocks fail")
 		straggler    = flag.Duration("straggler-after", 30*time.Second, "coordinator: re-dispatch an in-flight lease to an idle worker after this long")
+
+		logFormat   = flag.String("log-format", "text", "structured log format: text | json")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug | info | warn | error (request lines on hot routes log at debug)")
+		debugAddr   = flag.String("debug-addr", "", "separate listen address serving net/http/pprof profiles (empty = disabled)")
+		traceSample = flag.Int("trace-sample", 0, "trace 1-in-N requests on hot routes; slow routes are always traced (0 = default 64, 1 = every request, negative = tracing off)")
+		traceRing   = flag.Int("trace-ring", 0, "finished spans retained for GET /debug/traces (0 = 4096)")
 	)
 	flag.Parse()
+
+	rootLog, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	// Components that are not handed a logger explicitly (the remote
+	// cost-model transport, resolved deep inside the model registry) fall
+	// back to slog.Default — point it at the same root so every line of
+	// this process shares one stream and one format.
+	slog.SetDefault(rootLog)
+	logger := obs.Component(rootLog, "serve")
 
 	base := core.DefaultConfig()
 	base.CoverageSamples = *coverage
@@ -126,8 +152,9 @@ func main() {
 			fatal(err)
 		}
 		st := log.Stats()
-		fmt.Fprintf(os.Stderr, "comet-serve: store %s: %d entries, %d bytes, %d corrupt records skipped\n",
-			*storeDir, st.Entries, st.TotalBytes, st.CorruptRecords)
+		logger.Info("durable store opened",
+			"dir", *storeDir, "entries", st.Entries, "bytes", st.TotalBytes,
+			"corrupt_skipped", st.CorruptRecords)
 		store = log
 	}
 
@@ -158,6 +185,9 @@ func main() {
 		Store:                 store,
 		Coordinator:           *coordinator || len(staticWorkers) > 0,
 		ClusterWorkers:        staticWorkers,
+		Logger:                rootLog,
+		TraceRingSize:         *traceRing,
+		TraceSample:           *traceSample,
 		Cluster: cluster.Options{
 			LeaseBlocks:    *leaseBlocks,
 			LeaseTimeout:   *leaseTimeout,
@@ -185,11 +215,27 @@ func main() {
 			if spec == "" {
 				continue
 			}
-			fmt.Fprintf(os.Stderr, "comet-serve: warming %s (default arch %s)...\n", spec, *preloadArch)
+			logger.Info("warming model", "spec", spec, "default_arch", *preloadArch)
 			if err := srv.WarmModel(spec, *preloadArch); err != nil {
 				fatal(err)
 			}
 		}
+	}
+
+	// Opt-in pprof: a separate listener so profiling endpoints are never
+	// reachable through the service port.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("pprof debug listener up", "addr", dln.Addr().String())
+		go func() {
+			dbg := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			if err := dbg.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("debug listener exited", "error", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -230,7 +276,7 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "comet-serve: %v, draining (budget %v)...\n", sig, *drainTimeout)
+		logger.Info("draining", "signal", sig.String(), "budget", *drainTimeout)
 	case err := <-errc:
 		fatal(err)
 	}
@@ -239,15 +285,15 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "comet-serve: http shutdown: %v\n", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "comet-serve: job drain: %v\n", err)
+		logger.Error("job drain failed", "error", err)
 		os.Exit(1)
 	}
 	if store != nil {
 		if err := store.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "comet-serve: store close: %v\n", err)
+			logger.Warn("store close", "error", err)
 		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -272,7 +318,8 @@ func advertiseURL(flagValue string, ln net.Listener) (string, error) {
 	host := addr.IP.String()
 	if addr.IP.IsUnspecified() {
 		host = "127.0.0.1"
-		fmt.Fprintf(os.Stderr, "comet-serve: listening on a wildcard address; advertising %s:%d (pass -advertise for a routable URL)\n", host, addr.Port)
+		slog.Warn("listening on a wildcard address; advertising loopback (pass -advertise for a routable URL)",
+			"component", "serve", "advertise", fmt.Sprintf("%s:%d", host, addr.Port))
 	}
 	return fmt.Sprintf("http://%s", net.JoinHostPort(host, fmt.Sprint(addr.Port))), nil
 }
@@ -292,7 +339,9 @@ func heartbeatLoop(ctx context.Context, coordinatorURL, advertise string, capaci
 	lastFailure := ""
 	fail := func(msg string) {
 		if msg != lastFailure {
-			fmt.Fprintf(os.Stderr, "comet-serve: joining %s: %s (retrying every %v)\n", coordinatorURL, msg, interval)
+			slog.Warn("cluster join failed; retrying",
+				"component", "serve", "coordinator", coordinatorURL,
+				"error", msg, "interval", interval)
 		}
 		lastFailure = msg
 		joined = false
@@ -320,7 +369,8 @@ func heartbeatLoop(ctx context.Context, coordinatorURL, advertise string, capaci
 			return
 		}
 		if !joined {
-			fmt.Fprintf(os.Stderr, "comet-serve: joined cluster at %s as %s\n", coordinatorURL, advertise)
+			slog.Info("joined cluster",
+				"component", "serve", "coordinator", coordinatorURL, "advertise", advertise)
 		}
 		joined = true
 		lastFailure = ""

@@ -58,6 +58,7 @@ import (
 	"github.com/comet-explain/comet"
 	"github.com/comet-explain/comet/internal/cluster"
 	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/obs"
 	"github.com/comet-explain/comet/internal/persist"
 	"github.com/comet-explain/comet/internal/wire"
 )
@@ -76,6 +77,7 @@ func main() {
 		saveModel  = flag.String("save-model", "", "save the resolved model to this file (models that support saving)")
 		loadModel  = flag.String("load-model", "", "shorthand for the ithemal load= spec parameter")
 		report     = flag.Bool("report", false, "also print the pipeline bottleneck report")
+		profile    = flag.Bool("profile", false, "also print where the explanation's wall time went, stage by stage (with -json: attach the profile object)")
 		corpus     = flag.String("corpus", "", `corpus mode: a file of "---"-separated blocks, or gen:N for a synthetic corpus`)
 		workers    = flag.Int("workers", 0, "corpus mode: concurrent blocks (0 = GOMAXPROCS); with -cluster, the per-lease concurrency hint sent to each worker")
 		clusterTo  = flag.String("cluster", "", "corpus mode: comma-separated comet-serve worker URLs — shard the corpus across them instead of explaining locally (per-block output is byte-identical apart from cache-accounting counters; pins sampling parallelism to 1)")
@@ -204,9 +206,14 @@ func main() {
 
 	if *jsonOut {
 		// The same wire format comet-serve's POST /v1/explain returns, so
-		// CLI and API outputs are interchangeable.
+		// CLI and API outputs are interchangeable. The profile rides along
+		// only on request, exactly like the server's ?profile=1.
+		we := wire.FromExplanation(expl)
+		if *profile {
+			we.Profile = wire.FromProfile(expl.Profile)
+		}
 		enc := json.NewEncoder(os.Stdout)
-		if err := enc.Encode(wire.FromExplanation(expl)); err != nil {
+		if err := enc.Encode(we); err != nil {
 			fatal(err)
 		}
 		return
@@ -221,6 +228,10 @@ func main() {
 	fmt.Printf("queries:     %d (%d cache hits, %d model evaluations)\n",
 		expl.Queries, expl.CacheHits, expl.ModelCalls)
 
+	if *profile {
+		printProfile(expl.Profile)
+	}
+
 	if *report {
 		rep, err := comet.AnalyzeBlock(model.Arch(), block)
 		if err != nil {
@@ -228,6 +239,31 @@ func main() {
 		}
 		fmt.Printf("\npipeline report (hardware-grade simulator):\n%s", rep)
 	}
+}
+
+// printProfile renders the per-stage wall-time breakdown for -profile.
+// An explanation served from the durable store carries no profile — the
+// work it would measure never happened.
+func printProfile(p *core.Profile) {
+	if p == nil {
+		fmt.Println("\nprofile:     (served from store; no computation to profile)")
+		return
+	}
+	pct := func(d time.Duration) float64 {
+		if p.Total <= 0 {
+			return 0
+		}
+		return 100 * float64(d) / float64(p.Total)
+	}
+	fmt.Printf("\nprofile (total %v):\n", p.Total.Round(time.Microsecond))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "  setup\t%v\t%.1f%%\tperturbation space + legality tables\n", p.Setup.Round(time.Microsecond), pct(p.Setup))
+	fmt.Fprintf(w, "  coverage\t%v\t%.1f%%\tΓ(∅) coverage pool\n", p.Coverage.Round(time.Microsecond), pct(p.Coverage))
+	fmt.Fprintf(w, "  search\t%v\t%.1f%%\tanchors beam search (incl. model + precision)\n", p.Search.Round(time.Microsecond), pct(p.Search))
+	fmt.Fprintf(w, "  model\t%v\t%.1f%%\tcost-model batches (%d calls in %d batches)\n", p.Model.Round(time.Microsecond), pct(p.Model), p.ModelCalls, p.Batches)
+	fmt.Fprintf(w, "  precision\t%v\t%.1f%%\tKL-LUCB sampling rounds\n", p.Precision.Round(time.Microsecond), pct(p.Precision))
+	fmt.Fprintf(w, "  store\t%v\t%.1f%%\tartifact-store write\n", p.Store.Round(time.Microsecond), pct(p.Store))
+	w.Flush()
 }
 
 // resolveModel turns the -model spec (plus the legacy convenience flags)
@@ -516,12 +552,14 @@ func explainClusterCorpus(p clusterParams) error {
 		}
 	}
 
+	clusterLog, err := obs.NewLogger(os.Stderr, "text", "info")
+	if err != nil {
+		return err
+	}
 	pool := cluster.NewPool(urls, cluster.Options{})
 	coord := cluster.New(pool, cluster.Options{
 		LeaseBlocks: p.leaseBlocks,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "comet: cluster: "+format+"\n", args...)
-		},
+		Log:         obs.Component(clusterLog, "cluster"),
 	})
 	start := time.Now()
 	done := len(skip)

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -35,6 +36,7 @@ import (
 
 	"github.com/comet-explain/comet/internal/bitset"
 	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/obs"
 	"github.com/comet-explain/comet/internal/wire"
 )
 
@@ -85,9 +87,10 @@ type Options struct {
 	// (nil = a client with no overall timeout; LeaseTimeout bounds each
 	// dispatch via its context).
 	Client *http.Client
-	// Logf, if non-nil, receives scheduler events (re-leases, worker
-	// deaths, abandonments) for the operator log.
-	Logf func(format string, args ...any)
+	// Log, if non-nil, receives scheduler events (lease completions,
+	// re-leases, abandonments, codec downgrades) as structured records.
+	// Every record carries the job's trace ID when the job is traced.
+	Log *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -154,6 +157,20 @@ type Job struct {
 	// Workers is the per-lease block concurrency hint sent to workers
 	// (0 = worker default). Results are identical at any value.
 	Workers int
+	// Traceparent, when non-empty, is the W3C trace context of the span
+	// driving this job. It rides every shard dispatch as the traceparent
+	// header, so worker-side spans land in the same trace the coordinator
+	// records. It never affects results.
+	Traceparent string
+}
+
+// traceAttr renders the job's trace ID for scheduler log records (an
+// empty, elided attr when the job is untraced).
+func (j Job) traceAttr() slog.Attr {
+	if sc, ok := obs.ParseTraceparent(j.Traceparent); ok {
+		return obs.TraceAttr(sc.Trace)
+	}
+	return obs.TraceAttr(obs.TraceID{})
 }
 
 // Result is one completed block, attributed to the worker that ran it.
@@ -263,8 +280,11 @@ func (c *Coordinator) Run(ctx context.Context, job Job, emit func(Result)) error
 		} else if starvedSince.IsZero() {
 			starvedSince = time.Now()
 		} else if time.Since(starvedSince) > c.opts.ReadyTimeout {
-			c.logf("job %s: no ready workers for %v, giving up (%d blocks undone)",
-				job.ID, c.opts.ReadyTimeout, undoneBlocks(leases))
+			if l := c.opts.Log; l != nil {
+				l.Warn("no ready workers, giving up",
+					"job_id", job.ID, "waited", c.opts.ReadyTimeout,
+					"blocks_undone", undoneBlocks(leases), job.traceAttr())
+			}
 			return ErrNoWorkers
 		}
 		c.pool.probe(c.opts.Client)
@@ -280,8 +300,12 @@ func (c *Coordinator) Run(ctx context.Context, job Job, emit func(Result)) error
 				if l.done {
 					break
 				}
-				c.logf("job %s: lease %s failed on %s (attempt %d/%d): %v",
-					job.ID, l.id, r.worker, l.attempts, c.opts.LeaseRetries, r.err)
+				if lg := c.opts.Log; lg != nil {
+					lg.Warn("lease failed",
+						"job_id", job.ID, "lease", l.id, "worker", r.worker,
+						"attempt", l.attempts, "retries", c.opts.LeaseRetries,
+						"error", r.err, job.traceAttr())
+				}
 				if l.attempts < c.opts.LeaseRetries {
 					if l.inflight == 0 {
 						pending = append(pending, l)
@@ -295,8 +319,11 @@ func (c *Coordinator) Run(ctx context.Context, job Job, emit func(Result)) error
 					// Retry budget exhausted and nothing left in flight:
 					// abandon. The blocks are NOT emitted — they were never
 					// computed, and the caller's fallback engine runs them.
-					c.logf("job %s: lease %s abandoned after %d attempts (%d blocks left to the caller): %v",
-						job.ID, l.id, l.attempts, len(l.blocks), l.lastErr)
+					if lg := c.opts.Log; lg != nil {
+						lg.Warn("lease abandoned",
+							"job_id", job.ID, "lease", l.id, "attempts", l.attempts,
+							"blocks_left", len(l.blocks), "error", l.lastErr, job.traceAttr())
+					}
 					l.done = true
 					remaining--
 					abandoned++
@@ -305,6 +332,12 @@ func (c *Coordinator) Run(ctx context.Context, job Job, emit func(Result)) error
 			}
 			if l.done {
 				break // late straggler duplicate; bytes identical, drop it
+			}
+			if lg := c.opts.Log; lg != nil {
+				lg.Info("lease completed",
+					"job_id", job.ID, "lease", l.id, "worker", r.worker,
+					"blocks", len(r.results), "elapsed", time.Since(l.lastSent),
+					job.traceAttr())
 			}
 			for _, res := range r.results {
 				if !emitted.Add(res.Index) {
@@ -373,7 +406,10 @@ func (c *Coordinator) send(ctx context.Context, job Job, l *lease, workerID stri
 	c.stats.LeasesDispatched.Add(1)
 	if straggler {
 		c.stats.StragglerDispatches.Add(1)
-		c.logf("job %s: straggler re-dispatch of lease %s to %s", job.ID, l.id, workerID)
+		if lg := c.opts.Log; lg != nil {
+			lg.Info("straggler re-dispatch",
+				"job_id", job.ID, "lease", l.id, "worker", workerID, job.traceAttr())
+		}
 	}
 	req := wire.ShardRequest{
 		JobID:   job.ID,
@@ -385,7 +421,7 @@ func (c *Coordinator) send(ctx context.Context, job Job, l *lease, workerID stri
 		Workers: job.Workers,
 	}
 	go func() {
-		results, err := c.dispatch(ctx, workerID, req)
+		results, err := c.dispatch(ctx, workerID, req, job.Traceparent)
 		select {
 		case resc <- dispatchResult{lease: l, worker: workerID, results: results, err: err}:
 		case <-ctx.Done():
@@ -403,7 +439,7 @@ func (c *Coordinator) send(ctx context.Context, job Job, l *lease, workerID stri
 // ride the binary frame codec until any worker rejects one, which
 // downgrades the coordinator to JSON and retries the round trip
 // immediately.
-func (c *Coordinator) dispatch(ctx context.Context, workerURL string, sreq wire.ShardRequest) ([]wire.CorpusResult, error) {
+func (c *Coordinator) dispatch(ctx context.Context, workerURL string, sreq wire.ShardRequest, traceparent string) ([]wire.CorpusResult, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.opts.LeaseTimeout)
 	defer cancel()
 	binary := !c.binaryOff.Load()
@@ -427,6 +463,12 @@ func (c *Coordinator) dispatch(ctx context.Context, workerURL string, sreq wire.
 	} else {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if traceparent != "" {
+		// The worker joins the coordinator's trace: its /v1/shard spans
+		// record under the same trace ID, so GET /debug/traces on either
+		// process shows its half of the job.
+		req.Header.Set("Traceparent", traceparent)
+	}
 	resp, err := c.opts.Client.Do(req)
 	if err != nil {
 		return nil, err
@@ -438,8 +480,11 @@ func (c *Coordinator) dispatch(ctx context.Context, workerURL string, sreq wire.
 			// for every future lease. A genuinely bad request fails the
 			// same way on the JSON retry.
 			c.binaryOff.Store(true)
-			c.logf("worker %s rejected a binary lease (status %d); downgrading to JSON", workerURL, resp.StatusCode)
-			return c.dispatch(ctx, workerURL, sreq)
+			if lg := c.opts.Log; lg != nil {
+				lg.Warn("worker rejected a binary lease; downgrading to JSON",
+					"worker", workerURL, "status", resp.StatusCode)
+			}
+			return c.dispatch(ctx, workerURL, sreq, traceparent)
 		}
 		return nil, shardStatusError(resp)
 	}
@@ -570,10 +615,4 @@ func undoneBlocks(leases []*lease) int {
 		}
 	}
 	return n
-}
-
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.opts.Logf != nil {
-		c.opts.Logf(format, args...)
-	}
 }

@@ -18,11 +18,13 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/comet-explain/comet/internal/anchors"
 	"github.com/comet-explain/comet/internal/costmodel"
 	"github.com/comet-explain/comet/internal/deps"
 	"github.com/comet-explain/comet/internal/features"
+	"github.com/comet-explain/comet/internal/obs"
 	"github.com/comet-explain/comet/internal/perturb"
 	"github.com/comet-explain/comet/internal/x86"
 )
@@ -83,6 +85,11 @@ type Explanation struct {
 	Queries    int          // cost-model queries issued by the search
 	CacheHits  int          // queries served without a model evaluation
 	ModelCalls int          // blocks the model actually evaluated
+	// Profile breaks the computation down by stage. Set on every freshly
+	// computed explanation, nil on artifact-store hits (the original
+	// computation's timings were not persisted — wall times never
+	// reproduce, and stored explanations are compared byte-for-byte).
+	Profile *Profile
 }
 
 // CacheHitRate reports the fraction of queries the prediction cache (plus
@@ -263,21 +270,50 @@ func (e *Explainer) explainWith(ctx context.Context, b *x86.BasicBlock, cfg Conf
 			expl, err = nil, qe.Err
 		}
 	}()
+	t0 := time.Now()
 	if e.artifacts != nil {
-		if stored, ok := e.artifacts.Lookup(cfg, b); ok {
+		_, lookupSpan := obs.StartSpan(ctx, "core.artifact_lookup")
+		stored, ok := e.artifacts.Lookup(cfg, b)
+		lookupSpan.End()
+		if ok {
 			return stored, nil
 		}
 	}
+	prof := &Profile{}
+	_, setupSpan := obs.StartSpan(ctx, "core.canonicalize")
 	p, err := perturb.New(b, cfg.Perturb)
+	setupSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	prof.Setup = time.Since(t0)
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	space, err := newBlockSpace(ctx, e.batch, e.cache, p, cfg, rng)
+	poolCtx, poolSpan := obs.StartSpan(ctx, "core.perturb_pool")
+	space, err := newBlockSpace(poolCtx, e.batch, e.cache, p, cfg, rng)
+	poolSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	prof.Coverage = space.coverageTime
+
+	searchCtx, searchSpan := obs.StartSpan(ctx, "core.search")
+	space.ctx = searchCtx
+	searchStart := time.Now()
 	res := anchors.Search(space, cfg.Anchor, rng)
+	prof.Search = time.Since(searchStart)
+	prof.Model = space.modelTime
+	prof.Precision = space.precisionTime
+	prof.Queries = space.queries
+	prof.CacheHits = space.cacheHits
+	prof.ModelCalls = space.modelCalls
+	prof.Batches = space.batches
+	searchSpan.SetInt("queries", int64(space.queries))
+	searchSpan.SetInt("cache_hits", int64(space.cacheHits))
+	searchSpan.SetInt("model_calls", int64(space.modelCalls))
+	searchSpan.SetInt("batches", int64(space.batches))
+	searchSpan.SetInt("model_us", space.modelTime.Microseconds())
+	searchSpan.SetInt("precision_us", space.precisionTime.Microseconds())
+	searchSpan.End()
 
 	set := features.NewSet()
 	for _, idx := range res.Anchor {
@@ -294,10 +330,16 @@ func (e *Explainer) explainWith(ctx context.Context, b *x86.BasicBlock, cfg Conf
 		Queries:    space.queries,
 		CacheHits:  space.cacheHits,
 		ModelCalls: space.modelCalls,
+		Profile:    prof,
 	}
 	if e.artifacts != nil {
+		_, storeSpan := obs.StartSpan(ctx, "core.artifact_store")
+		storeStart := time.Now()
 		e.artifacts.Store(cfg, expl)
+		prof.Store = time.Since(storeStart)
+		storeSpan.End()
 	}
+	prof.Total = time.Since(t0)
 	return expl, nil
 }
 
@@ -388,6 +430,13 @@ type blockSpace struct {
 	queries    int // queries issued
 	cacheHits  int // queries served by the cache or within-batch dedup
 	modelCalls int // blocks the model actually evaluated
+	batches    int // cost-model batch calls issued for the misses
+
+	// Stage timing for the explanation profile (same single-goroutine
+	// ownership as the query accounting).
+	modelTime     time.Duration // inside PredictThrough
+	precisionTime time.Duration // inside SamplePrecision rounds
+	coverageTime  time.Duration // building the coverage pool
 }
 
 func newBlockSpace(ctx context.Context, model costmodel.BatchModel, cache *costmodel.Cache, p *perturb.Perturber, cfg Config, rng *rand.Rand) (*blockSpace, error) {
@@ -414,9 +463,11 @@ func newBlockSpace(ctx context.Context, model costmodel.BatchModel, cache *costm
 		depOpts: cfg.Perturb.DepOptions,
 	}
 	s.origPred = s.predictAll([]*x86.BasicBlock{p.Block()})[0]
+	poolStart := time.Now()
 	if err := s.buildCoveragePool(cfg.CoverageSamples, rng); err != nil {
 		return nil, err
 	}
+	s.coverageTime = time.Since(poolStart)
 	return s, nil
 }
 
@@ -430,10 +481,15 @@ func (s *blockSpace) predictAll(blocks []*x86.BasicBlock) []float64 {
 		costmodel.AbortQuery(err)
 	}
 	preds := make([]float64, len(blocks))
+	start := time.Now()
 	saved, evaluated := costmodel.PredictThrough(s.cache, s.model, blocks, s.batch, preds)
+	s.modelTime += time.Since(start)
 	s.queries += len(blocks)
 	s.cacheHits += saved
 	s.modelCalls += evaluated
+	if evaluated > 0 {
+		s.batches += (evaluated + s.batch - 1) / s.batch
+	}
 	return preds
 }
 
@@ -512,6 +568,7 @@ func (s *blockSpace) Coverage(candidate []int) float64 {
 // the pre-batching sampling scheme); predictions are then resolved in one
 // batched, cached pass instead of one model query per sample.
 func (s *blockSpace) SamplePrecision(rng *rand.Rand, candidate []int, n int) int {
+	defer func(start time.Time) { s.precisionTime += time.Since(start) }(time.Now())
 	preserve := features.NewSet()
 	for _, j := range candidate {
 		preserve = preserve.Add(s.feats[j])

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging for every COMET binary. One process builds one root
+// logger with NewLogger and derives component loggers with Component;
+// every log line then carries component=<service|cluster|persist|remote>
+// and — on request/lease/job lines — trace_id, so logs and /debug/traces
+// cross-reference.
+
+// NewLogger builds the process root logger. format is "text" or "json";
+// level is "debug", "info", "warn", or "error".
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// Component tags a child logger with its subsystem name. A nil root
+// yields the default logger so library code never nil-checks.
+func Component(root *slog.Logger, name string) *slog.Logger {
+	if root == nil {
+		root = slog.Default()
+	}
+	return root.With("component", name)
+}
+
+// TraceAttr renders a trace ID as the conventional trace_id attribute,
+// or an empty group (which slog elides) for the zero ID — log call sites
+// can pass it unconditionally.
+func TraceAttr(id TraceID) slog.Attr {
+	if id.IsZero() {
+		return slog.Attr{Key: "", Value: slog.GroupValue()}
+	}
+	return slog.String("trace_id", id.String())
+}

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"github.com/comet-explain/comet/internal/costmodel"
+	"github.com/comet-explain/comet/internal/obs"
 	"github.com/comet-explain/comet/internal/wire"
 	"github.com/comet-explain/comet/internal/x86"
 )
@@ -61,6 +63,10 @@ type Options struct {
 	// JSON permanently the first time the server rejects one, so it
 	// interoperates with servers from before the codec existed.
 	ForceJSON bool
+	// Log receives transport events (codec downgrades, exhausted retry
+	// budgets) as structured records (nil = the process default logger).
+	// Records are tagged component=remote.
+	Log *slog.Logger
 }
 
 // Model is the remote cost model. It is safe for concurrent use and
@@ -73,6 +79,7 @@ type Model struct {
 	reqArch  string
 	retries  int
 	ctx      context.Context
+	log      *slog.Logger
 	// binary tracks whether the server speaks the frame codec; it flips
 	// off (permanently for this model) on the first rejection.
 	binary atomic.Bool
@@ -119,9 +126,10 @@ func Dial(baseURL string, o Options) (*Model, error) {
 		reqArch:  o.Arch,
 		retries:  retries,
 		ctx:      ctx,
+		log:      obs.Component(o.Log, "remote"),
 	}
 	m.binary.Store(!o.ForceJSON)
-	resp, err := m.post(nil)
+	resp, err := m.post(nil, "")
 	if err != nil {
 		return nil, fmt.Errorf("remote: handshake with %s: %w", baseURL, err)
 	}
@@ -162,11 +170,15 @@ func (m *Model) Predict(b *x86.BasicBlock) float64 {
 // round trip for the whole batch. A failure that survives the retry
 // budget aborts the in-flight explanation (costmodel.AbortQuery).
 func (m *Model) PredictBatch(blocks []*x86.BasicBlock) []float64 {
+	return m.predictBatch(blocks, "")
+}
+
+func (m *Model) predictBatch(blocks []*x86.BasicBlock, traceparent string) []float64 {
 	srcs := make([]string, len(blocks))
 	for i, b := range blocks {
 		srcs[i] = b.String()
 	}
-	resp, err := m.post(srcs)
+	resp, err := m.post(srcs, traceparent)
 	if err != nil {
 		costmodel.AbortQuery(fmt.Errorf("remote model %s: %w", m.url, err))
 	}
@@ -175,6 +187,37 @@ func (m *Model) PredictBatch(blocks []*x86.BasicBlock) []float64 {
 			m.url, len(resp.Predictions), len(blocks)))
 	}
 	return resp.Predictions
+}
+
+// WithTraceparent returns a view of the model that sends tp as the W3C
+// traceparent header on every predict request, chaining the caller's
+// trace into the backend server (which joins it and records its own
+// spans under the same trace ID). The view shares this model's client,
+// codec state, and lifetime context; an empty tp returns the model
+// itself. The shared model is never mutated, so concurrent requests can
+// each carry their own trace.
+func (m *Model) WithTraceparent(tp string) costmodel.Model {
+	if tp == "" {
+		return m
+	}
+	return tracedModel{m: m, traceparent: tp}
+}
+
+// tracedModel is the per-request trace-propagating view of a Model.
+type tracedModel struct {
+	m           *Model
+	traceparent string
+}
+
+var _ costmodel.BatchModel = tracedModel{}
+
+func (t tracedModel) Name() string   { return t.m.name }
+func (t tracedModel) Arch() x86.Arch { return t.m.arch }
+func (t tracedModel) Predict(b *x86.BasicBlock) float64 {
+	return t.PredictBatch([]*x86.BasicBlock{b})[0]
+}
+func (t tracedModel) PredictBatch(blocks []*x86.BasicBlock) []float64 {
+	return t.m.predictBatch(blocks, t.traceparent)
 }
 
 // retryBackoff returns the sleep before retry attempt n (1-based):
@@ -194,7 +237,7 @@ func retryBackoff(attempt int) time.Duration {
 // a 400/415 answer to a framed request downgrades this model to JSON
 // permanently and retries immediately (a genuine bad request fails the
 // same way on the JSON path, just one round trip later).
-func (m *Model) post(blocks []string) (*wire.PredictResponse, error) {
+func (m *Model) post(blocks []string, traceparent string) (*wire.PredictResponse, error) {
 	if blocks == nil {
 		blocks = []string{} // handshake: an explicit empty batch
 	}
@@ -236,6 +279,9 @@ func (m *Model) post(blocks []string) (*wire.PredictResponse, error) {
 		} else {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if traceparent != "" {
+			req.Header.Set("Traceparent", traceparent)
+		}
 		resp, err := m.client.Do(req)
 		if err != nil {
 			lastErr = err
@@ -254,6 +300,8 @@ func (m *Model) post(blocks []string) (*wire.PredictResponse, error) {
 		lastErr = err
 		if binary && (status == http.StatusBadRequest || status == http.StatusUnsupportedMediaType) {
 			m.binary.Store(false)
+			m.log.Warn("server rejected a binary predict; downgrading to JSON",
+				"url", m.url, "status", status)
 			attempt-- // downgrade retry, free of charge (happens at most once)
 			continue
 		}
@@ -261,6 +309,7 @@ func (m *Model) post(blocks []string) (*wire.PredictResponse, error) {
 			break
 		}
 	}
+	m.log.Warn("predict failed", "url", m.url, "attempts", attempts, "error", lastErr)
 	return nil, fmt.Errorf("%w (after %d attempt(s))", lastErr, attempts)
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"github.com/comet-explain/comet"
 	"github.com/comet-explain/comet/internal/costmodel"
+	"github.com/comet-explain/comet/internal/obs"
 	"github.com/comet-explain/comet/internal/wire"
 	"github.com/comet-explain/comet/internal/x86"
 )
@@ -59,6 +60,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeErrorNeg(w, binResp, modelErrorStatus(err), "%v", err)
 		return
+	}
+	if span := obs.SpanFromContext(r.Context()); span != nil {
+		span.Set("spec", entry.specString())
+		span.SetInt("blocks", int64(len(blocks)))
 	}
 
 	preds := make([]float64, len(blocks))

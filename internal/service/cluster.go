@@ -14,9 +14,11 @@ import (
 	"context"
 	"net/http"
 	"sort"
+	"time"
 
 	"github.com/comet-explain/comet/internal/cluster"
 	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/obs"
 	"github.com/comet-explain/comet/internal/wire"
 	"github.com/comet-explain/comet/internal/x86"
 )
@@ -85,6 +87,17 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	// computes exactly what the coordinator would have.
 	cfg := req.Config.Apply(s.cfg.Base)
 
+	// The request span (shard is a force-traced route, parented on the
+	// coordinator's traceparent) identifies the lease this worker ran.
+	leaseStart := time.Now()
+	span := obs.SpanFromContext(r.Context())
+	if span != nil {
+		span.Set("job_id", req.JobID)
+		span.Set("lease", req.Lease)
+		span.Set("spec", req.Spec)
+		span.SetInt("blocks", int64(len(req.Blocks)))
+	}
+
 	// One explain slot bounds the whole lease — the coordinator controls
 	// fan-out by lease count, the worker by its slot budget.
 	if err := s.acquireExplainSlot(); err != nil {
@@ -100,7 +113,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	defer context.AfterFunc(s.ctx, cancel)()
 
-	explainer := core.NewExplainerWithCache(entry.model, cfg, entry.cache)
+	explainer := core.NewExplainerWithCache(traceModel(ctx, entry.model), cfg, entry.cache)
 	results := make([]wire.CorpusResult, 0, len(blocks))
 	// Seeds and Index remap the lease's local slice positions onto the
 	// original corpus: results (error messages included) come out
@@ -111,6 +124,9 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		Seeds:   func(i int) int64 { return req.Blocks[i].Seed },
 		Index:   func(i int) int { return req.Blocks[i].Index },
 	}) {
+		if res.Explanation != nil && res.Explanation.Profile != nil {
+			s.metrics.observeExplanation(req.Spec, res.Explanation.Profile.Total.Seconds())
+		}
 		results = append(results, wire.FromCorpusResult(res))
 	}
 	if len(results) < len(blocks) {
@@ -121,6 +137,17 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Index < results[j].Index })
 	s.metrics.shardBlocks.Add(uint64(len(results)))
+	failed := 0
+	for _, res := range results {
+		if res.Error != "" {
+			failed++
+		}
+	}
+	s.log.Info("shard lease executed",
+		"job_id", req.JobID, "lease", req.Lease, "spec", req.Spec,
+		"blocks", len(results), "failed", failed,
+		"elapsed", time.Since(leaseStart),
+		obs.TraceAttr(span.TraceID()))
 	writeNegotiated(w, binResp, http.StatusOK, &wire.ShardResponse{
 		JobID:   req.JobID,
 		Lease:   req.Lease,
@@ -197,10 +224,11 @@ func (s *Server) clusterGauges() []gauge {
 
 // runCluster executes a corpus job through the cluster scheduler,
 // feeding every emitted result into the same bookkeeping and durable
-// checkpoints the local engine uses. It returns cluster.ErrNoWorkers
-// when dispatch starved — the caller falls back to the local engine for
-// whatever was not emitted.
-func (m *jobManager) runCluster(j *job) error {
+// checkpoints the local engine uses. ctx carries the job's resumed span
+// (see jobManager.run); its trace context rides every lease dispatch. It
+// returns cluster.ErrNoWorkers when dispatch starved — the caller falls
+// back to the local engine for whatever was not emitted.
+func (m *jobManager) runCluster(ctx context.Context, j *job) error {
 	j.mu.Lock()
 	skip := j.restored.Clone()
 	arch := ""
@@ -209,15 +237,20 @@ func (m *jobManager) runCluster(j *job) error {
 	}
 	j.mu.Unlock()
 
+	traceparent := ""
+	if sc := obs.ContextSpanContext(ctx); !sc.IsZero() {
+		traceparent = sc.Traceparent()
+	}
 	completed := 0
-	err := m.cluster.Run(m.ctx, cluster.Job{
-		ID:      j.id,
-		Spec:    j.spec,
-		Arch:    arch,
-		Config:  j.snapshot,
-		Blocks:  j.blockTexts(),
-		Skip:    skip.Has,
-		Workers: j.workers,
+	err := m.cluster.Run(ctx, cluster.Job{
+		ID:          j.id,
+		Spec:        j.spec,
+		Arch:        arch,
+		Config:      j.snapshot,
+		Blocks:      j.blockTexts(),
+		Skip:        skip.Has,
+		Workers:     j.workers,
+		Traceparent: traceparent,
 	}, func(res cluster.Result) {
 		j.appendResult(res.CorpusResult, res.Worker)
 		m.persistResult(j, res.CorpusResult)

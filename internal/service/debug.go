@@ -1,0 +1,61 @@
+package service
+
+// Trace inspection endpoints. Finished spans live in a bounded
+// in-process ring (obs.Ring); these handlers are the only way out. They
+// are debugging surface, not an export pipeline: the ring forgets, the
+// JSON is small, and a trace that spans processes (coordinator + worker)
+// is assembled by querying each process for the same trace ID.
+
+import (
+	"net/http"
+	"strings"
+
+	"github.com/comet-explain/comet/internal/obs"
+)
+
+// handleTraces serves GET /debug/traces: recently finished traces, most
+// recent first, capped by ?limit= (default 100).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if !s.tracer.Enabled() {
+		writeError(w, http.StatusNotFound, "tracing is disabled (trace sample rate < 0)")
+		return
+	}
+	limit, err := queryInt(r, "limit", 100)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	traces := s.tracer.Ring().Traces(limit)
+	if traces == nil {
+		traces = []obs.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": traces})
+}
+
+// handleTrace serves GET /debug/traces/{id}: every span the ring still
+// holds for one trace, oldest first.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if !s.tracer.Enabled() {
+		writeError(w, http.StatusNotFound, "tracing is disabled (trace sample rate < 0)")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "no such trace")
+		return
+	}
+	spans := s.tracer.Ring().Trace(id)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "no spans recorded for trace %q (the ring is bounded; old traces age out)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"trace_id": id, "spans": spans})
+}

@@ -6,13 +6,16 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/comet-explain/comet/internal/bitset"
 	"github.com/comet-explain/comet/internal/cluster"
 	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/obs"
 	"github.com/comet-explain/comet/internal/persist"
 	"github.com/comet-explain/comet/internal/wire"
 	"github.com/comet-explain/comet/internal/x86"
@@ -57,6 +60,11 @@ type job struct {
 	// million-block corpus never buffers its full result set.
 	streamOnly bool
 	ringCap    int
+	// trace is the span context of the accepting POST /v1/corpus request;
+	// the job's async execution resumes it, so submission, execution, and
+	// every worker lease share one trace ID. Zero for restored jobs (their
+	// originating request died with the previous process).
+	trace obs.SpanContext
 
 	mu      sync.Mutex
 	state   string
@@ -248,6 +256,12 @@ type jobManager struct {
 	// identical bytes.
 	cluster *cluster.Coordinator
 
+	// tracer, log, and metrics are injected by the server; all are
+	// optional (nil tracer records nothing, nil log stays silent).
+	tracer  *obs.Tracer
+	log     *slog.Logger
+	metrics *metrics
+
 	queued  atomic.Int64 // jobs waiting in the queue
 	running atomic.Int64 // jobs currently executing
 }
@@ -373,6 +387,34 @@ func (m *jobManager) run(j *job) {
 	m.running.Add(1)
 	defer m.running.Add(-1)
 
+	// Resume the trace of the request that submitted the job: the
+	// accepting span ended when the 202 was written, and this span picks
+	// the trace back up for the async half. Everything the job does —
+	// local explanation stages, cluster lease dispatches, worker-side
+	// shard handling — parents under it.
+	start := time.Now()
+	ctx, span := m.tracer.Resume(m.ctx, "job.run", j.trace)
+	span.Set("job_id", j.id)
+	defer func() {
+		j.mu.Lock()
+		state, done, failed := j.state, j.done, j.failed
+		j.mu.Unlock()
+		span.Set("state", state)
+		span.SetInt("done", int64(done))
+		span.SetInt("failed", int64(failed))
+		span.End()
+		if m.log != nil {
+			m.log.LogAttrs(context.Background(), slog.LevelInfo, "job finished",
+				slog.String("job_id", j.id),
+				slog.String("spec", j.spec),
+				slog.String("state", state),
+				slog.Int("done", done),
+				slog.Int("failed", failed),
+				slog.Duration("elapsed", time.Since(start)),
+				obs.TraceAttr(j.trace.Trace))
+		}
+	}()
+
 	j.mu.Lock()
 	if m.ctx.Err() != nil {
 		j.state = wire.JobCanceled
@@ -396,7 +438,7 @@ func (m *jobManager) run(j *job) {
 	// byte-identical to either pure path. Only shutdown ends the job
 	// with blocks missing.
 	if m.cluster != nil {
-		err := m.runCluster(j)
+		err := m.runCluster(ctx, j)
 		if err == nil || m.ctx.Err() != nil {
 			m.finalize(j)
 			return
@@ -419,9 +461,12 @@ func (m *jobManager) run(j *job) {
 	}
 	for res := range explainer.ExplainAll(j.blocks, core.CorpusOptions{
 		Workers: j.workers,
-		Context: m.ctx,
+		Context: ctx,
 		Skip:    skip.Has,
 	}) {
+		if res.Explanation != nil && res.Explanation.Profile != nil && m.metrics != nil {
+			m.metrics.observeExplanation(j.spec, res.Explanation.Profile.Total.Seconds())
+		}
 		wres := wire.FromCorpusResult(res)
 		j.appendResult(wres, worker)
 		// Each result is one all-or-nothing store append (survives

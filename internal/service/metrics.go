@@ -10,15 +10,27 @@ import (
 )
 
 // metrics is cometd's stdlib-only instrumentation: request counters by
-// (route, status), per-route latency histograms, and service-level
-// counters (coalesced requests, result-store hits). Everything renders in
-// the Prometheus text exposition format on GET /metrics; gauges sourced
-// from live structures (queue depth, cache stats, job states) are appended
-// by the server at render time.
+// (route, status), per-route latency histograms, per-spec explanation
+// latency histograms, and service-level counters (coalesced requests,
+// result-store hits). Everything renders in the Prometheus text
+// exposition format on GET /metrics; gauges sourced from live structures
+// (queue depth, cache stats, job states, runtime) are appended by the
+// server at render time.
+//
+// The request hot path is allocation- and lock-free: routes are
+// registered once at mux wiring time, each holding a fixed array of
+// per-status atomic counters, so observe is two atomic adds and a bucket
+// search — no fmt, no map, no mutex. (The previous implementation built
+// a "route|code" key with fmt.Sprintf under a global mutex per request,
+// which was measurable at the binary warm path's request rates.)
 type metrics struct {
-	mu       sync.Mutex
-	requests map[string]*atomic.Uint64 // "route|code" → count
-	latency  map[string]*histogram     // route → histogram
+	mu     sync.Mutex
+	routes []*routeStats // registration order; sorted at render
+
+	// specLatency maps model spec → *histogram of computed-explanation
+	// wall times. Entries are created on first computation for a spec;
+	// cardinality is bounded by the model registry's entry cap.
+	specLatency sync.Map
 
 	coalesced       atomic.Uint64 // explain requests served by single-flight
 	resultStoreHits atomic.Uint64 // explain requests served by the LRU store
@@ -34,29 +46,55 @@ type metrics struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{
-		requests: make(map[string]*atomic.Uint64),
-		latency:  make(map[string]*histogram),
-	}
+	return &metrics{}
 }
 
-// observe records one finished request.
-func (m *metrics) observe(route string, code int, seconds float64) {
-	key := fmt.Sprintf("%s|%d", route, code)
+// routeStats holds one route's pre-registered counters. Status codes
+// index a fixed array (100–599), so recording a request touches no
+// shared lock and allocates nothing.
+type routeStats struct {
+	name    string
+	codes   [500]atomic.Uint64 // status code − 100
+	latency histogram
+}
+
+// route registers (or returns) the stats slot for a route name. Called
+// once per route when the mux is wired, never on the request path.
+func (m *metrics) route(name string) *routeStats {
 	m.mu.Lock()
-	c, ok := m.requests[key]
-	if !ok {
-		c = &atomic.Uint64{}
-		m.requests[key] = c
+	defer m.mu.Unlock()
+	for _, rs := range m.routes {
+		if rs.name == name {
+			return rs
+		}
 	}
-	h, ok := m.latency[route]
-	if !ok {
-		h = newHistogram()
-		m.latency[route] = h
+	rs := &routeStats{name: name}
+	rs.latency.init(latencyBounds)
+	m.routes = append(m.routes, rs)
+	return rs
+}
+
+// observe records one finished request: two atomic adds plus the
+// histogram's bucket add.
+func (rs *routeStats) observe(code int, seconds float64) {
+	if code < 100 || code >= 600 {
+		code = 599 // never drop a sample; 599 is the "invalid status" bucket
 	}
-	m.mu.Unlock()
-	c.Add(1)
-	h.observe(seconds)
+	rs.codes[code-100].Add(1)
+	rs.latency.observe(seconds)
+}
+
+// observeExplanation records one computed explanation's wall time under
+// its model spec. The sync.Map lookup is lock-free after the first
+// computation for a spec.
+func (m *metrics) observeExplanation(spec string, seconds float64) {
+	v, ok := m.specLatency.Load(spec)
+	if !ok {
+		h := &histogram{}
+		h.init(latencyBounds)
+		v, _ = m.specLatency.LoadOrStore(spec, h)
+	}
+	v.(*histogram).observe(seconds)
 }
 
 // gauge is one extra sample appended by the server at render time.
@@ -67,38 +105,45 @@ type gauge struct {
 }
 
 // render writes the exposition text. Extra gauges come from the server
-// (queue depth, prediction-cache stats, job states, store sizes).
+// (queue depth, prediction-cache stats, job states, store sizes,
+// runtime).
 func (m *metrics) render(sb *strings.Builder, extra []gauge) {
 	m.mu.Lock()
-	reqKeys := make([]string, 0, len(m.requests))
-	for k := range m.requests {
-		reqKeys = append(reqKeys, k)
-	}
-	latKeys := make([]string, 0, len(m.latency))
-	for k := range m.latency {
-		latKeys = append(latKeys, k)
-	}
+	routes := append([]*routeStats(nil), m.routes...)
 	m.mu.Unlock()
-	sort.Strings(reqKeys)
-	sort.Strings(latKeys)
+	sort.Slice(routes, func(i, j int) bool { return routes[i].name < routes[j].name })
 
 	sb.WriteString("# HELP comet_requests_total HTTP requests served, by route and status code.\n")
 	sb.WriteString("# TYPE comet_requests_total counter\n")
-	for _, k := range reqKeys {
-		route, code, _ := strings.Cut(k, "|")
-		m.mu.Lock()
-		c := m.requests[k]
-		m.mu.Unlock()
-		fmt.Fprintf(sb, "comet_requests_total{route=%q,code=%q} %d\n", route, code, c.Load())
+	for _, rs := range routes {
+		for i := range rs.codes {
+			if n := rs.codes[i].Load(); n > 0 {
+				fmt.Fprintf(sb, "comet_requests_total{route=%q,code=\"%d\"} %d\n", rs.name, i+100, n)
+			}
+		}
 	}
 
 	sb.WriteString("# HELP comet_request_seconds Request latency, by route.\n")
 	sb.WriteString("# TYPE comet_request_seconds histogram\n")
-	for _, route := range latKeys {
-		m.mu.Lock()
-		h := m.latency[route]
-		m.mu.Unlock()
-		h.render(sb, "comet_request_seconds", fmt.Sprintf("route=%q", route))
+	for _, rs := range routes {
+		if rs.latency.count.Load() > 0 {
+			rs.latency.render(sb, "comet_request_seconds", fmt.Sprintf("route=%q", rs.name))
+		}
+	}
+
+	var specs []string
+	m.specLatency.Range(func(k, _ any) bool {
+		specs = append(specs, k.(string))
+		return true
+	})
+	if len(specs) > 0 {
+		sort.Strings(specs)
+		sb.WriteString("# HELP comet_explanation_seconds Computed-explanation wall time, by model spec (cache hits excluded).\n")
+		sb.WriteString("# TYPE comet_explanation_seconds histogram\n")
+		for _, spec := range specs {
+			v, _ := m.specLatency.Load(spec)
+			v.(*histogram).render(sb, "comet_explanation_seconds", fmt.Sprintf("spec=%q", spec))
+		}
 	}
 
 	fmt.Fprintf(sb, "# HELP comet_explain_coalesced_total Explain requests coalesced onto an identical in-flight computation.\n")
@@ -157,32 +202,35 @@ func (m *metrics) render(sb *strings.Builder, extra []gauge) {
 }
 
 // histogram is a fixed-bucket latency histogram with atomic counters.
+// The sum is an atomic float (CAS over its bits), so observe never takes
+// a lock.
 type histogram struct {
-	bounds []float64 // upper bounds in seconds; +Inf implied
-	counts []atomic.Uint64
-	sumMu  sync.Mutex
-	sum    float64
-	count  atomic.Uint64
+	bounds  []float64 // upper bounds in seconds; +Inf implied
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
 }
 
 // Latency buckets from 1ms to ~2min; explanations of big blocks on slow
 // models legitimately take seconds.
 var latencyBounds = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 120}
 
-func newHistogram() *histogram {
-	return &histogram{
-		bounds: latencyBounds,
-		counts: make([]atomic.Uint64, len(latencyBounds)+1),
-	}
+func (h *histogram) init(bounds []float64) {
+	h.bounds = bounds
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
 }
 
 func (h *histogram) observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
-	h.sumMu.Lock()
-	h.sum += v
-	h.sumMu.Unlock()
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 func (h *histogram) render(sb *strings.Builder, name, labels string) {
@@ -193,9 +241,7 @@ func (h *histogram) render(sb *strings.Builder, name, labels string) {
 	}
 	cum += h.counts[len(h.bounds)].Load()
 	fmt.Fprintf(sb, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
-	h.sumMu.Lock()
-	sum := h.sum
-	h.sumMu.Unlock()
+	sum := math.Float64frombits(h.sumBits.Load())
 	fmt.Fprintf(sb, "%s_sum{%s} %s\n", name, labels, formatFloat(sum))
 	fmt.Fprintf(sb, "%s_count{%s} %d\n", name, labels, h.count.Load())
 }

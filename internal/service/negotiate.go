@@ -36,6 +36,12 @@ type cachedExplanation struct {
 	jsonBody []byte
 	binOnce  sync.Once
 	binBody  []byte
+	// profile is the stage profile captured when this explanation was
+	// computed, kept out of expl (and so out of the pre-encoded bodies,
+	// which must stay byte-identical across cache layers) and attached
+	// only to explicit ?profile=1 responses. Nil for explanations
+	// rehydrated from the durable store, which does not record profiles.
+	profile *wire.Profile
 }
 
 func newCachedExplanation(e *wire.Explanation) *cachedExplanation {
@@ -192,4 +198,21 @@ func (s *Server) writeExplanation(w http.ResponseWriter, binResp bool, c *cached
 		return
 	}
 	writeJSON(w, http.StatusOK, c.expl)
+}
+
+// writeExplanationProfile writes a ?profile=1 response: the cached
+// explanation plus its stage profile, stamped with the cache layer that
+// served this request. The body is encoded fresh from a copy — the
+// shared cachedExplanation and its pre-encoded bodies are never mutated,
+// so profile responses cannot leak into the byte-identity guarantees of
+// the plain path.
+func (s *Server) writeExplanationProfile(w http.ResponseWriter, binResp bool, c *cachedExplanation, source string) {
+	clone := *c.expl
+	var p wire.Profile
+	if c.profile != nil {
+		p = *c.profile
+	}
+	p.Source = source
+	clone.Profile = &p
+	writeNegotiated(w, binResp, http.StatusOK, &clone)
 }

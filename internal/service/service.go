@@ -18,6 +18,16 @@
 //	GET  /healthz           liveness
 //	GET  /readyz            readiness (200 only after SetReady: warm-up + Restore done)
 //	GET  /metrics           Prometheus text metrics
+//	GET  /debug/traces      recently finished traces, most recent first (?limit=)
+//	GET  /debug/traces/{id} every recorded span of one trace
+//
+// Every request is assigned (or joins, via an incoming W3C traceparent
+// header) a trace; the trace ID comes back in the X-Comet-Trace-Id
+// response header, sampled traces record per-stage spans into a bounded
+// in-process ring served by /debug/traces, and ?trace=1 or ?profile=1
+// forces sampling for the one request being debugged. ?profile=1 on
+// /v1/explain additionally attaches the per-stage wall-time profile to
+// the response body.
 //
 // Every route speaks JSON by default; /v1/explain, /v1/predict,
 // /v1/shard, and the job stream additionally negotiate the COMET binary
@@ -61,8 +71,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
-	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -72,6 +82,7 @@ import (
 	"github.com/comet-explain/comet/internal/cluster"
 	"github.com/comet-explain/comet/internal/core"
 	"github.com/comet-explain/comet/internal/costmodel"
+	"github.com/comet-explain/comet/internal/obs"
 	"github.com/comet-explain/comet/internal/persist"
 	"github.com/comet-explain/comet/internal/wire"
 	"github.com/comet-explain/comet/internal/x86"
@@ -153,6 +164,18 @@ type Config struct {
 	// Cluster tunes the coordinator's lease scheduler (lease size,
 	// timeouts, retry budget, heartbeat TTL).
 	Cluster cluster.Options
+	// Logger is the root structured logger; the service, cluster, and
+	// persistence layers log through component-tagged children of it
+	// (nil = slog.Default()).
+	Logger *slog.Logger
+	// TraceRingSize bounds the finished-span ring served by
+	// GET /debug/traces (0 = 4096 spans).
+	TraceRingSize int
+	// TraceSample records one in N traces on the hot routes —
+	// /v1/explain, /v1/predict, and the health/metrics probes. Corpus
+	// jobs, shard leases, and cluster operations matter individually and
+	// are always traced. 0 = 64; negative disables tracing entirely.
+	TraceSample int
 }
 
 func (c Config) withDefaults() Config {
@@ -200,6 +223,15 @@ func (c Config) withDefaults() Config {
 	if c.JobCheckpointEvery <= 0 {
 		c.JobCheckpointEvery = 16
 	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.TraceRingSize <= 0 {
+		c.TraceRingSize = 4096
+	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 64
+	}
 	return c
 }
 
@@ -222,6 +254,9 @@ type Server struct {
 	mux         *http.ServeMux
 	store       persist.Store
 	coordinator *cluster.Coordinator
+	tracer      *obs.Tracer
+	log         *slog.Logger // component=service
+	logPersist  *slog.Logger // component=persist
 
 	explainSlots   chan struct{}
 	explainWaiting atomic.Int64
@@ -249,19 +284,27 @@ func New(cfg Config) *Server {
 		explainSlots: make(chan struct{}, cfg.MaxConcurrentExplains),
 		ctx:          ctx,
 		cancel:       cancel,
+		log:          obs.Component(cfg.Logger, "service"),
+		logPersist:   obs.Component(cfg.Logger, "persist"),
 	}
+	sampleN := uint64(cfg.TraceSample)
+	if cfg.TraceSample < 0 {
+		sampleN = 0
+	}
+	s.tracer = obs.NewTracer(cfg.TraceRingSize, sampleN)
 	if cfg.Coordinator || len(cfg.ClusterWorkers) > 0 {
 		copts := cfg.Cluster
-		if copts.Logf == nil {
-			copts.Logf = func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "comet-serve: cluster: "+format+"\n", args...)
-			}
+		if copts.Log == nil {
+			copts.Log = obs.Component(cfg.Logger, "cluster")
 		}
 		s.coordinator = cluster.New(cluster.NewPool(cfg.ClusterWorkers, copts), copts)
 	}
 	s.jobs = newJobManager(ctx, cfg.JobWorkers, cfg.JobQueueDepth, cfg.JobHistorySize,
 		cfg.JobCheckpointEvery, cfg.Store, s.storeError)
 	s.jobs.cluster = s.coordinator
+	s.jobs.tracer = s.tracer
+	s.jobs.log = s.log
+	s.jobs.metrics = s.metrics
 	// Client-initiated model warm-ups (training, remote handshakes) share
 	// the explain concurrency budget instead of running unbounded.
 	s.models.warmGate = func() (func(), error) {
@@ -284,6 +327,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/debug/traces", s.instrument("debug", s.handleTraces))
+	s.mux.HandleFunc("/debug/traces/", s.instrument("debug", s.handleTrace))
 	return s
 }
 
@@ -332,14 +377,74 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.jobs.shutdown(ctx)
 }
 
-// instrument wraps a handler with request counting and latency recording.
+// sampledRoutes are the routes traced at the configured 1-in-N rate:
+// high-volume request paths and the probes load balancers hammer. Every
+// other route (corpus jobs, shard leases, cluster management) matters
+// individually and is always traced.
+var sampledRoutes = map[string]bool{
+	"explain": true, "predict": true,
+	"healthz": true, "readyz": true, "metrics": true, "debug": true,
+}
+
+// instrument wraps a handler with the per-request observability stack:
+// trace extraction/minting (W3C traceparent in, X-Comet-Trace-Id out), a
+// root span for sampled traces, lock-free request counting and latency
+// recording, and a structured request log line. The route's stats slot
+// and span name are resolved once at wiring time; an unsampled request
+// pays two atomic adds, a histogram bucket, and one response header.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	rs := s.metrics.route(route)
+	spanName := "http." + route
+	force := !sampledRoutes[route]
+	logLevel := slog.LevelInfo
+	if sampledRoutes[route] {
+		// Hot routes and probes log per-request lines only at debug;
+		// anything rarer is worth a line at the default level.
+		logLevel = slog.LevelDebug
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		var parent obs.SpanContext
+		if tp := r.Header.Get("Traceparent"); tp != "" {
+			parent, _ = obs.ParseTraceparent(tp)
+		}
+		ctx, span, trace := s.tracer.StartRoot(r.Context(), spanName, parent, force || forcedTrace(r))
+		if !trace.IsZero() {
+			w.Header().Set("X-Comet-Trace-Id", trace.String())
+		}
+		if span != nil {
+			r = r.WithContext(ctx)
+		}
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
-		s.metrics.observe(route, rec.code, time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		rs.observe(rec.code, elapsed.Seconds())
+		if span != nil {
+			span.Set("method", r.Method)
+			span.SetInt("status", int64(rec.code))
+			span.End()
+		}
+		if s.log.Enabled(r.Context(), logLevel) {
+			s.log.LogAttrs(r.Context(), logLevel, "request",
+				slog.String("route", route),
+				slog.String("method", r.Method),
+				slog.Int("status", rec.code),
+				slog.Duration("elapsed", elapsed),
+				obs.TraceAttr(trace))
+		}
 	}
+}
+
+// forcedTrace reports whether the request explicitly asked to be traced:
+// ?trace=1 forces sampling, and ?profile=1 implies it (a profile without
+// its trace is half an answer). The query string is only parsed when one
+// is present, so the hot path never pays for it.
+func forcedTrace(r *http.Request) bool {
+	if r.URL.RawQuery == "" {
+		return false
+	}
+	q := r.URL.Query()
+	return q.Get("trace") == "1" || q.Get("profile") == "1"
 }
 
 type statusRecorder struct {
@@ -446,11 +551,11 @@ func (s *Server) persistPut(key wire.ContentID, spec string, snap wire.ConfigSna
 	}
 }
 
-// storeError counts a durable-store failure. The store is an
+// storeError counts and logs a durable-store failure. The store is an
 // accelerator, not a dependency: requests and jobs proceed without it.
 func (s *Server) storeError(err error) {
 	s.metrics.storeErrors.Add(1)
-	fmt.Fprintf(os.Stderr, "comet-serve: durable store: %v\n", err)
+	s.logPersist.Error("durable store failure", "error", err)
 }
 
 // handleExplain serves POST /v1/explain on either wire format. A
@@ -469,6 +574,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeErrorNeg(w, binResp, http.StatusServiceUnavailable, "%v", errDraining)
 		return
 	}
+	// ?profile=1 attaches the per-stage wall-time profile to the response
+	// (computed or cached); the query string is only parsed when present,
+	// so the hot path never pays for it.
+	profileReq := false
+	if r.URL.RawQuery != "" {
+		profileReq = r.URL.Query().Get("profile") == "1"
+	}
+	span := obs.SpanFromContext(r.Context())
 	var req wire.ExplainRequest
 	var ikey wire.ContentID
 	interned := false
@@ -483,6 +596,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			wire.PutBuffer(buf)
 			s.metrics.internHits.Add(1)
 			s.metrics.resultStoreHits.Add(1)
+			span.Set("source", "intern")
+			if profileReq {
+				s.writeExplanationProfile(w, binResp, c, "intern")
+				return
+			}
 			s.writeExplanation(w, binResp, c)
 			return
 		}
@@ -521,20 +639,33 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	cfg := core.ApplyOptions(s.cfg.Base, opts...)
 	snap := wire.SnapshotConfig(cfg)
 	key := explainKey(entry, snap, block.String())
+	if span != nil {
+		span.Set("spec", entry.specString())
+		span.Set("content_id", key.Hex())
+	}
 
-	finish := func(c *cachedExplanation) {
+	finish := func(c *cachedExplanation, source string) {
+		span.Set("source", source)
 		if interned {
 			s.intern.put(ikey, c)
+		}
+		if profileReq {
+			s.writeExplanationProfile(w, binResp, c, source)
+			return
 		}
 		s.writeExplanation(w, binResp, c)
 	}
 	if c, ok := s.results.get(key); ok {
 		s.metrics.resultStoreHits.Add(1)
-		finish(c)
+		finish(c, "result-store")
 		return
 	}
-	if c, ok := s.persistLookup(key); ok {
-		finish(c)
+	_, lspan := obs.StartSpan(r.Context(), "svc.persist_lookup")
+	c, lookupHit := s.persistLookup(key)
+	lspan.SetBool("hit", lookupHit)
+	lspan.End()
+	if lookupHit {
+		finish(c, "persist")
 		return
 	}
 
@@ -549,26 +680,46 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		// The flight is shared by every coalesced caller, so its slot wait
 		// and computation are bound to the server's lifetime (s.ctx), not
 		// the originating request's context — one client disconnecting must
-		// not fail the followers.
+		// not fail the followers. It does inherit the first caller's trace:
+		// the computation is that request's most interesting part.
 		if err := s.acquireExplainSlot(); err != nil {
 			return nil, err
 		}
 		defer s.releaseExplainSlot()
-		explainer := core.NewExplainerWithCache(entry.model, s.cfg.Base, entry.cache)
-		expl, err := explainer.ExplainContext(s.ctx, block, opts...)
+		cctx := s.ctx
+		var cspan *obs.Span
+		if span != nil {
+			cctx, cspan = obs.StartSpan(obs.ContextWithSpan(s.ctx, span), "svc.compute")
+			defer cspan.End()
+		}
+		explainer := core.NewExplainerWithCache(traceModel(cctx, entry.model), s.cfg.Base, entry.cache)
+		computeStart := time.Now()
+		expl, err := explainer.ExplainContext(cctx, block, opts...)
 		if err != nil {
+			cspan.SetErr(err)
 			return nil, err
 		}
+		elapsed := time.Since(computeStart)
 		s.metrics.explanations.Add(1)
+		s.metrics.observeExplanation(entry.specString(), elapsed.Seconds())
 		c := newCachedExplanation(wire.FromExplanation(expl))
+		c.profile = wire.FromProfile(expl.Profile)
 		s.results.put(key, c)
 		s.persistPut(key, entry.specString(), snap, c.expl)
+		if s.log.Enabled(cctx, slog.LevelDebug) {
+			s.log.LogAttrs(cctx, slog.LevelDebug, "explanation computed",
+				slog.String("spec", entry.specString()),
+				slog.String("content_id", key.Hex()),
+				slog.Duration("elapsed", elapsed),
+				obs.TraceAttr(cspan.TraceID()))
+		}
 		return c, nil
 	})
 	if shared {
 		s.metrics.coalesced.Add(1)
 	}
 	if err != nil {
+		span.SetErr(err)
 		switch {
 		case errors.Is(err, errOverloaded):
 			s.writeErrorNeg(w, binResp, http.StatusTooManyRequests, "%v", err)
@@ -579,7 +730,32 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	finish(val.(*cachedExplanation))
+	source := "computed"
+	if shared {
+		source = "coalesced"
+	}
+	finish(val.(*cachedExplanation), source)
+}
+
+// traceparentCarrier is implemented by models that can propagate a trace
+// across their backend hop (remote.Model). WithTraceparent returns a
+// per-request shallow copy; the shared registry model is never mutated.
+type traceparentCarrier interface {
+	WithTraceparent(tp string) costmodel.Model
+}
+
+// traceModel wraps model with the active trace's propagation header when
+// the model supports it, so a sampled request chains into one trace
+// across every comet-serve a remote@url model fans out to.
+func traceModel(ctx context.Context, model costmodel.Model) costmodel.Model {
+	sc := obs.ContextSpanContext(ctx)
+	if sc.IsZero() {
+		return model
+	}
+	if tc, ok := model.(traceparentCarrier); ok {
+		return tc.WithTraceparent(sc.Traceparent())
+	}
+	return model
 }
 
 // lookupModel resolves a request's model spec (falling back to the
@@ -698,6 +874,14 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		j.streamOnly = true
 		j.ringCap = s.cfg.StreamRingSize
 	}
+	// The accepting request's span context rides on the job so its async
+	// execution — and every worker lease it fans out to — shares this
+	// trace ID (corpus is a force-sampled route).
+	j.trace = obs.ContextSpanContext(r.Context())
+	if span := obs.SpanFromContext(r.Context()); span != nil {
+		span.Set("spec", j.spec)
+		span.SetInt("blocks", int64(len(blocks)))
+	}
 	if err := s.jobs.submit(j); err != nil {
 		switch {
 		case errors.Is(err, errQueueFull):
@@ -707,6 +891,9 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	s.log.Info("corpus job accepted",
+		"job_id", j.id, "spec", j.spec, "blocks", len(blocks),
+		obs.TraceAttr(j.trace.Trace))
 	writeJSON(w, http.StatusAccepted, wire.JobAccepted{ID: j.id, State: wire.JobQueued, Total: len(blocks)})
 }
 
@@ -787,11 +974,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves GET /metrics in the Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var sb strings.Builder
+	// Runtime health is sampled at render time — gauges cost their reader,
+	// not the request path.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	extra := []gauge{
 		{name: "comet_explain_inflight", value: float64(len(s.explainSlots))},
 		{name: "comet_explain_waiting", value: float64(s.explainWaiting.Load())},
 		{name: "comet_result_store_entries", value: float64(s.results.len())},
 		{name: "comet_intern_entries", value: float64(s.intern.len())},
+		{name: "comet_goroutines", value: float64(runtime.NumGoroutine())},
+		{name: "comet_heap_bytes", value: float64(ms.HeapAlloc)},
+		{name: "comet_gc_pause_seconds_total", value: float64(ms.PauseTotalNs) / 1e9},
+		{name: "comet_gc_cycles_total", value: float64(ms.NumGC)},
 	}
 	extra = append(extra, s.jobs.gauges()...)
 	extra = append(extra, s.models.cacheGauges()...)

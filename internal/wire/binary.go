@@ -25,7 +25,20 @@ import (
 
 // BinaryVersion is the current binary message version. Decoders reject
 // versions they don't understand instead of guessing.
-const BinaryVersion = 1
+//
+// Version history:
+//
+//	1 — initial codec (PR 6).
+//	2 — Explanation gained an optional trailing Profile (bool-prefixed,
+//	    like ConfigOverrides). Encoders always emit version 2; the decoder
+//	    still accepts version 1, whose explanations simply carry no
+//	    profile — so a new coordinator reads old workers' frames, while an
+//	    old peer rejecting version 2 triggers the existing per-worker JSON
+//	    downgrade.
+const BinaryVersion = 2
+
+// binaryVersionV1 is the oldest version the decoder accepts.
+const binaryVersionV1 = 1
 
 // Binary message kinds.
 const (
@@ -108,11 +121,11 @@ func DecodeBinaryPayload(payload []byte) (any, error) {
 	if len(payload) < 2 {
 		return nil, fmt.Errorf("wire: binary message of %d bytes is shorter than its 2-byte prologue", len(payload))
 	}
-	if payload[0] != BinaryVersion {
+	if payload[0] < binaryVersionV1 || payload[0] > BinaryVersion {
 		return nil, fmt.Errorf("wire: unsupported binary message version %d", payload[0])
 	}
 	kind := payload[1]
-	d := &bdec{buf: payload, off: 2}
+	d := &bdec{buf: payload, off: 2, ver: payload[0]}
 	var msg any
 	switch kind {
 	case msgExplanation:
@@ -172,6 +185,7 @@ func appendBool(dst []byte, v bool) []byte {
 type bdec struct {
 	buf []byte
 	off int
+	ver byte // message version; gates fields added after version 1
 	err error
 }
 
@@ -303,7 +317,45 @@ func appendExplanation(dst []byte, e *Explanation) []byte {
 	dst = appendBool(dst, e.Certified)
 	dst = appendInt(dst, e.Queries)
 	dst = appendInt(dst, e.CacheHits)
-	return appendInt(dst, e.ModelCalls)
+	dst = appendInt(dst, e.ModelCalls)
+	// Version 2: optional trailing profile.
+	dst = appendBool(dst, e.Profile != nil)
+	if e.Profile != nil {
+		dst = appendProfile(dst, e.Profile)
+	}
+	return dst
+}
+
+func appendProfile(dst []byte, p *Profile) []byte {
+	dst = appendStr(dst, p.Source)
+	dst = appendI64(dst, p.SetupUS)
+	dst = appendI64(dst, p.SearchUS)
+	dst = appendI64(dst, p.ModelUS)
+	dst = appendI64(dst, p.PrecisionUS)
+	dst = appendI64(dst, p.CoverageUS)
+	dst = appendI64(dst, p.StoreUS)
+	dst = appendI64(dst, p.TotalUS)
+	dst = appendInt(dst, p.Queries)
+	dst = appendInt(dst, p.CacheHits)
+	dst = appendInt(dst, p.ModelCalls)
+	return appendInt(dst, p.Batches)
+}
+
+func decodeProfile(d *bdec) *Profile {
+	p := &Profile{}
+	p.Source = d.str()
+	p.SetupUS = d.varint()
+	p.SearchUS = d.varint()
+	p.ModelUS = d.varint()
+	p.PrecisionUS = d.varint()
+	p.CoverageUS = d.varint()
+	p.StoreUS = d.varint()
+	p.TotalUS = d.varint()
+	p.Queries = d.int_()
+	p.CacheHits = d.int_()
+	p.ModelCalls = d.int_()
+	p.Batches = d.int_()
+	return p
 }
 
 func decodeExplanation(d *bdec) *Explanation {
@@ -324,6 +376,11 @@ func decodeExplanation(d *bdec) *Explanation {
 	e.Queries = d.int_()
 	e.CacheHits = d.int_()
 	e.ModelCalls = d.int_()
+	// Version 1 explanations end here; version 2 appends the optional
+	// profile.
+	if d.ver >= 2 && d.bool_() && d.err == nil {
+		e.Profile = decodeProfile(d)
+	}
 	return e
 }
 

@@ -171,9 +171,40 @@ type Explanation struct {
 	Queries    int        `json:"queries"`
 	CacheHits  int        `json:"cache_hits"`
 	ModelCalls int        `json:"model_calls"`
+	// Profile is the optional per-explanation profile, attached only when
+	// a caller asks for it (?profile=1, comet -profile). It is never set
+	// on corpus results, persisted records, or shard responses: its wall
+	// times are nondeterministic, and those paths are covered by a
+	// byte-identity contract (see FromExplanation).
+	Profile *Profile `json:"profile,omitempty"`
 }
 
-// FromExplanation projects a library explanation onto the wire.
+// Profile breaks one explanation down by pipeline stage: where the wall
+// time went (microseconds), how many model queries it took, and which
+// layer served the request. Source is one of "computed", "coalesced",
+// "result-store", "intern", or "persist" — for anything but "computed"
+// the stage times describe the original computation that produced the
+// cached value, not the serving request.
+type Profile struct {
+	Source      string `json:"source,omitempty"`
+	SetupUS     int64  `json:"setup_us,omitempty"`     // parse, canonicalize, perturbation-space construction
+	SearchUS    int64  `json:"search_us,omitempty"`    // anchors beam search, including its model queries
+	ModelUS     int64  `json:"model_us,omitempty"`     // time inside cost-model batch calls
+	PrecisionUS int64  `json:"precision_us,omitempty"` // final KL-LUCB precision sampling
+	CoverageUS  int64  `json:"coverage_us,omitempty"`  // coverage pool construction and estimate
+	StoreUS     int64  `json:"store_us,omitempty"`     // artifact-store write
+	TotalUS     int64  `json:"total_us,omitempty"`
+	Queries     int    `json:"queries,omitempty"`
+	CacheHits   int    `json:"cache_hits,omitempty"`
+	ModelCalls  int    `json:"model_calls,omitempty"`
+	Batches     int    `json:"batches,omitempty"` // cost-model batch calls issued
+}
+
+// FromExplanation projects a library explanation onto the wire. The
+// engine's profile is deliberately dropped: corpus, cluster, and persist
+// paths all compare results byte-for-byte across runs, and wall times
+// never reproduce. Callers that want the profile attach it explicitly
+// with FromProfile on a fresh copy.
 func FromExplanation(e *core.Explanation) *Explanation {
 	if e == nil {
 		return nil
@@ -214,6 +245,28 @@ func (w *Explanation) Core() (*core.Explanation, error) {
 		CacheHits:  w.CacheHits,
 		ModelCalls: w.ModelCalls,
 	}, nil
+}
+
+// FromProfile projects the engine's stage profile onto the wire with
+// Source "computed".
+func FromProfile(p *core.Profile) *Profile {
+	if p == nil {
+		return nil
+	}
+	return &Profile{
+		Source:      "computed",
+		SetupUS:     p.Setup.Microseconds(),
+		SearchUS:    p.Search.Microseconds(),
+		ModelUS:     p.Model.Microseconds(),
+		PrecisionUS: p.Precision.Microseconds(),
+		CoverageUS:  p.Coverage.Microseconds(),
+		StoreUS:     p.Store.Microseconds(),
+		TotalUS:     p.Total.Microseconds(),
+		Queries:     p.Queries,
+		CacheHits:   p.CacheHits,
+		ModelCalls:  p.ModelCalls,
+		Batches:     p.Batches,
+	}
 }
 
 // CorpusResult is the wire form of one corpus outcome: exactly one of
