@@ -30,7 +30,7 @@ test-race:
 # server mid-corpus-job and asserts the restarted server resumes it with
 # byte-identical results.
 test-e2e:
-	COMET_E2E_STORE_DIR=$(E2E_STORE_DIR) $(GO) test -race -run 'TestServeEndToEnd|TestServeKillResumeByteIdentical' -v ./cmd/comet-serve
+	COMET_E2E_STORE_DIR=$(E2E_STORE_DIR) $(GO) test -race -run 'TestServeEndToEnd|TestServeKillResumeByteIdentical|TestServeIngestELF' -v ./cmd/comet-serve
 
 # Cluster e2e: a coordinator shards a corpus job across two real worker
 # processes; one worker is SIGKILLed mid-lease and the coordinator is
@@ -87,6 +87,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBinary$$' -fuzztime=30s ./internal/wire
 	$(GO) test -run='^$$' -fuzz='^FuzzScanFrames$$' -fuzztime=30s ./internal/wire
 	$(GO) test -run='^$$' -fuzz='^FuzzWireJSON$$' -fuzztime=30s ./internal/wire
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeX86$$' -fuzztime=30s ./internal/x86/decode
 
 lint: fmt-check vet staticcheck
 

@@ -2,10 +2,19 @@
 // one object per block with its assembly text, category, source, and
 // per-microarchitecture throughput labels.
 //
+// The extract subcommand instead harvests real basic blocks from an
+// x86-64 ELF binary and writes them as a "---"-separated corpus file —
+// the format `comet -corpus` and POST /v1/corpus consume — with
+// provenance comments (`# func:sym file:line addr:0x...`) above each
+// block. Extraction is deterministic and deduplicated by canonical
+// block text.
+//
 // Example:
 //
 //	comet-dataset -n 500 -seed 7 > blocks.jsonl
 //	comet-dataset -n 100 -category Vector -min 4 -max 10
+//	comet-dataset extract /usr/bin/true > corpus.txt
+//	comet-dataset extract -o corpus.txt -max-block-len 16 ./a.out
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"strings"
 
 	"github.com/comet-explain/comet"
+	"github.com/comet-explain/comet/internal/ingest"
 )
 
 type record struct {
@@ -27,6 +37,10 @@ type record struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "extract" {
+		runExtract(os.Args[2:])
+		return
+	}
 	var (
 		n        = flag.Int("n", 200, "number of blocks")
 		seed     = flag.Int64("seed", 1, "generation seed")
@@ -80,6 +94,44 @@ func parseCategory(name string) (comet.BlockCategory, error) {
 		}
 	}
 	return 0, fmt.Errorf("unknown category %q", name)
+}
+
+// runExtract implements `comet-dataset extract [-o FILE] [-max-block-len N] BINARY`.
+func runExtract(args []string) {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	out := fs.String("o", "", "output corpus file (default: stdout)")
+	maxLen := fs.Int("max-block-len", 0, "flush blocks after N instructions (0 = default 32)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: comet-dataset extract [-o FILE] [-max-block-len N] BINARY")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	res, err := ingest.ExtractFile(fs.Arg(0), ingest.Options{MaxBlockLen: *maxLen})
+	if err != nil {
+		fatal(err)
+	}
+	if len(res.Blocks) == 0 {
+		fatal(fmt.Errorf("%s contains no supported basic blocks (%s)", fs.Arg(0), res.Stats))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ingest.WriteCorpus(w, res.Blocks); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "comet-dataset: extracted %s: %s\n", fs.Arg(0), res.Stats)
 }
 
 func fatal(err error) {

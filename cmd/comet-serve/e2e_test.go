@@ -310,6 +310,133 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServeIngestELF is the ingestion byte-identity criterion (make
+// test-e2e): uploading an x86-64 ELF binary to a live comet-serve and
+// extracting the same binary client-side with `comet -corpus elf:`
+// produce byte-identical per-block explanations (cache accounting
+// aside), each through its own content-addressed store.
+func TestServeIngestELF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping e2e ingestion test in -short mode")
+	}
+	storeRoot := os.Getenv("COMET_E2E_STORE_DIR")
+	if storeRoot == "" {
+		storeRoot = t.TempDir()
+	}
+	serveStore := filepath.Join(storeRoot, "ingest-serve")
+	cliStore := filepath.Join(storeRoot, "ingest-cli")
+	for _, dir := range []string{serveStore, cliStore} {
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fixture, err := filepath.Abs("../../internal/ingest/testdata/fixture.elf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	elfData, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Server side: upload the binary; the server extracts its blocks and
+	// runs them as an ordinary corpus job. Every config knob that feeds
+	// the explanation is pinned so the CLI run below can match it.
+	p := startServe(t, buildServe(t),
+		"-addr", "127.0.0.1:0",
+		"-store-dir", serveStore,
+		"-drain-timeout", "30s",
+	)
+	resp, err := http.Post(
+		p.base+"/v1/corpus?model=uica&arch=hsw&seed=1&coverage=150&workers=1",
+		"application/x-elf", bytes.NewReader(elfData))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	var acc wire.JobAccepted
+	err = json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("upload: status %d, decode err %v", resp.StatusCode, err)
+	}
+	st := waitJobDone(t, p.base, acc.ID, 4*time.Minute)
+	if st.State != wire.JobDone || st.Failed != 0 || st.Done == 0 {
+		t.Fatalf("upload job did not complete cleanly: %+v\nstderr:\n%s", st, p.stderr.String())
+	}
+
+	// CLI side: the real comet binary extracts the same ELF itself.
+	// -store pins sampling parallelism to 1 (matching the server);
+	// -batch 64 matches the server's base batch size.
+	cometBin := filepath.Join(t.TempDir(), "comet")
+	build := exec.Command("go", "build", "-race", "-o", cometBin, "../comet")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building comet: %v\n%s", err, out)
+	}
+	cli := exec.Command(cometBin,
+		"-model", "uica", "-arch", "hsw",
+		"-corpus", "elf:"+fixture, "-json",
+		"-seed", "1", "-coverage-samples", "150",
+		"-workers", "1", "-batch", "64",
+		"-store", cliStore,
+	)
+	var cliOut, cliErr bytes.Buffer
+	cli.Stdout, cli.Stderr = &cliOut, &cliErr
+	if err := cli.Run(); err != nil {
+		t.Fatalf("comet -corpus elf: %v\nstderr:\n%s", err, cliErr.String())
+	}
+	var cliResults []wire.CorpusResult
+	dec := json.NewDecoder(&cliOut)
+	for dec.More() {
+		var r wire.CorpusResult
+		if err := dec.Decode(&r); err != nil {
+			t.Fatalf("decoding CLI output: %v", err)
+		}
+		cliResults = append(cliResults, r)
+	}
+	if len(cliResults) != len(st.Results) {
+		t.Fatalf("CLI extracted %d blocks, server extracted %d", len(cliResults), len(st.Results))
+	}
+
+	// Byte identity per block index, cache-warmth accounting aside.
+	normalize := func(results []wire.CorpusResult) map[int][]byte {
+		m := make(map[int][]byte, len(results))
+		for _, r := range results {
+			if r.Explanation == nil {
+				t.Fatalf("result %d has no explanation: error %q", r.Index, r.Error)
+			}
+			e := *r.Explanation
+			e.CacheHits, e.ModelCalls = 0, 0
+			b, err := json.Marshal(&e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m[r.Index] = b
+		}
+		return m
+	}
+	got, want := normalize(cliResults), normalize(st.Results)
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("block %d: CLI explanation differs from server upload:\n   cli %s\nserver %s", i, got[i], want[i])
+		}
+	}
+
+	// Graceful exit leaves the server store clean.
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-p.exited:
+		if err != nil {
+			t.Fatalf("server exited uncleanly: %v\n%s", err, p.stderr.String())
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}
+
 // TestServeKillResumeByteIdentical is the durability acceptance
 // criterion: a comet-serve SIGKILLed mid-corpus-job and restarted with
 // the same -store-dir resumes the job under its original ID and produces

@@ -6,7 +6,13 @@
 //
 //	POST /v1/explain        explain one block synchronously
 //	POST /v1/predict        batch cost-model queries (remote-model backend)
-//	POST /v1/corpus         submit an asynchronous corpus job
+//	POST /v1/corpus         submit an asynchronous corpus job (JSON body, or an
+//	                        x86-64 ELF upload — Content-Type application/x-elf,
+//	                        application/octet-stream, or multipart/form-data —
+//	                        whose basic blocks are extracted server-side;
+//	                        ?model=&arch=&workers=&stream=&seed=&coverage=
+//	                        &epsilon=&batch= parameterize uploads, and bodies
+//	                        over -max-upload-bytes are refused with 413)
 //	GET  /v1/jobs           list every known job (including restored ones)
 //	GET  /v1/jobs/{id}      poll a job (?offset=&limit= paginate results)
 //	GET  /v1/models         registered model specs + default configs
@@ -98,6 +104,7 @@ func main() {
 		jobWorkers   = flag.Int("job-workers", 1, "corpus jobs executing concurrently")
 		jobQueue     = flag.Int("job-queue", 16, "queued corpus jobs before 429")
 		maxCorpus    = flag.Int("max-corpus-blocks", 10000, "largest corpus a single job may carry")
+		maxUpload    = flag.Int64("max-upload-bytes", 0, "largest binary accepted by the POST /v1/corpus upload mode before 413 (0 = 64 MiB)")
 		resultStore  = flag.Int("result-store", 1024, "explanation LRU result-store entries")
 		internSize   = flag.Int("intern-size", 0, "interned binary-request entries: identical frame bodies answered without decoding (0 = result-store size)")
 		streamRing   = flag.Int("stream-ring", 0, "results retained for catch-up reads per stream-only corpus job; a reader further behind gets a lag error (0 = 4096)")
@@ -177,6 +184,7 @@ func main() {
 		JobWorkers:            *jobWorkers,
 		JobQueueDepth:         *jobQueue,
 		MaxCorpusBlocks:       *maxCorpus,
+		MaxUploadBytes:        *maxUpload,
 		ResultStoreSize:       *resultStore,
 		InternTableSize:       *internSize,
 		StreamRingSize:        *streamRing,

@@ -16,9 +16,13 @@
 // In corpus mode (-corpus) every block of a corpus file — blocks in Intel
 // syntax separated by lines containing only "---" — is explained through
 // the batched worker-pool engine with a shared prediction cache;
-// "-corpus gen:N" generates a synthetic BHive-like corpus of N blocks
-// instead. Results stream as they complete, followed by a throughput and
-// cache summary.
+// "-corpus -" reads the same format from stdin, "-corpus gen:N"
+// generates a synthetic BHive-like corpus of N blocks, and
+// "-corpus elf:PATH" extracts the basic blocks of a real x86-64 ELF
+// binary (deterministically ordered and deduplicated by canonical block
+// text, so -store/-resume keys are stable and match server-side
+// ingestion of the same binary). Results stream as they complete,
+// followed by a throughput and cache summary.
 //
 // With -json, output switches to the comet-serve wire format — a single
 // explanation object in single-block mode, one corpus-result object per
@@ -40,6 +44,8 @@
 //	comet -model uica -corpus gen:100 -workers 8
 //	comet -model uica -corpus gen:100 -json | jq .explanation.prediction
 //	comet -model uica -corpus gen:100 -store ~/.cache/comet -resume
+//	comet -model uica -corpus elf:/usr/bin/true -workers 8
+//	cat blocks.txt | comet -model uica -corpus -
 package main
 
 import (
@@ -58,6 +64,7 @@ import (
 	"github.com/comet-explain/comet"
 	"github.com/comet-explain/comet/internal/cluster"
 	"github.com/comet-explain/comet/internal/core"
+	"github.com/comet-explain/comet/internal/ingest"
 	"github.com/comet-explain/comet/internal/obs"
 	"github.com/comet-explain/comet/internal/persist"
 	"github.com/comet-explain/comet/internal/wire"
@@ -78,7 +85,7 @@ func main() {
 		loadModel  = flag.String("load-model", "", "shorthand for the ithemal load= spec parameter")
 		report     = flag.Bool("report", false, "also print the pipeline bottleneck report")
 		profile    = flag.Bool("profile", false, "also print where the explanation's wall time went, stage by stage (with -json: attach the profile object)")
-		corpus     = flag.String("corpus", "", `corpus mode: a file of "---"-separated blocks, or gen:N for a synthetic corpus`)
+		corpus     = flag.String("corpus", "", `corpus mode: a file of "---"-separated blocks, "-" for the same on stdin, gen:N for a synthetic corpus, or elf:PATH to extract basic blocks from an ELF binary`)
 		workers    = flag.Int("workers", 0, "corpus mode: concurrent blocks (0 = GOMAXPROCS); with -cluster, the per-lease concurrency hint sent to each worker")
 		clusterTo  = flag.String("cluster", "", "corpus mode: comma-separated comet-serve worker URLs — shard the corpus across them instead of explaining locally (per-block output is byte-identical apart from cache-accounting counters; pins sampling parallelism to 1)")
 		leaseN     = flag.Int("lease-blocks", 4, "with -cluster: blocks per lease")
@@ -649,21 +656,56 @@ func storeCounters(artifacts *persist.ExplainerStore) (hits, misses uint64) {
 }
 
 // loadCorpus reads a corpus: "gen:N" generates N synthetic BHive-like
-// blocks; anything else is a file of Intel-syntax blocks separated by
-// lines containing only "---".
+// blocks; "elf:PATH" extracts basic blocks from an ELF binary; "-"
+// reads a "---"-separated corpus from stdin; anything else is a file of
+// Intel-syntax blocks separated by lines containing only "---".
 func loadCorpus(spec string) ([]*comet.BasicBlock, error) {
-	if strings.HasPrefix(spec, "gen:") {
+	switch {
+	case strings.HasPrefix(spec, "gen:"):
 		n := 0
 		if _, err := fmt.Sscanf(spec, "gen:%d", &n); err != nil || n <= 0 {
 			return nil, fmt.Errorf("bad corpus spec %q (want gen:N)", spec)
 		}
 		return comet.GenerateBlocks(n, 1), nil
+	case strings.HasPrefix(spec, "elf:"):
+		return loadELFCorpus(strings.TrimPrefix(spec, "elf:"))
+	case spec == "-":
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		return parseCorpusText(string(data), "stdin")
 	}
 	data, err := os.ReadFile(spec)
 	if err != nil {
 		return nil, err
 	}
-	// Blocks are separated by lines containing only "---" (exactly).
+	return parseCorpusText(string(data), spec)
+}
+
+// loadELFCorpus extracts the deduplicated basic-block corpus of an ELF
+// binary, logging ingest accounting to stderr. Extraction is
+// deterministic, so -store/-resume keys stay stable across runs and
+// match server-side ingestion of the same binary.
+func loadELFCorpus(path string) ([]*comet.BasicBlock, error) {
+	res, err := ingest.ExtractFile(path, ingest.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Blocks) == 0 {
+		return nil, fmt.Errorf("elf:%s contains no supported basic blocks (%s)", path, res.Stats)
+	}
+	fmt.Fprintf(os.Stderr, "comet: ingested %s: %s\n", path, res.Stats)
+	blocks := make([]*comet.BasicBlock, len(res.Blocks))
+	for i, b := range res.Blocks {
+		blocks[i] = b.Block
+	}
+	return blocks, nil
+}
+
+// parseCorpusText parses corpus text: Intel-syntax blocks separated by
+// lines containing only "---" (exactly).
+func parseCorpusText(data, name string) ([]*comet.BasicBlock, error) {
 	var blocks []*comet.BasicBlock
 	var chunk []string
 	flush := func() error {
@@ -679,7 +721,7 @@ func loadCorpus(spec string) ([]*comet.BasicBlock, error) {
 		blocks = append(blocks, b)
 		return nil
 	}
-	for _, line := range strings.Split(string(data), "\n") {
+	for _, line := range strings.Split(data, "\n") {
 		if strings.TrimSpace(line) == "---" {
 			if err := flush(); err != nil {
 				return nil, err
@@ -692,7 +734,7 @@ func loadCorpus(spec string) ([]*comet.BasicBlock, error) {
 		return nil, err
 	}
 	if len(blocks) == 0 {
-		return nil, fmt.Errorf("corpus %s contains no blocks", spec)
+		return nil, fmt.Errorf("corpus %s contains no blocks", name)
 	}
 	return blocks, nil
 }

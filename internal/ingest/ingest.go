@@ -1,0 +1,233 @@
+// Package ingest extracts basic-block corpora from real binaries.
+//
+// It walks the executable sections of an ELF file, decodes the machine
+// code with internal/x86/decode, attributes bytes to functions via the
+// symbol table (and to source lines via DWARF when present), and splits
+// the instruction stream into basic blocks at branches, calls and
+// branch-target labels. Instructions outside the modeled x86 subset are
+// skipped with accounting rather than aborting the block, so real-world
+// binaries — which always contain unmodeled instructions — still yield
+// a usable corpus.
+//
+// Extraction is deterministic: the same binary always produces the same
+// ordered, deduplicated corpus. Sections are visited in file order,
+// functions in ascending address order, and duplicate blocks (by
+// canonical text) keep their first occurrence. That determinism is what
+// lets server-side and CLI-side ingestion of the same ELF produce
+// byte-identical explanations through the content-addressed store.
+package ingest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/comet-explain/comet/internal/x86"
+	"github.com/comet-explain/comet/internal/x86/decode"
+)
+
+// DefaultMaxBlockLen bounds block length when no limit is configured:
+// a block is flushed after this many supported instructions even
+// without an intervening branch.
+const DefaultMaxBlockLen = 32
+
+// Options configures extraction.
+type Options struct {
+	// MaxBlockLen flushes a block after this many instructions
+	// (0 = DefaultMaxBlockLen).
+	MaxBlockLen int
+}
+
+// Block is one extracted basic block with provenance.
+type Block struct {
+	// Block is the parsed basic block.
+	Block *x86.BasicBlock
+	// Text is the canonical rendering (Block.String()), the dedup key
+	// and the corpus payload.
+	Text string
+	// Func is the symbol the block was extracted from ("" when the
+	// binary is stripped).
+	Func string
+	// File and Line locate the block's first instruction in source,
+	// when DWARF line tables are present.
+	File string
+	Line int
+	// Addr is the virtual address of the block's first instruction.
+	Addr uint64
+}
+
+// Stats accounts for everything the extractor saw.
+type Stats struct {
+	// Sections is the number of executable sections scanned.
+	Sections int
+	// Functions is the number of symbol-table function regions walked.
+	Functions int
+	// Bytes is the total number of code bytes examined.
+	Bytes int
+	// Instructions is the number of instructions decoded (supported or
+	// not), excluding undecodable gaps.
+	Instructions int
+	// Unsupported counts decoded instructions outside the modeled
+	// subset, skipped with accounting.
+	Unsupported int
+	// Branches counts control-transfer instructions (block splitters).
+	Branches int
+	// Undecodable is the number of bytes abandoned after a decode error
+	// (data in text, overlong padding, truncated tail).
+	Undecodable int
+	// Blocks is the number of unique blocks emitted.
+	Blocks int
+	// Deduped counts duplicate blocks dropped in favor of their first
+	// occurrence.
+	Deduped int
+}
+
+// Result is the outcome of extracting one binary.
+type Result struct {
+	Blocks []Block
+	Stats  Stats
+}
+
+// region is a contiguous run of code attributed to one function.
+type region struct {
+	name string
+	addr uint64
+	code []byte
+}
+
+// extractRegion decodes one function region and appends its basic
+// blocks. Blocks split at branches (the branch itself is excluded — a
+// basic block is the straight-line work between control transfers), at
+// intra-region branch targets (labels), and at the MaxBlockLen bound.
+func (r *Result) extractRegion(reg region, lines lineTable, seen map[string]int, maxLen int) {
+	r.Stats.Bytes += len(reg.code)
+
+	// Pass 1: collect intra-region branch targets so blocks also split
+	// where control flow can re-enter.
+	labels := make(map[int]bool)
+	for off := 0; off < len(reg.code); {
+		inst, err := decode.Decode(reg.code[off:])
+		if err != nil {
+			break
+		}
+		if inst.RelValid {
+			tgt := off + inst.Len + int(inst.RelDisp)
+			if tgt >= 0 && tgt < len(reg.code) {
+				labels[tgt] = true
+			}
+		}
+		off += inst.Len
+	}
+
+	// Pass 2: split into blocks.
+	var cur []x86.Instruction
+	var curAddr uint64
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		bb := &x86.BasicBlock{Instructions: cur}
+		cur = nil
+		text := bb.String()
+		if _, dup := seen[text]; dup {
+			r.Stats.Deduped++
+			return
+		}
+		seen[text] = len(r.Blocks)
+		b := Block{Block: bb, Text: text, Func: reg.name, Addr: curAddr}
+		if e, ok := lines.lookup(curAddr); ok {
+			b.File, b.Line = e.file, e.line
+		}
+		r.Blocks = append(r.Blocks, b)
+	}
+
+	for off := 0; off < len(reg.code); {
+		if labels[off] {
+			flush()
+		}
+		inst, err := decode.Decode(reg.code[off:])
+		if err != nil {
+			// Out of sync (data in text, or a truncated tail): flush
+			// what we have and abandon the region remainder.
+			r.Stats.Undecodable += len(reg.code) - off
+			break
+		}
+		r.Stats.Instructions++
+		switch {
+		case inst.Branch:
+			r.Stats.Branches++
+			flush()
+		case !inst.Supported:
+			r.Stats.Unsupported++
+		default:
+			if len(cur) == 0 {
+				curAddr = reg.addr + uint64(off)
+			}
+			cur = append(cur, inst.X86)
+			if len(cur) >= maxLen {
+				flush()
+			}
+		}
+		off += inst.Len
+	}
+	flush()
+}
+
+// lineEntry maps a code address to a source position.
+type lineEntry struct {
+	addr uint64
+	file string
+	line int
+}
+
+// lineTable is a sorted address → source-line mapping.
+type lineTable []lineEntry
+
+// lookup returns the line entry covering addr.
+func (t lineTable) lookup(addr uint64) (lineEntry, bool) {
+	i := sort.Search(len(t), func(i int) bool { return t[i].addr > addr })
+	if i == 0 {
+		return lineEntry{}, false
+	}
+	return t[i-1], true
+}
+
+// WriteCorpus writes blocks in the repository's corpus format: blocks
+// separated by "---" lines, each preceded by a provenance comment
+// (`# func:<sym> <file>:<line>`) that loaders treat as a comment.
+func WriteCorpus(w io.Writer, blocks []Block) error {
+	for i, b := range blocks {
+		if i > 0 {
+			if _, err := io.WriteString(w, "---\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, provenanceComment(b)); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, b.Text+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func provenanceComment(b Block) string {
+	var sb strings.Builder
+	sb.WriteString("# ")
+	if b.Func != "" {
+		fmt.Fprintf(&sb, "func:%s ", b.Func)
+	}
+	if b.File != "" {
+		fmt.Fprintf(&sb, "%s:%d ", b.File, b.Line)
+	}
+	fmt.Fprintf(&sb, "addr:%#x\n", b.Addr)
+	return sb.String()
+}
+
+// String summarizes the stats for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("sections=%d functions=%d bytes=%d instructions=%d unsupported=%d branches=%d undecodable=%d blocks=%d deduped=%d",
+		s.Sections, s.Functions, s.Bytes, s.Instructions, s.Unsupported, s.Branches, s.Undecodable, s.Blocks, s.Deduped)
+}

@@ -1,0 +1,209 @@
+package ingest
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+const fixturePath = "testdata/fixture.elf"
+
+// fixtureBlocks is the expected corpus of testdata/fixture.elf, in
+// extraction order. Regenerating the fixture (testdata/regen.sh) must
+// not change it — that is the determinism contract.
+var fixtureBlocks = []string{
+	"mov rdi, 1\nmov rsi, 2",
+	"mov eax, 60\nxor edi, edi",
+	"mov rax, rdi\nadd rax, rsi\nimul rax, rax\ncmp rax, 64",
+	"sub rax, 64\nshl rax, 2",
+	"add rax, 1",
+	"movaps xmm0, xmmword ptr [rdi]\naddps xmm0, xmm1\nmulps xmm0, xmm0\nmovaps xmmword ptr [rdi], xmm0\naddss xmm1, xmm2",
+	"mov rbx, 7",
+}
+
+func TestExtractFixture(t *testing.T) {
+	res, err := ExtractFile(fixturePath, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Blocks); got != len(fixtureBlocks) {
+		t.Fatalf("extracted %d blocks, want %d", got, len(fixtureBlocks))
+	}
+	for i, want := range fixtureBlocks {
+		if res.Blocks[i].Text != want {
+			t.Errorf("block %d:\n%s\nwant:\n%s", i, res.Blocks[i].Text, want)
+		}
+		if err := res.Blocks[i].Block.Validate(); err != nil {
+			t.Errorf("block %d does not validate: %v", i, err)
+		}
+	}
+
+	s := res.Stats
+	want := Stats{
+		Sections: 1, Functions: 5, Bytes: 97,
+		Instructions: 28, Unsupported: 2, Branches: 8,
+		Undecodable: 0, Blocks: 7, Deduped: 1,
+	}
+	if s != want {
+		t.Errorf("stats = %+v, want %+v", s, want)
+	}
+
+	// Function attribution from the symbol table.
+	funcs := make([]string, len(res.Blocks))
+	for i, b := range res.Blocks {
+		funcs[i] = b.Func
+	}
+	wantFuncs := []string{"_start", "_start", "alu", "alu", "alu", "vec", "ripuse"}
+	if !reflect.DeepEqual(funcs, wantFuncs) {
+		t.Errorf("funcs = %q, want %q", funcs, wantFuncs)
+	}
+
+	// Source attribution from DWARF (the fixture is assembled with -g).
+	for i, b := range res.Blocks {
+		if !strings.HasSuffix(b.File, "fixture.s") || b.Line <= 0 {
+			t.Errorf("block %d: missing DWARF attribution (file=%q line=%d)", i, b.File, b.Line)
+		}
+		if b.Addr == 0 {
+			t.Errorf("block %d: zero address", i)
+		}
+	}
+}
+
+// TestExtractDeterministic is the contract the byte-identical
+// server/CLI explanation guarantee rests on: extracting the same bytes
+// twice yields deeply equal results.
+func TestExtractDeterministic(t *testing.T) {
+	data, err := os.ReadFile(fixturePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ExtractBytes(data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExtractBytes(data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two extractions of the same image differ")
+	}
+}
+
+// TestWriteCorpusRoundTrip renders the corpus and reparses every block
+// through the text frontend, confirming the emitted file is loadable.
+func TestWriteCorpusRoundTrip(t *testing.T) {
+	res, err := ExtractFile(fixturePath, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, res.Blocks); err != nil {
+		t.Fatal(err)
+	}
+	sections := strings.Split(buf.String(), "\n---\n")
+	if len(sections) != len(res.Blocks) {
+		t.Fatalf("corpus has %d sections, want %d", len(sections), len(res.Blocks))
+	}
+	for i, sec := range sections {
+		bb, err := x86.ParseBlock(sec)
+		if err != nil {
+			t.Fatalf("section %d does not reparse: %v\n%s", i, err, sec)
+		}
+		if !bb.Equal(res.Blocks[i].Block) {
+			t.Errorf("section %d reparses to a different block", i)
+		}
+	}
+	if !strings.Contains(buf.String(), "# func:alu ") {
+		t.Error("corpus lacks provenance comments")
+	}
+}
+
+func TestExtractMaxBlockLen(t *testing.T) {
+	res, err := ExtractFile(fixturePath, Options{MaxBlockLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range res.Blocks {
+		if n := len(b.Block.Instructions); n > 2 {
+			t.Errorf("block %d has %d instructions, limit 2", i, n)
+		}
+	}
+	// The 4-instruction alu block must now split.
+	if len(res.Blocks) <= len(fixtureBlocks) {
+		t.Errorf("expected more, shorter blocks; got %d", len(res.Blocks))
+	}
+}
+
+func TestExtractRejectsGarbage(t *testing.T) {
+	if _, err := ExtractBytes([]byte("not an elf at all"), Options{}); err == nil {
+		t.Error("garbage accepted")
+	}
+	if IsELF([]byte("not an elf")) {
+		t.Error("IsELF accepted garbage")
+	}
+	data, err := os.ReadFile(fixturePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsELF(data) {
+		t.Error("IsELF rejected the fixture")
+	}
+}
+
+// TestExtractRegionSplitting exercises the block splitter white-box on
+// synthetic code: a backward branch target must open a new block even
+// with no branch immediately before it.
+func TestExtractRegionSplitting(t *testing.T) {
+	// 0: mov eax, 1        B8 01 00 00 00
+	// 5: add eax, 2        83 C0 02        <- jumped to from 10
+	// 8: sub eax, 3        83 E8 03
+	// 11: jne -8 (to 5)    75 F8
+	// 13: ret              C3
+	code := []byte{
+		0xB8, 0x01, 0x00, 0x00, 0x00,
+		0x83, 0xC0, 0x02,
+		0x83, 0xE8, 0x03,
+		0x75, 0xF8,
+		0xC3,
+	}
+	var res Result
+	res.extractRegion(region{name: "f", addr: 0x1000, code: code}, nil, map[string]int{}, DefaultMaxBlockLen)
+	want := []string{
+		"mov eax, 1",
+		"add eax, 2\nsub eax, 3",
+	}
+	if len(res.Blocks) != len(want) {
+		t.Fatalf("got %d blocks, want %d", len(res.Blocks), len(want))
+	}
+	for i, w := range want {
+		if res.Blocks[i].Text != w {
+			t.Errorf("block %d:\n%s\nwant:\n%s", i, res.Blocks[i].Text, w)
+		}
+	}
+	if res.Stats.Branches != 2 {
+		t.Errorf("branches = %d, want 2", res.Stats.Branches)
+	}
+}
+
+// TestExtractRegionUndecodable: a decode error abandons the region
+// remainder but keeps what was already collected.
+func TestExtractRegionUndecodable(t *testing.T) {
+	code := []byte{
+		0xB8, 0x01, 0x00, 0x00, 0x00, // mov eax, 1
+		0x06,             // invalid in 64-bit mode
+		0x90, 0x90, 0x90, // unreachable to the decoder
+	}
+	var res Result
+	res.extractRegion(region{name: "f", addr: 0, code: code}, nil, map[string]int{}, DefaultMaxBlockLen)
+	if len(res.Blocks) != 1 || res.Blocks[0].Text != "mov eax, 1" {
+		t.Fatalf("blocks = %+v, want the one mov", res.Blocks)
+	}
+	if res.Stats.Undecodable != 4 {
+		t.Errorf("undecodable = %d, want 4", res.Stats.Undecodable)
+	}
+}

@@ -1,0 +1,67 @@
+# Fixture binary for the ingestion tests. Regenerate fixture.elf with
+# ./regen.sh (requires GNU as + ld); the committed binary is what the
+# tests and `make test-e2e` actually ingest, so CI never needs an
+# assembler.
+#
+# The functions are arranged to exercise every extractor code path:
+#   _start  two blocks split by the terminating syscall
+#   alu     blocks split by a conditional branch and its target label
+#   vec     one block with an unsupported instruction (cdqe) skipped
+#           mid-block, and an unsupported lea (rip-relative) before a
+#           supported tail
+#   dup     a duplicate of alu's label block, exercising dedup
+#
+# No alignment directives: gas would pad with zero bytes, which decode
+# as `add byte ptr [rax], al` and pollute the corpus.
+
+	.intel_syntax noprefix
+	.text
+
+	.globl _start
+	.type _start, @function
+_start:
+	mov rdi, 1
+	mov rsi, 2
+	call alu
+	mov eax, 60
+	xor edi, edi
+	syscall
+
+	.type alu, @function
+alu:
+	mov rax, rdi
+	add rax, rsi
+	imul rax, rax
+	cmp rax, 64
+	jle .Lsmall
+	sub rax, 64
+	shl rax, 2
+	ret
+.Lsmall:
+	add rax, 1
+	ret
+
+	.type vec, @function
+vec:
+	movaps xmm0, [rdi]
+	addps xmm0, xmm1
+	mulps xmm0, xmm0
+	cdqe                    # outside the modeled subset: skipped
+	movaps [rdi], xmm0
+	addss xmm1, xmm2
+	ret
+
+	.type dup, @function
+dup:
+	add rax, 1              # duplicate of alu's .Lsmall block
+	ret
+
+	.type ripuse, @function
+ripuse:
+	lea rax, [rip + data_sym]   # rip-relative: unsupported, skipped
+	mov rbx, 7
+	ret
+
+	.data
+data_sym:
+	.quad 42

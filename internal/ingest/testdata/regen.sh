@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerates fixture.elf from fixture.s. Run from this directory.
+# Requires GNU as and ld (any recent binutils). The output is committed
+# so CI and tests never need an assembler.
+set -eu
+cd "$(dirname "$0")"
+as --64 -g -o fixture.o fixture.s
+ld -o fixture.elf fixture.o
+rm -f fixture.o
+echo "rebuilt fixture.elf"

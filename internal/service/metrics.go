@@ -43,6 +43,15 @@ type metrics struct {
 	internHits      atomic.Uint64 // binary requests answered from the intern table (no decode)
 	frameRequests   atomic.Uint64 // binary-framed request bodies decoded
 	streamedResults atomic.Uint64 // corpus results delivered over job streams
+
+	// Binary-ingestion counters (POST /v1/corpus upload mode).
+	ingestBinaries atomic.Uint64 // ELF uploads successfully extracted
+	ingestSections atomic.Uint64 // executable sections scanned
+	ingestBytes    atomic.Uint64 // code bytes examined
+	ingestBlocks   atomic.Uint64 // unique basic blocks emitted
+	ingestDeduped  atomic.Uint64 // duplicate blocks dropped
+	ingestSkipped  atomic.Uint64 // unmodeled instructions skipped
+	ingestRejected atomic.Uint64 // uploads rejected (oversized or unextractable)
 }
 
 func newMetrics() *metrics {
@@ -179,6 +188,27 @@ func (m *metrics) render(sb *strings.Builder, extra []gauge) {
 	fmt.Fprintf(sb, "# HELP comet_streamed_results_total Corpus results delivered over GET /v1/jobs/{id}/stream.\n")
 	fmt.Fprintf(sb, "# TYPE comet_streamed_results_total counter\n")
 	fmt.Fprintf(sb, "comet_streamed_results_total %d\n", m.streamedResults.Load())
+	fmt.Fprintf(sb, "# HELP comet_ingest_binaries_total ELF binaries ingested through POST /v1/corpus uploads.\n")
+	fmt.Fprintf(sb, "# TYPE comet_ingest_binaries_total counter\n")
+	fmt.Fprintf(sb, "comet_ingest_binaries_total %d\n", m.ingestBinaries.Load())
+	fmt.Fprintf(sb, "# HELP comet_ingest_sections_total Executable sections scanned during binary ingestion.\n")
+	fmt.Fprintf(sb, "# TYPE comet_ingest_sections_total counter\n")
+	fmt.Fprintf(sb, "comet_ingest_sections_total %d\n", m.ingestSections.Load())
+	fmt.Fprintf(sb, "# HELP comet_ingest_bytes_total Code bytes decoded during binary ingestion.\n")
+	fmt.Fprintf(sb, "# TYPE comet_ingest_bytes_total counter\n")
+	fmt.Fprintf(sb, "comet_ingest_bytes_total %d\n", m.ingestBytes.Load())
+	fmt.Fprintf(sb, "# HELP comet_ingest_blocks_total Unique basic blocks extracted during binary ingestion.\n")
+	fmt.Fprintf(sb, "# TYPE comet_ingest_blocks_total counter\n")
+	fmt.Fprintf(sb, "comet_ingest_blocks_total %d\n", m.ingestBlocks.Load())
+	fmt.Fprintf(sb, "# HELP comet_ingest_deduped_total Duplicate basic blocks dropped during binary ingestion.\n")
+	fmt.Fprintf(sb, "# TYPE comet_ingest_deduped_total counter\n")
+	fmt.Fprintf(sb, "comet_ingest_deduped_total %d\n", m.ingestDeduped.Load())
+	fmt.Fprintf(sb, "# HELP comet_ingest_skipped_total Instructions outside the modeled subset skipped during binary ingestion.\n")
+	fmt.Fprintf(sb, "# TYPE comet_ingest_skipped_total counter\n")
+	fmt.Fprintf(sb, "comet_ingest_skipped_total %d\n", m.ingestSkipped.Load())
+	fmt.Fprintf(sb, "# HELP comet_ingest_rejected_total Binary uploads rejected (oversized or unextractable).\n")
+	fmt.Fprintf(sb, "# TYPE comet_ingest_rejected_total counter\n")
+	fmt.Fprintf(sb, "comet_ingest_rejected_total %d\n", m.ingestRejected.Load())
 
 	byName := make(map[string][]gauge)
 	var names []string

@@ -141,6 +141,9 @@ type Config struct {
 	JobHistorySize int
 	// MaxBodyBytes caps request bodies (0 = 8 MiB).
 	MaxBodyBytes int64
+	// MaxUploadBytes caps binary uploads to POST /v1/corpus (ELF
+	// ingestion); oversized uploads get 413 (0 = 64 MiB).
+	MaxUploadBytes int64
 	// Store, when non-nil, is the durable explanation/job store: every
 	// computed explanation and every corpus-job checkpoint is persisted
 	// to it, and Restore reloads warm results and resumes interrupted
@@ -219,6 +222,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
 	}
 	if c.JobCheckpointEvery <= 0 {
 		c.JobCheckpointEvery = 16
@@ -816,7 +822,11 @@ func (s *Server) acquireExplainSlot() error {
 
 func (s *Server) releaseExplainSlot() { <-s.explainSlots }
 
-// handleCorpus serves POST /v1/corpus.
+// handleCorpus serves POST /v1/corpus. JSON bodies carry a
+// wire.CorpusRequest of pre-parsed block texts; binary-upload bodies
+// (Content-Type application/x-elf, application/octet-stream, or
+// multipart/form-data) carry an ELF binary whose basic blocks are
+// extracted server-side (see handleCorpusUpload).
 func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
@@ -824,6 +834,10 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		return
+	}
+	if isUploadContentType(r.Header.Get("Content-Type")) {
+		s.handleCorpusUpload(w, r)
 		return
 	}
 	var req wire.CorpusRequest
@@ -839,11 +853,6 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 			"corpus of %d blocks exceeds the limit of %d", len(req.Blocks), s.cfg.MaxCorpusBlocks)
 		return
 	}
-	arch, err := wire.ParseArch(req.Arch)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
 	blocks := make([]*x86.BasicBlock, len(req.Blocks))
 	for i, src := range req.Blocks {
 		b, err := x86.ParseBlock(src)
@@ -853,21 +862,34 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		}
 		blocks[i] = b
 	}
-	entry, err := s.lookupModel(req.Model, arch)
+	s.submitCorpusJob(w, r, blocks, req.Model, req.Arch, req.Config, req.Workers, req.Stream)
+}
+
+// submitCorpusJob resolves the model and queues an async corpus job over
+// already-parsed blocks — the shared tail of the JSON and binary-upload
+// corpus entry points.
+func (s *Server) submitCorpusJob(w http.ResponseWriter, r *http.Request, blocks []*x86.BasicBlock,
+	model, archStr string, overrides *wire.ConfigOverrides, workers int, stream bool) {
+	arch, err := wire.ParseArch(archStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	entry, err := s.lookupModel(model, arch)
 	if err != nil {
 		writeError(w, modelErrorStatus(err), "%v", err)
 		return
 	}
-	cfg := core.ApplyOptions(s.cfg.Base, requestOptions(entry, req.Config)...)
+	cfg := core.ApplyOptions(s.cfg.Base, requestOptions(entry, overrides)...)
 	j := &job{
 		blocks:   blocks,
 		entry:    entry,
 		cfg:      cfg,
-		workers:  req.Workers,
+		workers:  workers,
 		spec:     entry.specString(),
 		snapshot: wire.SnapshotConfig(cfg),
 	}
-	if req.Stream {
+	if stream {
 		// Stream-only job: results are delivered through
 		// GET /v1/jobs/{id}/stream and only a bounded catch-up ring is
 		// retained, so memory stays flat however large the corpus is.

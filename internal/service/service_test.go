@@ -222,6 +222,14 @@ func submitCorpus(t *testing.T, base string, req wire.CorpusRequest) ([]wire.Cor
 	if err := json.Unmarshal(body, &acc); err != nil {
 		t.Fatal(err)
 	}
+	return pollJob(t, base, acc.ID)
+}
+
+// pollJob polls a job to a terminal state, collecting results through
+// offset/limit pagination.
+func pollJob(t *testing.T, base, id string) ([]wire.CorpusResult, wire.JobStatus) {
+	t.Helper()
+	acc := wire.JobAccepted{ID: id}
 	var collected []wire.CorpusResult
 	offset := 0
 	deadline := time.Now().Add(2 * time.Minute)

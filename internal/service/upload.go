@@ -1,0 +1,190 @@
+package service
+
+import (
+	"errors"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"strconv"
+
+	"github.com/comet-explain/comet/internal/ingest"
+	"github.com/comet-explain/comet/internal/obs"
+	"github.com/comet-explain/comet/internal/wire"
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// isUploadContentType reports whether a POST /v1/corpus body is a binary
+// upload rather than a JSON wire.CorpusRequest.
+func isUploadContentType(ct string) bool {
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false
+	}
+	switch mt {
+	case "application/x-elf", "application/octet-stream", "multipart/form-data":
+		return true
+	}
+	return false
+}
+
+// handleCorpusUpload serves the binary-upload mode of POST /v1/corpus:
+// the body is an x86-64 ELF binary (raw, or the first file part of a
+// multipart form), its basic blocks are extracted server-side, and the
+// resulting corpus enters the same async job pipeline as a JSON corpus
+// request. Job parameters arrive as query parameters since the body is
+// the binary itself:
+//
+//	POST /v1/corpus?model=uica&arch=hsw&workers=4&stream=true&seed=1&coverage=1000
+//
+// Extraction is deterministic, so uploading a binary and running
+// `comet -corpus elf:...` with the same model and config produce
+// byte-identical explanations through the content-addressed store.
+func (s *Server) handleCorpusUpload(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.readUpload(w, r)
+	if !ok {
+		return
+	}
+	if !ingest.IsELF(data) {
+		writeError(w, http.StatusBadRequest, "upload is not an ELF binary (bad magic)")
+		return
+	}
+
+	// The extraction stage joins the request's span tree, so per-binary
+	// ingest timing shows up in /debug/traces alongside job execution.
+	_, span := obs.StartSpan(r.Context(), "ingest.extract")
+	res, err := ingest.ExtractBytes(data, ingest.Options{})
+	if err != nil {
+		span.SetErr(err)
+		span.End()
+		s.metrics.ingestRejected.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := res.Stats
+	span.SetInt("sections", int64(st.Sections))
+	span.SetInt("bytes", int64(st.Bytes))
+	span.SetInt("blocks", int64(st.Blocks))
+	span.SetInt("deduped", int64(st.Deduped))
+	span.SetInt("unsupported", int64(st.Unsupported))
+	span.End()
+
+	s.metrics.ingestBinaries.Add(1)
+	s.metrics.ingestSections.Add(uint64(st.Sections))
+	s.metrics.ingestBytes.Add(uint64(st.Bytes))
+	s.metrics.ingestBlocks.Add(uint64(st.Blocks))
+	s.metrics.ingestDeduped.Add(uint64(st.Deduped))
+	s.metrics.ingestSkipped.Add(uint64(st.Unsupported))
+
+	if len(res.Blocks) == 0 {
+		writeError(w, http.StatusBadRequest, "binary contains no supported basic blocks (%s)", st)
+		return
+	}
+	if len(res.Blocks) > s.cfg.MaxCorpusBlocks {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"binary yields %d blocks, exceeding the limit of %d", len(res.Blocks), s.cfg.MaxCorpusBlocks)
+		return
+	}
+
+	blocks := make([]*x86.BasicBlock, len(res.Blocks))
+	for i, b := range res.Blocks {
+		blocks[i] = b.Block
+	}
+
+	q := r.URL.Query()
+	workers, _ := strconv.Atoi(q.Get("workers"))
+	stream, _ := strconv.ParseBool(q.Get("stream"))
+	overrides := uploadOverrides(q)
+
+	s.log.Info("corpus upload ingested",
+		"upload_bytes", len(data), "stats", st.String())
+	s.submitCorpusJob(w, r, blocks, q.Get("model"), q.Get("arch"), overrides, workers, stream)
+}
+
+// uploadOverrides translates upload query parameters into the config
+// overrides a JSON corpus request would carry inline.
+func uploadOverrides(q map[string][]string) *wire.ConfigOverrides {
+	get := func(k string) string {
+		if v, ok := q[k]; ok && len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	var o wire.ConfigOverrides
+	set := false
+	if v, err := strconv.ParseInt(get("seed"), 10, 64); err == nil {
+		o.Seed = v
+		set = true
+	}
+	if v, err := strconv.Atoi(get("coverage")); err == nil {
+		o.CoverageSamples = v
+		set = true
+	}
+	if v, err := strconv.ParseFloat(get("epsilon"), 64); err == nil {
+		o.Epsilon = v
+		set = true
+	}
+	if v, err := strconv.Atoi(get("batch")); err == nil {
+		o.BatchSize = v
+		set = true
+	}
+	if !set {
+		return nil
+	}
+	return &o
+}
+
+// readUpload reads the binary body under the MaxUploadBytes cap,
+// answering 413 with a wire.Error when the cap is exceeded. Multipart
+// bodies contribute their first file part.
+func (s *Server) readUpload(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	mt, params, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if mt != "multipart/form-data" {
+		data, err := io.ReadAll(body)
+		if err != nil {
+			s.uploadReadError(w, err)
+			return nil, false
+		}
+		return data, true
+	}
+	boundary := params["boundary"]
+	if boundary == "" {
+		writeError(w, http.StatusBadRequest, "multipart upload without boundary")
+		return nil, false
+	}
+	mr := multipart.NewReader(body, boundary)
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			writeError(w, http.StatusBadRequest, "multipart upload has no file part")
+			return nil, false
+		}
+		if err != nil {
+			s.uploadReadError(w, err)
+			return nil, false
+		}
+		if part.FileName() == "" {
+			continue
+		}
+		data, err := io.ReadAll(part)
+		if err != nil {
+			s.uploadReadError(w, err)
+			return nil, false
+		}
+		return data, true
+	}
+}
+
+// uploadReadError maps a body-read failure to 413 (limit exceeded) or
+// 400 as wire.Error JSON.
+func (s *Server) uploadReadError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		s.metrics.ingestRejected.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"upload exceeds %d bytes (raise -max-upload-bytes to accept larger binaries)", tooBig.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad upload body: %v", err)
+}

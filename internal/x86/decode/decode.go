@@ -1,0 +1,1306 @@
+// Package decode is a length-correct x86-64 machine-code decoder for the
+// binary-ingestion pipeline (internal/ingest).
+//
+// It decodes one instruction at a time from raw bytes: legacy prefixes,
+// REX, VEX (2- and 3-byte) and EVEX, ModRM/SIB addressing, displacements
+// and immediates. Length decoding covers the full one-byte, 0F, 0F38 and
+// 0F3A opcode maps, so the byte stream stays in sync even across
+// instructions the explanation engine cannot model; semantic decoding —
+// producing an x86.Instruction — covers exactly the opcode subset of the
+// internal/x86 Spec table. The spec table is the single arbiter: every
+// constructed instruction is validated against it, and anything that does
+// not match a form is reported as length-only (Supported == false).
+//
+// Two invariants matter to callers:
+//
+//   - Determinism: the same bytes always decode to the same Inst, with no
+//     dependence on maps, time, or environment.
+//   - Round-trip: for every supported instruction,
+//     x86.ParseInstruction(inst.X86.String()) reproduces an equal
+//     instruction, locking the machine-code and text frontends together
+//     (enforced by TestDecodeParserRoundTrip and FuzzDecodeX86).
+package decode
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// MaxInstLen is the architectural limit on one instruction's encoding.
+const MaxInstLen = 15
+
+// Decode errors. Errors mean the byte stream could not be kept in sync;
+// an instruction that is merely outside the modeled subset is NOT an
+// error — it decodes with Supported == false and a correct Len.
+var (
+	// ErrTruncated means the buffer ended inside an instruction.
+	ErrTruncated = errors.New("decode: truncated instruction")
+	// ErrInvalid means the bytes do not encode an instruction (reserved
+	// opcode, overlong encoding, malformed VEX).
+	ErrInvalid = errors.New("decode: invalid instruction")
+)
+
+// Inst is one decoded machine instruction.
+type Inst struct {
+	// Len is the number of bytes the instruction occupies (1..15).
+	Len int
+	// Mnemonic names the instruction when known, even outside the
+	// modeled subset ("cmovle", "ret", ...); empty when the opcode is
+	// only length-decoded (x87, EVEX, unhandled SSE slots).
+	Mnemonic string
+	// X86 is the modeled instruction; valid only when Supported.
+	X86 x86.Instruction
+	// Supported reports whether X86 is populated and validates against
+	// the internal/x86 spec table.
+	Supported bool
+	// Branch reports a control transfer (jump, call, ret, syscall, ...):
+	// the instruction ends a basic block and is never part of one.
+	Branch bool
+	// RelDisp is the signed displacement of a rel8/rel32 branch, counted
+	// from the end of this instruction; valid only when RelValid.
+	RelDisp  int64
+	RelValid bool
+}
+
+// Decode decodes the instruction starting at code[0]. It never panics on
+// arbitrary input and reads at most MaxInstLen bytes.
+func Decode(code []byte) (Inst, error) {
+	var d decoder
+	d.code = code
+	return d.run()
+}
+
+type decoder struct {
+	code []byte
+	pos  int
+
+	// Legacy prefixes.
+	has66 bool
+	has67 bool
+	rep   byte // 0, 0xF2 or 0xF3
+	lock  bool
+	seg   bool
+	rex   byte // 0x40..0x4F, or 0
+
+	// VEX/EVEX state.
+	vex              bool
+	evex             bool
+	vexL             bool
+	vexW             bool
+	vexV             byte // decoded second-source register number
+	vexR, vexX, vexB bool
+
+	pp  byte // mandatory-prefix class: 0 none, 1 = 66, 2 = F3, 3 = F2
+	esc byte // opcode map: 0 one-byte, 1 = 0F, 2 = 0F38, 3 = 0F3A
+
+	opcode byte
+
+	hasModRM bool
+	mod      byte
+	reg      byte // ModRM.reg, REX/VEX-extended
+	rm       byte // ModRM.rm, REX/VEX-extended (register sense)
+
+	mem memArg
+
+	imm     int64
+	immBits int
+}
+
+// memArg is the raw addressing operand of a ModRM byte.
+type memArg struct {
+	isReg             bool // mod == 3: rm names a register
+	regNum            byte
+	hasBase, hasIndex bool
+	base, index       byte
+	scale             int
+	disp              int64
+	ripRel            bool
+}
+
+func (d *decoder) run() (Inst, error) {
+	if err := d.prefixes(); err != nil {
+		return Inst{}, err
+	}
+	if err := d.opcodeAndOperands(); err != nil {
+		return Inst{}, err
+	}
+	if d.pos > MaxInstLen {
+		return Inst{}, fmt.Errorf("%w: %d-byte encoding exceeds the %d-byte limit", ErrInvalid, d.pos, MaxInstLen)
+	}
+	inst := d.semantic()
+	inst.Len = d.pos
+	return inst, nil
+}
+
+func (d *decoder) next() (byte, error) {
+	if d.pos >= len(d.code) {
+		return 0, ErrTruncated
+	}
+	b := d.code[d.pos]
+	d.pos++
+	return b, nil
+}
+
+// prefixes consumes legacy and REX prefixes. A legacy prefix after REX
+// cancels the REX (as on hardware, where REX must immediately precede
+// the opcode).
+func (d *decoder) prefixes() error {
+	for {
+		if d.pos >= len(d.code) {
+			return ErrTruncated
+		}
+		if d.pos >= MaxInstLen {
+			return fmt.Errorf("%w: prefix run exceeds the %d-byte limit", ErrInvalid, MaxInstLen)
+		}
+		switch b := d.code[d.pos]; {
+		case b == 0x66:
+			d.has66, d.rex = true, 0
+		case b == 0x67:
+			d.has67, d.rex = true, 0
+		case b == 0xF0:
+			d.lock, d.rex = true, 0
+		case b == 0xF2 || b == 0xF3:
+			d.rep, d.rex = b, 0
+		case b == 0x26 || b == 0x2E || b == 0x36 || b == 0x3E || b == 0x64 || b == 0x65:
+			d.seg, d.rex = true, 0
+		case b >= 0x40 && b <= 0x4F:
+			d.rex = b
+		default:
+			return nil
+		}
+		d.pos++
+	}
+}
+
+// legacyBeforeVEX reports prefixes that make a following VEX/EVEX byte
+// #UD on hardware (66/F2/F3, lock, REX).
+func (d *decoder) legacyBeforeVEX() bool {
+	return d.has66 || d.rep != 0 || d.lock || d.rex != 0
+}
+
+func (d *decoder) opcodeAndOperands() error {
+	b, err := d.next()
+	if err != nil {
+		return err
+	}
+
+	switch b {
+	case 0xC5: // two-byte VEX
+		return d.vex2()
+	case 0xC4: // three-byte VEX
+		return d.vex3()
+	case 0x62: // EVEX (always a prefix in 64-bit mode)
+		return d.evexForm()
+	}
+
+	// Legacy maps: the mandatory-prefix class comes from the last
+	// repeat/operand-size prefix.
+	switch {
+	case d.rep == 0xF3:
+		d.pp = 2
+	case d.rep == 0xF2:
+		d.pp = 3
+	case d.has66:
+		d.pp = 1
+	}
+	if b == 0x0F {
+		b2, err := d.next()
+		if err != nil {
+			return err
+		}
+		switch b2 {
+		case 0x38:
+			b3, err := d.next()
+			if err != nil {
+				return err
+			}
+			d.esc, b = 2, b3
+		case 0x3A:
+			b3, err := d.next()
+			if err != nil {
+				return err
+			}
+			d.esc, b = 3, b3
+		default:
+			d.esc, b = 1, b2
+		}
+	}
+
+	d.opcode = b
+	a := attrFor(d.esc, b)
+	if a&aInvalid != 0 {
+		return fmt.Errorf("%w: opcode %#02x in map %d", ErrInvalid, b, d.esc)
+	}
+	if a&aModRM != 0 {
+		if err := d.modRM(); err != nil {
+			return err
+		}
+	}
+	return d.immediates(a)
+}
+
+func (d *decoder) vex2() error {
+	if d.legacyBeforeVEX() {
+		return fmt.Errorf("%w: VEX after 66/F2/F3/lock/REX", ErrInvalid)
+	}
+	p, err := d.next()
+	if err != nil {
+		return err
+	}
+	d.vex = true
+	d.vexR = p&0x80 == 0
+	d.vexV = ^(p >> 3) & 15
+	d.vexL = p&4 != 0
+	d.pp = p & 3
+	d.esc = 1
+	return d.vexTail()
+}
+
+func (d *decoder) vex3() error {
+	if d.legacyBeforeVEX() {
+		return fmt.Errorf("%w: VEX after 66/F2/F3/lock/REX", ErrInvalid)
+	}
+	p1, err := d.next()
+	if err != nil {
+		return err
+	}
+	p2, err := d.next()
+	if err != nil {
+		return err
+	}
+	d.vex = true
+	d.vexR = p1&0x80 == 0
+	d.vexX = p1&0x40 == 0
+	d.vexB = p1&0x20 == 0
+	d.esc = p1 & 0x1F
+	if d.esc < 1 || d.esc > 3 {
+		return fmt.Errorf("%w: VEX map %d", ErrInvalid, d.esc)
+	}
+	d.vexW = p2&0x80 != 0
+	d.vexV = ^(p2 >> 3) & 15
+	d.vexL = p2&4 != 0
+	d.pp = p2 & 3
+	return d.vexTail()
+}
+
+func (d *decoder) vexTail() error {
+	op, err := d.next()
+	if err != nil {
+		return err
+	}
+	d.opcode = op
+	if d.esc == 1 && op == 0x77 {
+		return nil // vzeroupper/vzeroall: no ModRM
+	}
+	if err := d.modRM(); err != nil {
+		return err
+	}
+	if d.esc == 3 {
+		return d.readImm(8)
+	}
+	return nil
+}
+
+// evexForm length-decodes an EVEX-prefixed instruction. EVEX operands
+// are never semantically modeled (the subset has no AVX-512), but the
+// length must be exact to keep the stream in sync. The compressed disp8
+// of EVEX is still one displacement byte, so the shared ModRM machinery
+// applies unchanged.
+func (d *decoder) evexForm() error {
+	if d.legacyBeforeVEX() {
+		return fmt.Errorf("%w: EVEX after 66/F2/F3/lock/REX", ErrInvalid)
+	}
+	p0, err := d.next()
+	if err != nil {
+		return err
+	}
+	if _, err := d.next(); err != nil { // P1: pp, W, vvvv
+		return err
+	}
+	if _, err := d.next(); err != nil { // P2: z, L'L, b, V', aaa
+		return err
+	}
+	d.evex = true
+	d.esc = p0 & 7
+	if d.esc < 1 || d.esc > 3 {
+		return fmt.Errorf("%w: EVEX map %d", ErrInvalid, d.esc)
+	}
+	op, err := d.next()
+	if err != nil {
+		return err
+	}
+	d.opcode = op
+	if err := d.modRM(); err != nil {
+		return err
+	}
+	if d.esc == 3 {
+		return d.readImm(8)
+	}
+	return nil
+}
+
+func (d *decoder) modRM() error {
+	m, err := d.next()
+	if err != nil {
+		return err
+	}
+	d.hasModRM = true
+	d.mod = m >> 6
+	regBits := (m >> 3) & 7
+	rmBits := m & 7
+
+	var extR, extX, extB byte
+	switch {
+	case d.vex:
+		if d.vexR {
+			extR = 8
+		}
+		if d.vexX {
+			extX = 8
+		}
+		if d.vexB {
+			extB = 8
+		}
+	case d.evex:
+		// Extensions ignored: EVEX is length-decoded only.
+	default:
+		if d.rex&4 != 0 {
+			extR = 8
+		}
+		if d.rex&2 != 0 {
+			extX = 8
+		}
+		if d.rex&1 != 0 {
+			extB = 8
+		}
+	}
+	d.reg = regBits | extR
+
+	if d.mod == 3 {
+		d.rm = rmBits | extB
+		d.mem.isReg = true
+		d.mem.regNum = d.rm
+		return nil
+	}
+
+	switch {
+	case rmBits == 4: // SIB follows
+		s, err := d.next()
+		if err != nil {
+			return err
+		}
+		idx := (s>>3)&7 | extX
+		if idx != 4 { // encoded index 100 without REX.X means "none"
+			d.mem.hasIndex = true
+			d.mem.index = idx
+			d.mem.scale = 1 << (s >> 6)
+		}
+		if s&7 == 5 && d.mod == 0 {
+			return d.readDisp(32) // no base, disp32
+		}
+		d.mem.hasBase = true
+		d.mem.base = s&7 | extB
+	case d.mod == 0 && rmBits == 5: // RIP-relative
+		d.mem.ripRel = true
+		return d.readDisp(32)
+	default:
+		d.mem.hasBase = true
+		d.mem.base = rmBits | extB
+	}
+	switch d.mod {
+	case 1:
+		return d.readDisp(8)
+	case 2:
+		return d.readDisp(32)
+	}
+	return nil
+}
+
+func (d *decoder) readLE(bits int) (int64, error) {
+	n := bits / 8
+	if d.pos+n > len(d.code) {
+		return 0, ErrTruncated
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(d.code[d.pos+i]) << (8 * i)
+	}
+	d.pos += n
+	shift := uint(64 - bits)
+	return int64(v<<shift) >> shift, nil // sign-extend
+}
+
+func (d *decoder) readDisp(bits int) error {
+	v, err := d.readLE(bits)
+	if err != nil {
+		return err
+	}
+	d.mem.disp = v
+	return nil
+}
+
+func (d *decoder) readImm(bits int) error {
+	v, err := d.readLE(bits)
+	if err != nil {
+		return err
+	}
+	d.imm = v
+	d.immBits = bits
+	return nil
+}
+
+func (d *decoder) skip(n int) error {
+	if d.pos+n > len(d.code) {
+		return ErrTruncated
+	}
+	d.pos += n
+	return nil
+}
+
+// immediates reads the trailing immediate bytes the attribute table
+// prescribes. immz is 16 bits under an operand-size prefix, else 32
+// (never 64); immv follows the full effective operand size (mov r64,
+// imm64). Near-branch displacements are fixed rel8/rel32 in 64-bit mode
+// regardless of prefixes.
+func (d *decoder) immediates(a attr) error {
+	switch {
+	case a&aImm16 != 0 && a&aImm8 != 0: // enter imm16, imm8
+		return d.skip(3)
+	case a&aImm8 != 0:
+		return d.readImm(8)
+	case a&aImm16 != 0:
+		return d.readImm(16)
+	case a&aImmZ != 0:
+		if d.has66 {
+			return d.readImm(16)
+		}
+		return d.readImm(32)
+	case a&aImmV != 0:
+		switch {
+		case d.rex&8 != 0:
+			return d.readImm(64)
+		case d.has66:
+			return d.readImm(16)
+		default:
+			return d.readImm(32)
+		}
+	case a&aRel8 != 0:
+		return d.readImm(8)
+	case a&aRel32 != 0:
+		return d.readImm(32)
+	case a&aMoffs != 0:
+		if d.has67 {
+			return d.skip(4)
+		}
+		return d.skip(8)
+	case a&aGrp3 != 0:
+		// F6/F7: /0 and /1 are test r/m, imm; the rest take none.
+		if d.reg&7 > 1 {
+			return nil
+		}
+		if d.opcode == 0xF6 {
+			return d.readImm(8)
+		}
+		if d.has66 {
+			return d.readImm(16)
+		}
+		return d.readImm(32)
+	}
+	return nil
+}
+
+// ---- effective sizes and register numbering --------------------------------
+
+// gpOrder maps hardware register numbers (with REX extension) to the
+// model's register families.
+var gpOrder = [16]x86.RegFamily{
+	x86.FamRAX, x86.FamRCX, x86.FamRDX, x86.FamRBX,
+	x86.FamRSP, x86.FamRBP, x86.FamRSI, x86.FamRDI,
+	x86.FamR8, x86.FamR9, x86.FamR10, x86.FamR11,
+	x86.FamR12, x86.FamR13, x86.FamR14, x86.FamR15,
+}
+
+// gpReg resolves a hardware register number at a width. Without a REX
+// prefix, byte registers 4..7 are ah/ch/dh/bh, which the register model
+// deliberately cannot express — those decode as unsupported.
+func gpReg(num byte, size int, haveREX bool) (x86.Reg, bool) {
+	if size == x86.Size8 && !haveREX && num >= 4 && num <= 7 {
+		return x86.Reg{}, false
+	}
+	return x86.Reg{Family: gpOrder[num&15], Size: size}, true
+}
+
+func xmmReg(num byte, size int) x86.Reg {
+	return x86.Reg{Family: x86.FamXMM0 + x86.RegFamily(num&15), Size: size}
+}
+
+// opSize is the effective general-purpose operand size.
+func (d *decoder) opSize() int {
+	switch {
+	case d.rex&8 != 0:
+		return x86.Size64
+	case d.has66:
+		return x86.Size16
+	default:
+		return x86.Size32
+	}
+}
+
+// stackSize is the effective size of push/pop operands (default 64-bit).
+func (d *decoder) stackSize() int {
+	if d.has66 {
+		return x86.Size16
+	}
+	return x86.Size64
+}
+
+// cvtGPSize is the general-purpose operand size of the scalar-conversion
+// instructions (REX.W selects 64-bit; 66 is a mandatory prefix here, not
+// an operand-size override).
+func (d *decoder) cvtGPSize() int {
+	if d.rex&8 != 0 {
+		return x86.Size64
+	}
+	return x86.Size32
+}
+
+func (d *decoder) rexB() byte {
+	if d.rex&1 != 0 {
+		return 8
+	}
+	return 0
+}
+
+// memRef converts the raw addressing operand into the model's MemRef.
+// It fails (unsupported) for RIP-relative addresses, segment overrides
+// and 32-bit address-size overrides, none of which the model expresses.
+func (d *decoder) memRef() (x86.MemRef, bool) {
+	if d.mem.ripRel || d.seg || d.has67 {
+		return x86.MemRef{}, false
+	}
+	var m x86.MemRef
+	m.Disp = d.mem.disp
+	if d.mem.hasBase {
+		m.Base = x86.Reg{Family: gpOrder[d.mem.base&15], Size: x86.Size64}
+	}
+	if d.mem.hasIndex {
+		m.Index = x86.Reg{Family: gpOrder[d.mem.index&15], Size: x86.Size64}
+		m.Scale = d.mem.scale
+	}
+	// Canonicalize a base-less scale-1 index as the base: the printer
+	// renders both identically ("[rcx + 8]"), and the parser reads that
+	// as a base, so only the base form survives a round trip.
+	if !d.mem.hasBase && d.mem.hasIndex && m.Scale == 1 {
+		m.Base, m.Index, m.Scale = m.Index, x86.Reg{}, 0
+	}
+	return m, true
+}
+
+// ---- operand builder --------------------------------------------------------
+
+// opBuilder accumulates operands; any constraint the model cannot
+// express flips ok and the instruction decodes as length-only.
+type opBuilder struct {
+	d   *decoder
+	ops []x86.Operand
+	ok  bool
+}
+
+func (d *decoder) newOps() *opBuilder { return &opBuilder{d: d, ok: true} }
+
+func (b *opBuilder) add(op x86.Operand) { b.ops = append(b.ops, op) }
+
+// gp appends a general-purpose register by hardware number.
+func (b *opBuilder) gp(num byte, size int) {
+	r, ok := gpReg(num, size, b.d.rex != 0)
+	if !ok {
+		b.ok = false
+		return
+	}
+	b.add(x86.NewReg(r))
+}
+
+// regOp appends the ModRM.reg register.
+func (b *opBuilder) regOp(size int) { b.gp(b.d.reg, size) }
+
+// rmOp appends the ModRM.rm operand: a register or a sized memory ref.
+func (b *opBuilder) rmOp(size int) {
+	if b.d.mem.isReg {
+		b.gp(b.d.mem.regNum, size)
+		return
+	}
+	m, ok := b.d.memRef()
+	if !ok {
+		b.ok = false
+		return
+	}
+	b.add(x86.NewMem(m, size))
+}
+
+// xmm appends a vector register by number.
+func (b *opBuilder) xmm(num byte, size int) { b.add(x86.NewReg(xmmReg(num, size))) }
+
+// xmmRegOp appends the ModRM.reg vector register.
+func (b *opBuilder) xmmRegOp(size int) { b.xmm(b.d.reg, size) }
+
+// xmmRM appends the ModRM.rm operand as a vector register or a memory
+// ref of the instruction's memory width (which differs from the register
+// width for scalar SSE ops).
+func (b *opBuilder) xmmRM(regSize, memSize int) {
+	if b.d.mem.isReg {
+		b.xmm(b.d.mem.regNum, regSize)
+		return
+	}
+	m, ok := b.d.memRef()
+	if !ok {
+		b.ok = false
+		return
+	}
+	b.add(x86.NewMem(m, memSize))
+}
+
+// imm appends the decoded immediate at parser-canonical width.
+func (b *opBuilder) imm() { b.add(x86.FitImm(b.d.imm)) }
+
+// addrOp appends the lea effective-address operand.
+func (b *opBuilder) addrOp() {
+	if b.d.mem.isReg { // lea with a register source is #UD
+		b.ok = false
+		return
+	}
+	m, ok := b.d.memRef()
+	if !ok {
+		b.ok = false
+		return
+	}
+	b.add(x86.NewAddr(m))
+}
+
+// emit finalizes the instruction under the given mnemonic. The lock
+// prefix disqualifies any instruction: the model has no atomic-RMW
+// semantics.
+func (b *opBuilder) emit(inst *Inst, name string) {
+	inst.Mnemonic = name
+	if !b.ok || b.d.lock {
+		return
+	}
+	inst.X86 = x86.Instruction{Opcode: name, Operands: b.ops}
+	inst.Supported = true
+}
+
+// ---- semantics --------------------------------------------------------------
+
+func (d *decoder) semantic() Inst {
+	var inst Inst
+	switch {
+	case d.evex:
+		// Length-only: AVX-512 is outside the model.
+	case d.vex:
+		d.semVEX(&inst)
+	case d.esc == 1:
+		d.sem0F(&inst)
+	case d.esc == 2:
+		d.sem0F38(&inst)
+	case d.esc == 3:
+		// Nothing in the modeled subset lives in map 0F3A.
+	default:
+		d.semOneByte(&inst)
+	}
+	if inst.Supported {
+		// The spec table is the only arbiter of support: operand shapes
+		// it has no form for (16-bit bswap, same-width movzx, rcl, ...)
+		// downgrade to length-only here.
+		if inst.X86.Validate() != nil {
+			inst.Supported = false
+			inst.X86 = x86.Instruction{}
+		}
+	}
+	return inst
+}
+
+var aluNames = [8]string{"add", "or", "adc", "sbb", "and", "sub", "xor", "cmp"}
+var shiftNames = [8]string{"rol", "ror", "rcl", "rcr", "shl", "shr", "shl", "sar"}
+var grp3Names = [8]string{"test", "test", "not", "neg", "mul", "imul", "div", "idiv"}
+var ccNames = [16]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+// branch marks a control transfer; rel notes a decoded rel8/rel32
+// displacement (already in d.imm).
+func (d *decoder) branch(inst *Inst, name string, rel bool) {
+	inst.Mnemonic = name
+	inst.Branch = true
+	if rel {
+		inst.RelValid = true
+		inst.RelDisp = d.imm
+	}
+}
+
+func (d *decoder) semOneByte(inst *Inst) {
+	op := d.opcode
+	size := d.opSize()
+	switch {
+	case op < 0x40 && op&7 <= 5: // the eight ALU rows
+		name := aluNames[op>>3]
+		b := d.newOps()
+		switch op & 7 {
+		case 0: // r/m8, r8
+			b.rmOp(x86.Size8)
+			b.regOp(x86.Size8)
+		case 1: // r/m, r
+			b.rmOp(size)
+			b.regOp(size)
+		case 2: // r8, r/m8
+			b.regOp(x86.Size8)
+			b.rmOp(x86.Size8)
+		case 3: // r, r/m
+			b.regOp(size)
+			b.rmOp(size)
+		case 4: // al, imm8
+			b.gp(0, x86.Size8)
+			b.imm()
+		case 5: // rAX, immz
+			b.gp(0, size)
+			b.imm()
+		}
+		b.emit(inst, name)
+
+	case op >= 0x50 && op <= 0x57:
+		b := d.newOps()
+		b.gp(op&7|d.rexB(), d.stackSize())
+		b.emit(inst, "push")
+	case op >= 0x58 && op <= 0x5F:
+		b := d.newOps()
+		b.gp(op&7|d.rexB(), d.stackSize())
+		b.emit(inst, "pop")
+
+	case op == 0x63:
+		inst.Mnemonic = "movsxd" // sign-extending move, outside the subset
+
+	case op >= 0x6C && op <= 0x6F:
+		if op <= 0x6D {
+			inst.Mnemonic = "ins"
+		} else {
+			inst.Mnemonic = "outs"
+		}
+
+	case op == 0x68 || op == 0x6A:
+		b := d.newOps()
+		b.imm()
+		b.emit(inst, "push")
+	case op == 0x69 || op == 0x6B: // imul r, r/m, imm
+		b := d.newOps()
+		b.regOp(size)
+		b.rmOp(size)
+		b.imm()
+		b.emit(inst, "imul")
+
+	case op >= 0x70 && op <= 0x7F:
+		d.branch(inst, "j"+ccNames[op&15], true)
+
+	case op >= 0x80 && op <= 0x83: // group 1: ALU r/m, imm
+		sz := size
+		if op == 0x80 {
+			sz = x86.Size8
+		}
+		b := d.newOps()
+		b.rmOp(sz)
+		b.imm()
+		b.emit(inst, aluNames[d.reg&7])
+
+	case op == 0x84 || op == 0x85:
+		sz := size
+		if op == 0x84 {
+			sz = x86.Size8
+		}
+		b := d.newOps()
+		b.rmOp(sz)
+		b.regOp(sz)
+		b.emit(inst, "test")
+	case op == 0x86 || op == 0x87:
+		sz := size
+		if op == 0x86 {
+			sz = x86.Size8
+		}
+		b := d.newOps()
+		b.rmOp(sz)
+		b.regOp(sz)
+		b.emit(inst, "xchg")
+
+	case op == 0x88 || op == 0x89: // mov r/m, r
+		sz := size
+		if op == 0x88 {
+			sz = x86.Size8
+		}
+		b := d.newOps()
+		b.rmOp(sz)
+		b.regOp(sz)
+		b.emit(inst, "mov")
+	case op == 0x8A || op == 0x8B: // mov r, r/m
+		sz := size
+		if op == 0x8A {
+			sz = x86.Size8
+		}
+		b := d.newOps()
+		b.regOp(sz)
+		b.rmOp(sz)
+		b.emit(inst, "mov")
+	case op == 0x8C || op == 0x8E:
+		inst.Mnemonic = "mov" // segment-register forms
+
+	case op == 0x8D:
+		b := d.newOps()
+		b.regOp(size)
+		b.addrOp()
+		b.emit(inst, "lea")
+
+	case op == 0x8F:
+		if d.reg&7 == 0 {
+			b := d.newOps()
+			b.rmOp(d.stackSize())
+			b.emit(inst, "pop")
+		}
+
+	case op >= 0x90 && op <= 0x97:
+		if op == 0x90 && d.rexB() == 0 {
+			if d.rep == 0xF3 {
+				inst.Mnemonic = "pause"
+				return
+			}
+			d.newOps().emit(inst, "nop")
+			return
+		}
+		b := d.newOps()
+		b.gp(op&7|d.rexB(), size)
+		b.gp(0, size)
+		b.emit(inst, "xchg")
+
+	case op == 0x98:
+		if d.rex&8 != 0 {
+			inst.Mnemonic = "cdqe"
+		} else {
+			inst.Mnemonic = "cwde"
+		}
+	case op == 0x99:
+		switch {
+		case d.rex&8 != 0:
+			d.newOps().emit(inst, "cqo")
+		case d.has66:
+			inst.Mnemonic = "cwd"
+		default:
+			d.newOps().emit(inst, "cdq")
+		}
+
+	case op == 0x9B:
+		inst.Mnemonic = "fwait"
+	case op == 0x9C:
+		inst.Mnemonic = "pushfq"
+	case op == 0x9D:
+		inst.Mnemonic = "popfq"
+	case op == 0x9E:
+		inst.Mnemonic = "sahf"
+	case op == 0x9F:
+		inst.Mnemonic = "lahf"
+
+	case op >= 0xA0 && op <= 0xA3:
+		inst.Mnemonic = "mov" // moffs forms
+
+	case op == 0xA4 || op == 0xA5:
+		inst.Mnemonic = "movs"
+	case op == 0xA6 || op == 0xA7:
+		inst.Mnemonic = "cmps"
+	case op >= 0xAA && op <= 0xAB:
+		inst.Mnemonic = "stos"
+	case op >= 0xAC && op <= 0xAD:
+		inst.Mnemonic = "lods"
+	case op >= 0xAE && op <= 0xAF:
+		inst.Mnemonic = "scas"
+
+	case op == 0xA8 || op == 0xA9: // test rAX, imm
+		sz := size
+		if op == 0xA8 {
+			sz = x86.Size8
+		}
+		b := d.newOps()
+		b.gp(0, sz)
+		b.imm()
+		b.emit(inst, "test")
+
+	case op >= 0xB0 && op <= 0xB7: // mov r8, imm8
+		b := d.newOps()
+		b.gp(op&7|d.rexB(), x86.Size8)
+		b.imm()
+		b.emit(inst, "mov")
+	case op >= 0xB8 && op <= 0xBF: // mov r, immv
+		b := d.newOps()
+		b.gp(op&7|d.rexB(), size)
+		b.imm()
+		b.emit(inst, "mov")
+
+	case op == 0xC0 || op == 0xC1 || (op >= 0xD0 && op <= 0xD3): // shift groups
+		sz := size
+		if op == 0xC0 || op == 0xD0 || op == 0xD2 {
+			sz = x86.Size8
+		}
+		b := d.newOps()
+		b.rmOp(sz)
+		switch op {
+		case 0xC0, 0xC1:
+			b.imm()
+		case 0xD0, 0xD1:
+			b.add(x86.FitImm(1))
+		default: // D2, D3: shift by cl
+			b.add(x86.NewReg(x86.Reg{Family: x86.FamRCX, Size: x86.Size8}))
+		}
+		b.emit(inst, shiftNames[d.reg&7])
+
+	case op == 0xC2 || op == 0xC3:
+		d.branch(inst, "ret", false)
+
+	case op == 0xC6 || op == 0xC7: // group 11: mov r/m, imm
+		if d.reg&7 != 0 {
+			inst.Mnemonic = "xabort" // C6 F8 / C7 F8 (xbegin) and reserved slots
+			if op == 0xC7 {
+				inst.Mnemonic = "xbegin"
+			}
+			return
+		}
+		sz := size
+		if op == 0xC6 {
+			sz = x86.Size8
+		}
+		b := d.newOps()
+		b.rmOp(sz)
+		b.imm()
+		b.emit(inst, "mov")
+
+	case op == 0xC8:
+		inst.Mnemonic = "enter"
+	case op == 0xC9:
+		inst.Mnemonic = "leave"
+	case op == 0xCA || op == 0xCB:
+		d.branch(inst, "retf", false)
+	case op == 0xCC:
+		d.branch(inst, "int3", false)
+	case op == 0xCD:
+		d.branch(inst, "int", false)
+	case op == 0xCF:
+		d.branch(inst, "iretq", false)
+
+	case op == 0xD7:
+		inst.Mnemonic = "xlat"
+	case op >= 0xD8 && op <= 0xDF:
+		inst.Mnemonic = "x87" // the entire x87 escape range
+
+	case op == 0xE0:
+		d.branch(inst, "loopne", true)
+	case op == 0xE1:
+		d.branch(inst, "loope", true)
+	case op == 0xE2:
+		d.branch(inst, "loop", true)
+	case op == 0xE3:
+		d.branch(inst, "jrcxz", true)
+	case op >= 0xE4 && op <= 0xE7:
+		if op <= 0xE5 {
+			inst.Mnemonic = "in"
+		} else {
+			inst.Mnemonic = "out"
+		}
+	case op == 0xE8:
+		d.branch(inst, "call", true)
+	case op == 0xE9 || op == 0xEB:
+		d.branch(inst, "jmp", true)
+	case op >= 0xEC && op <= 0xEF:
+		if op <= 0xED {
+			inst.Mnemonic = "in"
+		} else {
+			inst.Mnemonic = "out"
+		}
+
+	case op == 0xF1:
+		d.branch(inst, "int1", false)
+	case op == 0xF4:
+		d.branch(inst, "hlt", false)
+	case op == 0xF5:
+		inst.Mnemonic = "cmc"
+
+	case op == 0xF6 || op == 0xF7: // group 3
+		sz := size
+		if op == 0xF6 {
+			sz = x86.Size8
+		}
+		name := grp3Names[d.reg&7]
+		b := d.newOps()
+		b.rmOp(sz)
+		if d.reg&7 <= 1 {
+			b.imm()
+		}
+		// /5 is the one-operand imul, which the spec table has no form
+		// for; emit lets Validate downgrade it.
+		b.emit(inst, name)
+
+	case op >= 0xF8 && op <= 0xFD:
+		inst.Mnemonic = [...]string{"clc", "stc", "cli", "sti", "cld", "std"}[op-0xF8]
+
+	case op == 0xFE: // group 4: inc/dec r/m8
+		if d.reg&7 <= 1 {
+			b := d.newOps()
+			b.rmOp(x86.Size8)
+			b.emit(inst, [...]string{"inc", "dec"}[d.reg&7])
+		}
+
+	case op == 0xFF: // group 5
+		switch d.reg & 7 {
+		case 0, 1:
+			b := d.newOps()
+			b.rmOp(size)
+			b.emit(inst, [...]string{"inc", "dec"}[d.reg&7])
+		case 2, 3:
+			d.branch(inst, "call", false)
+		case 4, 5:
+			d.branch(inst, "jmp", false)
+		case 6:
+			b := d.newOps()
+			b.rmOp(d.stackSize())
+			b.emit(inst, "push")
+		}
+	}
+}
+
+func (d *decoder) sem0F(inst *Inst) {
+	op := d.opcode
+	size := d.opSize()
+	switch {
+	case op == 0x05:
+		d.branch(inst, "syscall", false)
+	case op == 0x0B:
+		d.branch(inst, "ud2", false)
+
+	case op == 0x18:
+		inst.Mnemonic = "prefetch"
+	case op >= 0x19 && op <= 0x1F:
+		// Reserved/multi-byte NOPs (the compiler padding workhorses).
+		// The memory operand is a pure hint, so it is dropped.
+		d.newOps().emit(inst, "nop")
+
+	case op == 0x31:
+		inst.Mnemonic = "rdtsc"
+
+	case op >= 0x40 && op <= 0x4F:
+		inst.Mnemonic = "cmov" + ccNames[op&15]
+
+	case op >= 0x80 && op <= 0x8F:
+		d.branch(inst, "j"+ccNames[op&15], true)
+	case op >= 0x90 && op <= 0x9F:
+		inst.Mnemonic = "set" + ccNames[op&15]
+
+	case op == 0xA0 || op == 0xA8:
+		inst.Mnemonic = "push"
+	case op == 0xA1 || op == 0xA9:
+		inst.Mnemonic = "pop"
+	case op == 0xA2:
+		inst.Mnemonic = "cpuid"
+	case op == 0xA3 || op == 0xAB || op == 0xB3 || op == 0xBB:
+		inst.Mnemonic = [...]string{"bt", "bts", "btr", "btc"}[(op>>3)&3]
+	case op == 0xBA: // group 8
+		if d.reg&7 >= 4 {
+			inst.Mnemonic = [...]string{"bt", "bts", "btr", "btc"}[d.reg&3]
+		}
+	case op == 0xA4 || op == 0xA5:
+		inst.Mnemonic = "shld"
+	case op == 0xAC || op == 0xAD:
+		inst.Mnemonic = "shrd"
+	case op == 0xAA:
+		inst.Mnemonic = "rsm"
+	case op == 0xAE:
+		inst.Mnemonic = "fence" // group 15: fences, ldmxcsr, clflush, ...
+
+	case op == 0xAF: // imul r, r/m
+		b := d.newOps()
+		b.regOp(size)
+		b.rmOp(size)
+		b.emit(inst, "imul")
+
+	case op == 0xB0 || op == 0xB1:
+		inst.Mnemonic = "cmpxchg"
+	case op == 0xB6 || op == 0xB7 || op == 0xBE || op == 0xBF:
+		name := "movzx"
+		if op >= 0xBE {
+			name = "movsx"
+		}
+		srcSize := x86.Size8
+		if op&1 != 0 {
+			srcSize = x86.Size16
+		}
+		b := d.newOps()
+		b.regOp(size)
+		b.rmOp(srcSize)
+		b.emit(inst, name)
+
+	case op == 0xB8:
+		if d.pp == 2 {
+			b := d.newOps()
+			b.regOp(size)
+			b.rmOp(size)
+			b.emit(inst, "popcnt")
+		} else {
+			inst.Mnemonic = "jmpe"
+		}
+	case op == 0xB9:
+		inst.Mnemonic = "ud1"
+	case op == 0xBC || op == 0xBD:
+		if d.pp == 2 {
+			b := d.newOps()
+			b.regOp(size)
+			b.rmOp(size)
+			b.emit(inst, [...]string{"tzcnt", "lzcnt"}[op&1])
+		} else {
+			inst.Mnemonic = [...]string{"bsf", "bsr"}[op&1]
+		}
+
+	case op == 0xC0 || op == 0xC1:
+		inst.Mnemonic = "xadd"
+	case op == 0xC7: // group 9
+		switch d.reg & 7 {
+		case 1:
+			inst.Mnemonic = "cmpxchg16b"
+		case 6:
+			inst.Mnemonic = "rdrand"
+		case 7:
+			inst.Mnemonic = "rdseed"
+		}
+	case op >= 0xC8 && op <= 0xCF:
+		b := d.newOps()
+		b.gp(op&7|d.rexB(), size)
+		b.emit(inst, "bswap")
+
+	default:
+		if e, ok := sseTable[sseKey(op, d.pp)]; ok {
+			d.emitSSE(inst, e)
+		}
+	}
+}
+
+func (d *decoder) sem0F38(inst *Inst) {
+	if e, ok := sse38Table[sseKey(d.opcode, d.pp)]; ok {
+		d.emitSSE(inst, e)
+	}
+}
+
+// emitSSE materializes an SSE table entry's operand shape.
+func (d *decoder) emitSSE(inst *Inst, e sseEntry) {
+	b := d.newOps()
+	switch e.kind {
+	case kRM128: // xmm ← xmm/m128
+		b.xmmRegOp(x86.Size128)
+		b.xmmRM(x86.Size128, x86.Size128)
+	case kRM32: // xmm ← xmm/m32 (scalar single)
+		b.xmmRegOp(x86.Size128)
+		b.xmmRM(x86.Size128, x86.Size32)
+	case kRM64: // xmm ← xmm/m64 (scalar double)
+		b.xmmRegOp(x86.Size128)
+		b.xmmRM(x86.Size128, x86.Size64)
+	case kStore128: // xmm/m128 ← xmm
+		b.xmmRM(x86.Size128, x86.Size128)
+		b.xmmRegOp(x86.Size128)
+	case kStore32:
+		b.xmmRM(x86.Size128, x86.Size32)
+		b.xmmRegOp(x86.Size128)
+	case kStore64:
+		b.xmmRM(x86.Size128, x86.Size64)
+		b.xmmRegOp(x86.Size128)
+	case kGP2X: // xmm ← r/m32/64 (cvtsi2ss/sd)
+		b.xmmRegOp(x86.Size128)
+		b.rmOp(d.cvtGPSize())
+	case kX2GP32: // r32/64 ← xmm/m32 (cvttss2si)
+		b.gp(d.reg, d.cvtGPSize())
+		b.xmmRM(x86.Size128, x86.Size32)
+	case kX2GP64: // r32/64 ← xmm/m64 (cvttsd2si)
+		b.gp(d.reg, d.cvtGPSize())
+		b.xmmRM(x86.Size128, x86.Size64)
+	}
+	b.emit(inst, e.name)
+}
+
+func (d *decoder) semVEX(inst *Inst) {
+	vecSize := x86.Size128
+	if d.vexL {
+		vecSize = x86.Size256
+	}
+	if d.esc == 1 && d.opcode == 0x77 {
+		if d.vexL {
+			inst.Mnemonic = "vzeroall"
+		} else {
+			inst.Mnemonic = "vzeroupper"
+		}
+		return
+	}
+	if d.esc == 2 && d.pp == 1 {
+		if fe, ok := fmaTable[d.opcode]; ok {
+			d.emitFMA(inst, fe, vecSize)
+			return
+		}
+	}
+	e, ok := vexTable[sseKey(d.opcode, d.pp)]
+	if !ok || d.esc != e.vexMap {
+		return
+	}
+	b := d.newOps()
+	switch e.kind {
+	case vMovLoad, vMovStore: // two-operand moves: vvvv must be unused
+		if d.vexV != 0 {
+			inst.Mnemonic = e.name
+			return
+		}
+		if e.kind == vMovLoad {
+			b.xmmRegOp(vecSize)
+			b.xmmRM(vecSize, vecSize)
+		} else {
+			b.xmmRM(vecSize, vecSize)
+			b.xmmRegOp(vecSize)
+		}
+	case vScalar32, vScalar64: // dst, src1 (vvvv), src2 (r/m) — LIG
+		memSize := x86.Size32
+		if e.kind == vScalar64 {
+			memSize = x86.Size64
+		}
+		b.xmmRegOp(x86.Size128)
+		b.xmm(d.vexV, x86.Size128)
+		b.xmmRM(x86.Size128, memSize)
+	case vPacked:
+		b.xmmRegOp(vecSize)
+		b.xmm(d.vexV, vecSize)
+		b.xmmRM(vecSize, vecSize)
+	}
+	b.emit(inst, e.name)
+}
+
+// emitFMA handles the VEX.66.0F38 FMA family, whose ss/sd (and ps/pd)
+// variants share one opcode selected by VEX.W.
+func (d *decoder) emitFMA(inst *Inst, fe fmaEntry, vecSize int) {
+	b := d.newOps()
+	var name string
+	if fe.scalar {
+		memSize := x86.Size32
+		name = fe.base + "ss"
+		if d.vexW {
+			memSize = x86.Size64
+			name = fe.base + "sd"
+		}
+		b.xmmRegOp(x86.Size128)
+		b.xmm(d.vexV, x86.Size128)
+		b.xmmRM(x86.Size128, memSize)
+	} else {
+		name = fe.base + "ps"
+		if d.vexW {
+			name = fe.base + "pd"
+		}
+		b.xmmRegOp(vecSize)
+		b.xmm(d.vexV, vecSize)
+		b.xmmRM(vecSize, vecSize)
+	}
+	b.emit(inst, name)
+}

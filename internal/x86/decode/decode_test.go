@@ -1,0 +1,390 @@
+package decode
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// vec is one hand-assembled test vector. want is the expected rendering
+// of the decoded instruction ("" when the bytes are outside the modeled
+// subset).
+type vec struct {
+	name   string
+	code   []byte
+	want   string
+	len    int
+	branch bool
+}
+
+var vectors = []vec{
+	// Basic ALU, REX and operand sizes.
+	{"add r64", []byte{0x48, 0x01, 0xD8}, "add rax, rbx", 3, false},
+	{"add r32", []byte{0x01, 0xD8}, "add eax, ebx", 2, false},
+	{"add r16", []byte{0x66, 0x01, 0xD8}, "add ax, bx", 3, false},
+	{"add r8", []byte{0x00, 0xD8}, "add al, bl", 2, false},
+	{"add reverse", []byte{0x48, 0x03, 0xC3}, "add rax, rbx", 3, false},
+	{"xor al imm", []byte{0x34, 0x7F}, "xor al, 127", 2, false},
+	{"cmp eax imm32", []byte{0x3D, 0x40, 0x42, 0x0F, 0x00}, "cmp eax, 1000000", 5, false},
+	{"add imm8 sx", []byte{0x48, 0x83, 0xC0, 0x01}, "add rax, 1", 4, false},
+	{"sub imm32", []byte{0x48, 0x81, 0xEC, 0x00, 0x01, 0x00, 0x00}, "sub rsp, 256", 7, false},
+	{"and imm8 neg", []byte{0x83, 0xE1, 0xF0}, "and ecx, -16", 3, false},
+
+	// REX extensions.
+	{"r8-r15 dst", []byte{0x4D, 0x01, 0xC1}, "add r9, r8", 3, false},
+	{"spl not ah", []byte{0x40, 0x00, 0xE0}, "add al, spl", 3, false},
+	{"ah unsupported", []byte{0x00, 0xE0}, "", 2, false},
+
+	// ModRM/SIB addressing.
+	{"mov load", []byte{0x48, 0x8B, 0x03}, "mov rax, qword ptr [rbx]", 3, false},
+	{"mov store disp8", []byte{0x89, 0x45, 0xFC}, "mov dword ptr [rbp - 4], eax", 3, false},
+	{"mov sib scale8", []byte{0x48, 0x8B, 0x04, 0xC8}, "mov rax, qword ptr [rax + rcx*8]", 4, false},
+	{"mov sib disp32", []byte{0x8B, 0x84, 0x24, 0x00, 0x01, 0x00, 0x00}, "mov eax, dword ptr [rsp + 256]", 7, false},
+	{"mov abs sib", []byte{0x8B, 0x04, 0x25, 0x10, 0x00, 0x00, 0x00}, "mov eax, dword ptr [16]", 7, false},
+	{"mov idx only", []byte{0x8B, 0x04, 0x4D, 0x00, 0x00, 0x00, 0x00}, "mov eax, dword ptr [rcx*2]", 7, false},
+	{"mov idx scale1", []byte{0x8B, 0x04, 0x0D, 0x08, 0x00, 0x00, 0x00}, "mov eax, dword ptr [rcx + 8]", 7, false},
+	{"r12 base sib", []byte{0x41, 0x8B, 0x04, 0x24}, "mov eax, dword ptr [r12]", 4, false},
+	{"r13 base disp0", []byte{0x41, 0x8B, 0x45, 0x00}, "mov eax, dword ptr [r13]", 4, false},
+	{"r12 index", []byte{0x42, 0x8B, 0x04, 0x60}, "mov eax, dword ptr [rax + r12*2]", 4, false},
+	{"rip-rel unsupported", []byte{0x8B, 0x05, 0x10, 0x00, 0x00, 0x00}, "", 6, false},
+
+	// mov immediates.
+	{"mov r32 imm", []byte{0xB8, 0x2A, 0x00, 0x00, 0x00}, "mov eax, 42", 5, false},
+	{"mov r64 imm64", []byte{0x48, 0xB8, 0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01}, "mov rax, 81985529216486895", 10, false},
+	{"mov r8 imm", []byte{0xB3, 0x07}, "mov bl, 7", 2, false},
+	{"mov rm imm", []byte{0x48, 0xC7, 0x45, 0xF8, 0x05, 0x00, 0x00, 0x00}, "mov qword ptr [rbp - 8], 5", 8, false},
+
+	// lea (with register source it is invalid → unsupported, length 3).
+	{"lea", []byte{0x48, 0x8D, 0x44, 0x24, 0x08}, "lea rax, [rsp + 8]", 5, false},
+	{"lea reg invalid", []byte{0x48, 0x8D, 0xC1}, "", 3, false},
+
+	// push/pop, xchg, nop.
+	{"push r64", []byte{0x55}, "push rbp", 1, false},
+	{"push r15", []byte{0x41, 0x57}, "push r15", 2, false},
+	{"pop r64", []byte{0x5D}, "pop rbp", 1, false},
+	{"push imm8", []byte{0x6A, 0x2A}, "push 42", 2, false},
+	{"xchg", []byte{0x48, 0x87, 0xD8}, "xchg rax, rbx", 3, false},
+	{"xchg rax r", []byte{0x48, 0x93}, "xchg rbx, rax", 2, false},
+	{"nop", []byte{0x90}, "nop", 1, false},
+	{"pause", []byte{0xF3, 0x90}, "", 2, false},
+	{"nop multi", []byte{0x0F, 0x1F, 0x40, 0x00}, "nop", 4, false},
+	{"nop 66 long", []byte{0x66, 0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00}, "nop", 9, false},
+
+	// Shifts, unary group, wide ops.
+	{"shl imm", []byte{0x48, 0xC1, 0xE0, 0x02}, "shl rax, 2", 4, false},
+	{"shr 1", []byte{0xD1, 0xE8}, "shr eax, 1", 2, false},
+	{"sar cl", []byte{0x48, 0xD3, 0xF8}, "sar rax, cl", 3, false},
+	{"rcl unsupported", []byte{0xC1, 0xD0, 0x03}, "", 3, false},
+	{"neg", []byte{0x48, 0xF7, 0xD8}, "neg rax", 3, false},
+	{"not", []byte{0xF7, 0xD1}, "not ecx", 2, false},
+	{"test imm", []byte{0xF7, 0xC1, 0x01, 0x00, 0x00, 0x00}, "test ecx, 1", 6, false},
+	{"mul", []byte{0x48, 0xF7, 0xE3}, "mul rbx", 3, false},
+	{"idiv", []byte{0x48, 0xF7, 0xFB}, "idiv rbx", 3, false},
+	{"imul 2op", []byte{0x48, 0x0F, 0xAF, 0xC3}, "imul rax, rbx", 4, false},
+	{"imul 3op", []byte{0x48, 0x6B, 0xC0, 0x09}, "imul rax, rax, 9", 4, false},
+	{"inc", []byte{0xFF, 0xC0}, "inc eax", 2, false},
+	{"dec mem", []byte{0x48, 0xFF, 0x4D, 0x00}, "dec qword ptr [rbp]", 4, false},
+	{"cqo", []byte{0x48, 0x99}, "cqo", 2, false},
+	{"cdq", []byte{0x99}, "cdq", 1, false},
+	{"bswap", []byte{0x48, 0x0F, 0xC8}, "bswap rax", 3, false},
+	{"bswap16 invalid", []byte{0x66, 0x0F, 0xC8}, "", 3, false},
+	{"movzx", []byte{0x0F, 0xB6, 0xC3}, "movzx eax, bl", 3, false},
+	{"movsx r64 m16", []byte{0x48, 0x0F, 0xBF, 0x03}, "movsx rax, word ptr [rbx]", 4, false},
+	{"popcnt", []byte{0xF3, 0x48, 0x0F, 0xB8, 0xC3}, "popcnt rax, rbx", 5, false},
+	{"tzcnt", []byte{0xF3, 0x0F, 0xBC, 0xC1}, "tzcnt eax, ecx", 4, false},
+	{"bsf unsupported", []byte{0x0F, 0xBC, 0xC1}, "", 3, false},
+
+	// Branches.
+	{"jmp rel8", []byte{0xEB, 0x05}, "", 2, true},
+	{"je rel8", []byte{0x74, 0x10}, "", 2, true},
+	{"jne rel32", []byte{0x0F, 0x85, 0x00, 0x01, 0x00, 0x00}, "", 6, true},
+	{"call rel32", []byte{0xE8, 0x00, 0x00, 0x00, 0x00}, "", 5, true},
+	{"call indirect", []byte{0xFF, 0xD0}, "", 2, true},
+	{"jmp indirect mem", []byte{0xFF, 0x25, 0x00, 0x00, 0x00, 0x00}, "", 6, true},
+	{"ret", []byte{0xC3}, "", 1, true},
+	{"ret imm", []byte{0xC2, 0x08, 0x00}, "", 3, true},
+	{"syscall", []byte{0x0F, 0x05}, "", 2, true},
+	{"int3", []byte{0xCC}, "", 1, true},
+	{"ud2", []byte{0x0F, 0x0B}, "", 2, true},
+	{"loop", []byte{0xE2, 0xFE}, "", 2, true},
+
+	// Prefix-induced unsupported forms (length must still be exact).
+	{"lock add", []byte{0xF0, 0x01, 0x03}, "", 3, false},
+	{"fs segment", []byte{0x64, 0x48, 0x8B, 0x03}, "", 4, false},
+	{"addr32", []byte{0x67, 0x8B, 0x03}, "", 3, false},
+	{"cmov unsupported", []byte{0x48, 0x0F, 0x4E, 0xC3}, "", 4, false},
+	{"setcc unsupported", []byte{0x0F, 0x94, 0xC0}, "", 3, false},
+	{"movsxd unsupported", []byte{0x48, 0x63, 0xC1}, "", 3, false},
+	{"enter", []byte{0xC8, 0x10, 0x00, 0x00}, "", 4, false},
+	{"x87 fadd", []byte{0xD8, 0xC1}, "", 2, false},
+	{"cmpxchg", []byte{0x48, 0x0F, 0xB1, 0x0B}, "", 4, false},
+	{"xadd", []byte{0xF0, 0x0F, 0xC1, 0x03}, "", 4, false},
+	{"movs rep", []byte{0xF3, 0xA4}, "", 2, false},
+	{"mov moffs", []byte{0x48, 0xA1, 1, 2, 3, 4, 5, 6, 7, 8}, "", 10, false},
+
+	// SSE scalar and packed.
+	{"addss", []byte{0xF3, 0x0F, 0x58, 0xC1}, "addss xmm0, xmm1", 4, false},
+	{"addsd mem", []byte{0xF2, 0x0F, 0x58, 0x03}, "addsd xmm0, qword ptr [rbx]", 4, false},
+	{"movss load", []byte{0xF3, 0x0F, 0x10, 0x44, 0x24, 0x04}, "movss xmm0, dword ptr [rsp + 4]", 6, false},
+	{"movss store", []byte{0xF3, 0x0F, 0x11, 0x44, 0x24, 0x04}, "movss dword ptr [rsp + 4], xmm0", 6, false},
+	{"movaps", []byte{0x0F, 0x28, 0x07}, "movaps xmm0, xmmword ptr [rdi]", 3, false},
+	{"movaps store", []byte{0x0F, 0x29, 0x07}, "movaps xmmword ptr [rdi], xmm0", 3, false},
+	{"movdqu", []byte{0xF3, 0x0F, 0x6F, 0x01}, "movdqu xmm0, xmmword ptr [rcx]", 4, false},
+	{"mulpd", []byte{0x66, 0x0F, 0x59, 0xC1}, "mulpd xmm0, xmm1", 4, false},
+	{"pxor", []byte{0x66, 0x0F, 0xEF, 0xC0}, "pxor xmm0, xmm0", 4, false},
+	{"paddd", []byte{0x66, 0x0F, 0xFE, 0xC1}, "paddd xmm0, xmm1", 4, false},
+	{"xmm8-15", []byte{0x66, 0x45, 0x0F, 0xEF, 0xC9}, "pxor xmm9, xmm9", 5, false},
+	{"cvtsi2sd", []byte{0xF2, 0x48, 0x0F, 0x2A, 0xC7}, "cvtsi2sd xmm0, rdi", 5, false},
+	{"cvttsd2si", []byte{0xF2, 0x48, 0x0F, 0x2C, 0xF8}, "cvttsd2si rdi, xmm0", 5, false},
+	{"ucomiss", []byte{0x0F, 0x2E, 0xC1}, "ucomiss xmm0, xmm1", 3, false},
+	{"sqrtsd", []byte{0xF2, 0x0F, 0x51, 0xC1}, "sqrtsd xmm0, xmm1", 4, false},
+	{"pmulld 0F38", []byte{0x66, 0x0F, 0x38, 0x40, 0xC1}, "pmulld xmm0, xmm1", 5, false},
+	{"pminsd 0F38", []byte{0x66, 0x0F, 0x38, 0x39, 0xC1}, "pminsd xmm0, xmm1", 5, false},
+	{"mmx unsupported", []byte{0x0F, 0xFE, 0xC1}, "", 3, false},
+	{"sqrtps unsupported", []byte{0x0F, 0x51, 0xC1}, "", 3, false},
+
+	// VEX.
+	{"vaddps 2byte", []byte{0xC5, 0xF0, 0x58, 0xC2}, "vaddps xmm0, xmm1, xmm2", 4, false},
+	{"vaddps ymm", []byte{0xC5, 0xF4, 0x58, 0xC2}, "vaddps ymm0, ymm1, ymm2", 4, false},
+	{"vaddsd", []byte{0xC5, 0xF3, 0x58, 0xC2}, "vaddsd xmm0, xmm1, xmm2", 4, false},
+	{"vmovups load", []byte{0xC5, 0xFC, 0x10, 0x07}, "vmovups ymm0, ymmword ptr [rdi]", 4, false},
+	{"vmovdqa store", []byte{0xC5, 0xF9, 0x7F, 0x00}, "vmovdqa xmmword ptr [rax], xmm0", 4, false},
+	{"vpxor", []byte{0xC5, 0xF1, 0xEF, 0xC2}, "vpxor xmm0, xmm1, xmm2", 4, false},
+	{"vex3 vaddps", []byte{0xC4, 0xE1, 0x70, 0x58, 0xC2}, "vaddps xmm0, xmm1, xmm2", 5, false},
+	{"vex3 high regs", []byte{0xC4, 0x41, 0x30, 0x58, 0xC2}, "vaddps xmm8, xmm9, xmm10", 5, false},
+	{"vfmadd213ss", []byte{0xC4, 0xE2, 0x71, 0xA9, 0xC2}, "vfmadd213ss xmm0, xmm1, xmm2", 5, false},
+	{"vfmadd231sd", []byte{0xC4, 0xE2, 0xF1, 0xB9, 0xC2}, "vfmadd231sd xmm0, xmm1, xmm2", 5, false},
+	{"vfmadd213ps", []byte{0xC4, 0xE2, 0x71, 0xA8, 0xC2}, "vfmadd213ps xmm0, xmm1, xmm2", 5, false},
+	{"vpminsd vex38", []byte{0xC4, 0xE2, 0x71, 0x39, 0xC2}, "vpminsd xmm0, xmm1, xmm2", 5, false},
+	{"vzeroupper", []byte{0xC5, 0xF8, 0x77}, "", 3, false},
+	{"vmovaps vvvv!=0", []byte{0xC5, 0xF0, 0x28, 0xC2}, "", 4, false},
+
+	// EVEX: length-only.
+	{"evex vaddps", []byte{0x62, 0xF1, 0x74, 0x48, 0x58, 0xC2}, "", 6, false},
+	{"evex disp8", []byte{0x62, 0xF1, 0x7C, 0x48, 0x10, 0x40, 0x01}, "", 7, false},
+}
+
+func TestDecodeVectors(t *testing.T) {
+	for _, v := range vectors {
+		t.Run(v.name, func(t *testing.T) {
+			inst, err := Decode(v.code)
+			if err != nil {
+				t.Fatalf("Decode(% x): %v", v.code, err)
+			}
+			if inst.Len != v.len {
+				t.Errorf("Len = %d, want %d", inst.Len, v.len)
+			}
+			if inst.Branch != v.branch {
+				t.Errorf("Branch = %v, want %v", inst.Branch, v.branch)
+			}
+			if v.want == "" {
+				if inst.Supported {
+					t.Errorf("decoded as supported %q, want unsupported", inst.X86.String())
+				}
+				return
+			}
+			if !inst.Supported {
+				t.Fatalf("unsupported (mnemonic %q), want %q", inst.Mnemonic, v.want)
+			}
+			if got := inst.X86.String(); got != v.want {
+				t.Errorf("decoded %q, want %q", got, v.want)
+			}
+		})
+	}
+}
+
+func TestDecodeBranchDisplacements(t *testing.T) {
+	cases := []struct {
+		code []byte
+		rel  int64
+	}{
+		{[]byte{0xEB, 0x05}, 5},
+		{[]byte{0xEB, 0xFE}, -2},
+		{[]byte{0x74, 0x10}, 16},
+		{[]byte{0xE8, 0x00, 0x01, 0x00, 0x00}, 256},
+		{[]byte{0x0F, 0x84, 0xFC, 0xFF, 0xFF, 0xFF}, -4},
+	}
+	for _, c := range cases {
+		inst, err := Decode(c.code)
+		if err != nil {
+			t.Fatalf("Decode(% x): %v", c.code, err)
+		}
+		if !inst.Branch || !inst.RelValid {
+			t.Fatalf("Decode(% x): Branch=%v RelValid=%v, want true/true", c.code, inst.Branch, inst.RelValid)
+		}
+		if inst.RelDisp != c.rel {
+			t.Errorf("Decode(% x): RelDisp = %d, want %d", c.code, inst.RelDisp, c.rel)
+		}
+	}
+	// Indirect and ret branches carry no displacement.
+	for _, code := range [][]byte{{0xC3}, {0xFF, 0xD0}} {
+		inst, err := Decode(code)
+		if err != nil {
+			t.Fatalf("Decode(% x): %v", code, err)
+		}
+		if !inst.Branch || inst.RelValid {
+			t.Fatalf("Decode(% x): Branch=%v RelValid=%v, want true/false", code, inst.Branch, inst.RelValid)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		code []byte
+		err  error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"prefix only", []byte{0x66}, ErrTruncated},
+		{"rex only", []byte{0x48}, ErrTruncated},
+		{"truncated modrm", []byte{0x01}, ErrTruncated},
+		{"truncated disp", []byte{0x8B, 0x84, 0x24, 0x00}, ErrTruncated},
+		{"truncated imm", []byte{0xB8, 0x01, 0x02}, ErrTruncated},
+		{"invalid opcode", []byte{0x06}, ErrInvalid},
+		{"invalid 0F slot", []byte{0x0F, 0x04}, ErrInvalid},
+		{"vex after 66", []byte{0x66, 0xC5, 0xF0, 0x58, 0xC2}, ErrInvalid},
+		{"vex after rex", []byte{0x48, 0xC5, 0xF0, 0x58, 0xC2}, ErrInvalid},
+		{"vex bad map", []byte{0xC4, 0xE4, 0x70, 0x58, 0xC2}, ErrInvalid},
+		{"prefix runaway", []byte{0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x90}, ErrInvalid},
+		{"overlong total", []byte{0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x48, 0xB8, 1, 2, 3, 4, 5, 6, 7, 8}, ErrInvalid},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Decode(c.code)
+			if !errors.Is(err, c.err) {
+				t.Errorf("Decode(% x) error = %v, want %v", c.code, err, c.err)
+			}
+		})
+	}
+}
+
+// TestDecodeTruncationProperty checks that every proper prefix of a
+// decodable instruction fails with ErrTruncated — i.e. the decoder never
+// reads beyond what it reports and never accepts a shorter parse.
+func TestDecodeTruncationProperty(t *testing.T) {
+	for _, v := range vectors {
+		inst, err := Decode(v.code)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if inst.Len != len(v.code) {
+			// Vectors are exact encodings; Len is checked elsewhere.
+			continue
+		}
+		for n := 0; n < len(v.code); n++ {
+			if _, err := Decode(v.code[:n]); !errors.Is(err, ErrTruncated) {
+				t.Errorf("%s: Decode(prefix %d/%d) = %v, want ErrTruncated", v.name, n, len(v.code), err)
+			}
+		}
+	}
+}
+
+// TestDecodeParserRoundTrip is the satellite property test: every
+// supported decode must reparse, via the text frontend, to an equal
+// instruction. It sweeps the vectors plus a systematic space of
+// prefix × opcode × ModRM combinations.
+func TestDecodeParserRoundTrip(t *testing.T) {
+	checkRoundTrip := func(t *testing.T, code []byte, inst Inst) {
+		t.Helper()
+		text := inst.X86.String()
+		re, err := x86.ParseInstruction(text)
+		if err != nil {
+			t.Errorf("decode(% x) → %q does not reparse: %v", code, text, err)
+			return
+		}
+		if !instEqual(inst.X86, re) {
+			t.Errorf("decode(% x) → %q reparses to %q (structural mismatch)", code, text, re.String())
+		}
+	}
+
+	supported := 0
+	for _, v := range vectors {
+		inst, err := Decode(v.code)
+		if err != nil || !inst.Supported {
+			continue
+		}
+		checkRoundTrip(t, v.code, inst)
+		supported++
+	}
+
+	// Systematic sweep: every one-byte and 0F opcode under a spread of
+	// prefixes and ModRM/SIB shapes. Everything that decodes as
+	// supported must round-trip.
+	prefixes := [][]byte{
+		{}, {0x66}, {0x48}, {0x4F}, {0xF3}, {0xF2},
+		{0x66, 0x48}, {0xF3, 0x48}, {0xF2, 0x4C},
+	}
+	modrms := [][]byte{
+		{0xC1},                               // reg, reg
+		{0xD8},                               // reg, reg (other direction)
+		{0x03},                               // [rbx]
+		{0x45, 0xFC},                         // [rbp-4]
+		{0x04, 0xC8},                         // [rax+rcx*8]
+		{0x84, 0x24, 0x00, 0x01, 0x00, 0x00}, // [rsp+256]
+		{0x0C, 0x4D, 0x08, 0x00, 0x00, 0x00}, // [rcx*2+8]
+	}
+	tail := []byte{0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA}
+	for _, pfx := range prefixes {
+		for _, esc := range [][]byte{{}, {0x0F}, {0x0F, 0x38}} {
+			for op := 0; op < 256; op++ {
+				for _, mrm := range modrms {
+					code := append(append(append(append([]byte{}, pfx...), esc...), byte(op)), mrm...)
+					code = append(code, tail...)
+					inst, err := Decode(code)
+					if err != nil || !inst.Supported {
+						continue
+					}
+					checkRoundTrip(t, code[:inst.Len], inst)
+					supported++
+				}
+			}
+		}
+	}
+	// VEX sweep.
+	for _, p1 := range []byte{0xF0, 0xF1, 0xF4, 0xF8, 0xE9, 0xF2, 0xF3} {
+		for op := 0; op < 256; op++ {
+			for _, mrm := range modrms {
+				code := append([]byte{0xC5, p1, byte(op)}, mrm...)
+				code = append(code, tail...)
+				inst, err := Decode(code)
+				if err != nil || !inst.Supported {
+					continue
+				}
+				checkRoundTrip(t, code[:inst.Len], inst)
+				supported++
+			}
+			for _, p2 := range []byte{0x71, 0xF1, 0x75} {
+				for _, mrm := range modrms {
+					code := append([]byte{0xC4, 0xE2, p2, byte(op)}, mrm...)
+					code = append(code, tail...)
+					inst, err := Decode(code)
+					if err != nil || !inst.Supported {
+						continue
+					}
+					checkRoundTrip(t, code[:inst.Len], inst)
+					supported++
+				}
+			}
+		}
+	}
+	// The sweep must actually exercise a large supported surface; a
+	// regression that silently drops decoding coverage should fail here.
+	if supported < 2000 {
+		t.Errorf("round-trip sweep covered only %d supported decodes, want >= 2000", supported)
+	}
+	t.Logf("round-trip checked %d supported decodes", supported)
+}
+
+// instEqual compares instructions structurally.
+func instEqual(a, b x86.Instruction) bool {
+	if a.Opcode != b.Opcode || len(a.Operands) != len(b.Operands) {
+		return false
+	}
+	for i := range a.Operands {
+		if !a.Operands[i].Equal(b.Operands[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,57 @@
+package decode
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/comet-explain/comet/internal/x86"
+)
+
+// FuzzDecodeX86 feeds hostile byte streams to the decoder and checks
+// the safety invariants: no panic, no read past the reported length, a
+// sane length, and — for every supported decode — a spec-valid
+// instruction that survives a text round trip. Wired into
+// `make fuzz-smoke`.
+func FuzzDecodeX86(f *testing.F) {
+	for _, v := range vectors {
+		f.Add(v.code)
+	}
+	f.Add([]byte{0x62, 0xF1, 0x74, 0x48, 0x58, 0xC2})
+	f.Add([]byte{0xC4, 0xE2, 0x71, 0xA9, 0xC2})
+	f.Add([]byte{0xF0, 0x66, 0x48, 0x0F, 0xAF, 0x04, 0xC8})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrInvalid) {
+				t.Fatalf("Decode(% x): unexpected error class %v", data, err)
+			}
+			return
+		}
+		if inst.Len <= 0 || inst.Len > MaxInstLen || inst.Len > len(data) {
+			t.Fatalf("Decode(% x): bad length %d (input %d bytes)", data, inst.Len, len(data))
+		}
+		// The decode must not depend on bytes past the reported length.
+		again, err := Decode(data[:inst.Len])
+		if err != nil {
+			t.Fatalf("Decode(% x) ok but truncation to own length %d fails: %v", data, inst.Len, err)
+		}
+		if again.Len != inst.Len || again.Supported != inst.Supported {
+			t.Fatalf("Decode(% x): unstable under self-truncation", data)
+		}
+		if !inst.Supported {
+			return
+		}
+		if err := inst.X86.Validate(); err != nil {
+			t.Fatalf("Decode(% x): supported instruction fails validation: %v", data, err)
+		}
+		text := inst.X86.String()
+		re, err := x86.ParseInstruction(text)
+		if err != nil {
+			t.Fatalf("Decode(% x) → %q does not reparse: %v", data, text, err)
+		}
+		if !instEqual(inst.X86, re) {
+			t.Fatalf("Decode(% x) → %q reparses differently as %q", data, text, re.String())
+		}
+	})
+}

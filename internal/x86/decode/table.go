@@ -1,0 +1,401 @@
+package decode
+
+// This file holds the decoder's data tables.
+//
+// The attribute tables drive LENGTH decoding: for every opcode in the
+// one-byte, 0F, 0F38 and 0F3A maps they record whether a ModRM byte
+// follows and which immediate class trails the operands. Keeping these
+// total (every byte classified, with aInvalid for reserved slots) is
+// what lets the decoder stay byte-synchronized across instructions it
+// does not model.
+//
+// The SSE/VEX/FMA tables drive SEMANTIC decoding for the vector subset:
+// they map (opcode, mandatory-prefix) pairs to a mnemonic plus an
+// operand shape. Entries may name instructions the spec table lacks
+// (sqrtps, vmovupd, ...) — those still decode length-correct and are
+// downgraded to Supported == false by the final spec-table validation,
+// so adding an entry here is always safe.
+//
+// To extend the modeled subset: add the opcode's Spec to
+// internal/x86/spec.go first, then add (or just rely on) the semantic
+// entry here; the round-trip test and fuzz target pick the new opcode
+// up automatically.
+
+// attr is a bitset of opcode attributes.
+type attr uint16
+
+const (
+	aModRM   attr = 1 << iota // ModRM byte (and possible SIB/disp) follows
+	aImm8                     // trailing imm8
+	aImm16                    // trailing imm16 (ret imm16; with aImm8: enter)
+	aImmZ                     // imm16 under 66h, else imm32
+	aImmV                     // imm16/imm32/imm64 by effective operand size
+	aRel8                     // 8-bit branch displacement
+	aRel32                    // 32-bit branch displacement
+	aMoffs                    // 64-bit (or 32-bit under 67h) absolute moffs
+	aGrp3                     // F6/F7: immediate only for /0 and /1 (test)
+	aInvalid                  // reserved encoding in 64-bit mode
+)
+
+// oneByteAttr classifies the one-byte opcode map. Prefix bytes
+// (26/2E/36/3E/64-67/F0/F2/F3, 40-4F) and the 0F/C4/C5/62 escapes are
+// consumed before this table is consulted; their slots are unreachable.
+var oneByteAttr [256]attr
+
+// twoByteAttr classifies the 0F map.
+var twoByteAttr [256]attr
+
+func init() {
+	ob := &oneByteAttr
+	// The eight ALU rows: op r/m,r | r,r/m | al,imm8 | rAX,immz.
+	for g := byte(0); g < 8; g++ {
+		base := g << 3
+		for i := byte(0); i < 4; i++ {
+			ob[base+i] = aModRM
+		}
+		ob[base+4] = aImm8
+		ob[base+5] = aImmZ
+	}
+	// 64-bit-mode invalid slots (old push/pop seg, BCD, far forms).
+	for _, b := range []byte{0x06, 0x07, 0x0E, 0x16, 0x17, 0x1E, 0x1F,
+		0x27, 0x2F, 0x37, 0x3F, 0x60, 0x61, 0x82, 0x9A,
+		0xCE, 0xD4, 0xD5, 0xD6, 0xEA} {
+		ob[b] = aInvalid
+	}
+	// 50-5F push/pop: no operands beyond the opcode byte.
+	ob[0x63] = aModRM // movsxd
+	ob[0x68] = aImmZ  // push immz
+	ob[0x69] = aModRM | aImmZ
+	ob[0x6A] = aImm8 // push imm8
+	ob[0x6B] = aModRM | aImm8
+	for b := 0x70; b <= 0x7F; b++ { // jcc rel8
+		ob[b] = aRel8
+	}
+	ob[0x80] = aModRM | aImm8
+	ob[0x81] = aModRM | aImmZ
+	ob[0x83] = aModRM | aImm8
+	for b := 0x84; b <= 0x8F; b++ { // test/xchg/mov/lea/pop
+		ob[b] = aModRM
+	}
+	for b := 0xA0; b <= 0xA3; b++ { // mov moffs forms
+		ob[b] = aMoffs
+	}
+	ob[0xA8] = aImm8                // test al, imm8
+	ob[0xA9] = aImmZ                // test rAX, immz
+	for b := 0xB0; b <= 0xB7; b++ { // mov r8, imm8
+		ob[b] = aImm8
+	}
+	for b := 0xB8; b <= 0xBF; b++ { // mov r, immv (the sole imm64 form)
+		ob[b] = aImmV
+	}
+	ob[0xC0] = aModRM | aImm8
+	ob[0xC1] = aModRM | aImm8
+	ob[0xC2] = aImm16 // ret imm16
+	ob[0xC6] = aModRM | aImm8
+	ob[0xC7] = aModRM | aImmZ
+	ob[0xC8] = aImm16 | aImm8       // enter imm16, imm8
+	ob[0xCA] = aImm16               // retf imm16
+	ob[0xCD] = aImm8                // int imm8
+	for b := 0xD0; b <= 0xD3; b++ { // shift groups
+		ob[b] = aModRM
+	}
+	for b := 0xD8; b <= 0xDF; b++ { // x87 escape range
+		ob[b] = aModRM
+	}
+	for b := 0xE0; b <= 0xE3; b++ { // loop/jrcxz rel8
+		ob[b] = aRel8
+	}
+	ob[0xE4] = aImm8 // in/out imm8 port forms
+	ob[0xE5] = aImm8
+	ob[0xE6] = aImm8
+	ob[0xE7] = aImm8
+	ob[0xE8] = aRel32 // call rel32
+	ob[0xE9] = aRel32 // jmp rel32
+	ob[0xEB] = aRel8  // jmp rel8
+	ob[0xF6] = aModRM | aGrp3
+	ob[0xF7] = aModRM | aGrp3
+	ob[0xFE] = aModRM
+	ob[0xFF] = aModRM
+
+	tb := &twoByteAttr
+	// Most of the 0F map carries a ModRM byte; start from that and carve
+	// out the exceptions.
+	for b := 0; b < 256; b++ {
+		tb[b] = aModRM
+	}
+	// No operands at all.
+	for _, b := range []byte{0x05, 0x06, 0x07, 0x08, 0x09, 0x0B,
+		0x30, 0x31, 0x32, 0x33, 0x34, 0x35, 0x77,
+		0xA0, 0xA1, 0xA2, 0xA8, 0xA9, 0xAA} {
+		tb[b] = 0
+	}
+	for b := 0xC8; b <= 0xCF; b++ { // bswap
+		tb[b] = 0
+	}
+	// ModRM plus imm8.
+	for _, b := range []byte{0x70, 0x71, 0x72, 0x73, // pshuf*/shift groups
+		0xA4, 0xAC, // shld/shrd imm8
+		0xBA,                     // group 8 bt imm8
+		0xC2, 0xC4, 0xC5, 0xC6} { // cmpps/pinsrw/pextrw/shufps
+		tb[b] = aModRM | aImm8
+	}
+	for b := 0x80; b <= 0x8F; b++ { // jcc rel32
+		tb[b] = aRel32
+	}
+	// Reserved slots.
+	for _, b := range []byte{0x04, 0x0A, 0x0C, 0x0E, 0x0F,
+		0x24, 0x25, 0x26, 0x27, 0x36, 0x39, 0x3B, 0x3D} {
+		tb[b] = aInvalid
+	}
+}
+
+// attrFor returns the attributes of opcode b in map esc (0 = one-byte,
+// 1 = 0F, 2 = 0F38, 3 = 0F3A).
+func attrFor(esc, b byte) attr {
+	switch esc {
+	case 0:
+		return oneByteAttr[b]
+	case 1:
+		return twoByteAttr[b]
+	case 2:
+		return aModRM // the whole 0F38 map is ModRM, no immediate
+	default:
+		return aModRM | aImm8 // the whole 0F3A map is ModRM + imm8
+	}
+}
+
+// ---- SSE semantic tables ----------------------------------------------------
+
+// sseKind is the operand shape of a legacy-SSE table entry.
+type sseKind int
+
+const (
+	kRM128    sseKind = iota // xmm ← xmm/m128
+	kRM32                    // xmm ← xmm/m32  (scalar single)
+	kRM64                    // xmm ← xmm/m64  (scalar double)
+	kStore128                // xmm/m128 ← xmm
+	kStore32                 // xmm/m32 ← xmm
+	kStore64                 // xmm/m64 ← xmm
+	kGP2X                    // xmm ← r/m32 or r/m64 (cvtsi2ss/sd)
+	kX2GP32                  // r32/64 ← xmm/m32 (cvttss2si)
+	kX2GP64                  // r32/64 ← xmm/m64 (cvttsd2si)
+)
+
+type sseEntry struct {
+	name string
+	kind sseKind
+}
+
+// sseKey packs an opcode with its mandatory-prefix class (0 none,
+// 1 = 66, 2 = F3, 3 = F2).
+func sseKey(op, pp byte) uint16 { return uint16(op)<<2 | uint16(pp) }
+
+// sseTable covers the 0F-map vector subset. pp0 rows with a 66-prefixed
+// sibling are the MMX forms and are intentionally absent.
+var sseTable = map[uint16]sseEntry{
+	sseKey(0x10, 0): {"movups", kRM128},
+	sseKey(0x10, 1): {"movupd", kRM128},
+	sseKey(0x10, 2): {"movss", kRM32},
+	sseKey(0x10, 3): {"movsd", kRM64},
+	sseKey(0x11, 0): {"movups", kStore128},
+	sseKey(0x11, 1): {"movupd", kStore128},
+	sseKey(0x11, 2): {"movss", kStore32},
+	sseKey(0x11, 3): {"movsd", kStore64},
+	sseKey(0x12, 2): {"movsldup", kRM128},
+	sseKey(0x14, 0): {"unpcklps", kRM128},
+	sseKey(0x14, 1): {"unpcklpd", kRM128},
+	sseKey(0x15, 0): {"unpckhps", kRM128},
+	sseKey(0x15, 1): {"unpckhpd", kRM128},
+	sseKey(0x16, 2): {"movshdup", kRM128},
+	sseKey(0x28, 0): {"movaps", kRM128},
+	sseKey(0x28, 1): {"movapd", kRM128},
+	sseKey(0x29, 0): {"movaps", kStore128},
+	sseKey(0x29, 1): {"movapd", kStore128},
+	sseKey(0x2A, 2): {"cvtsi2ss", kGP2X},
+	sseKey(0x2A, 3): {"cvtsi2sd", kGP2X},
+	sseKey(0x2C, 2): {"cvttss2si", kX2GP32},
+	sseKey(0x2C, 3): {"cvttsd2si", kX2GP64},
+	sseKey(0x2E, 0): {"ucomiss", kRM32},
+	sseKey(0x2E, 1): {"ucomisd", kRM64},
+	sseKey(0x51, 0): {"sqrtps", kRM128},
+	sseKey(0x51, 1): {"sqrtpd", kRM128},
+	sseKey(0x51, 2): {"sqrtss", kRM32},
+	sseKey(0x51, 3): {"sqrtsd", kRM64},
+	sseKey(0x52, 2): {"rsqrtss", kRM32},
+	sseKey(0x53, 2): {"rcpss", kRM32},
+	sseKey(0x54, 0): {"andps", kRM128},
+	sseKey(0x54, 1): {"andpd", kRM128},
+	sseKey(0x55, 0): {"andnps", kRM128},
+	sseKey(0x55, 1): {"andnpd", kRM128},
+	sseKey(0x56, 0): {"orps", kRM128},
+	sseKey(0x56, 1): {"orpd", kRM128},
+	sseKey(0x57, 0): {"xorps", kRM128},
+	sseKey(0x57, 1): {"xorpd", kRM128},
+	sseKey(0x58, 0): {"addps", kRM128},
+	sseKey(0x58, 1): {"addpd", kRM128},
+	sseKey(0x58, 2): {"addss", kRM32},
+	sseKey(0x58, 3): {"addsd", kRM64},
+	sseKey(0x59, 0): {"mulps", kRM128},
+	sseKey(0x59, 1): {"mulpd", kRM128},
+	sseKey(0x59, 2): {"mulss", kRM32},
+	sseKey(0x59, 3): {"mulsd", kRM64},
+	sseKey(0x5C, 0): {"subps", kRM128},
+	sseKey(0x5C, 1): {"subpd", kRM128},
+	sseKey(0x5C, 2): {"subss", kRM32},
+	sseKey(0x5C, 3): {"subsd", kRM64},
+	sseKey(0x5D, 0): {"minps", kRM128},
+	sseKey(0x5D, 1): {"minpd", kRM128},
+	sseKey(0x5D, 2): {"minss", kRM32},
+	sseKey(0x5D, 3): {"minsd", kRM64},
+	sseKey(0x5E, 0): {"divps", kRM128},
+	sseKey(0x5E, 1): {"divpd", kRM128},
+	sseKey(0x5E, 2): {"divss", kRM32},
+	sseKey(0x5E, 3): {"divsd", kRM64},
+	sseKey(0x5F, 0): {"maxps", kRM128},
+	sseKey(0x5F, 1): {"maxpd", kRM128},
+	sseKey(0x5F, 2): {"maxss", kRM32},
+	sseKey(0x5F, 3): {"maxsd", kRM64},
+	sseKey(0x60, 1): {"punpcklbw", kRM128},
+	sseKey(0x62, 1): {"punpckldq", kRM128},
+	sseKey(0x64, 1): {"pcmpgtb", kRM128},
+	sseKey(0x65, 1): {"pcmpgtw", kRM128},
+	sseKey(0x66, 1): {"pcmpgtd", kRM128},
+	sseKey(0x67, 1): {"packuswb", kRM128},
+	sseKey(0x68, 1): {"punpckhbw", kRM128},
+	sseKey(0x6A, 1): {"punpckhdq", kRM128},
+	sseKey(0x6B, 1): {"packssdw", kRM128},
+	sseKey(0x6F, 1): {"movdqa", kRM128},
+	sseKey(0x6F, 2): {"movdqu", kRM128},
+	sseKey(0x74, 1): {"pcmpeqb", kRM128},
+	sseKey(0x75, 1): {"pcmpeqw", kRM128},
+	sseKey(0x76, 1): {"pcmpeqd", kRM128},
+	sseKey(0x7C, 1): {"haddpd", kRM128},
+	sseKey(0x7C, 3): {"haddps", kRM128},
+	sseKey(0x7D, 1): {"hsubpd", kRM128},
+	sseKey(0x7D, 3): {"hsubps", kRM128},
+	sseKey(0x7F, 1): {"movdqa", kStore128},
+	sseKey(0x7F, 2): {"movdqu", kStore128},
+	sseKey(0xD0, 1): {"addsubpd", kRM128},
+	sseKey(0xD0, 3): {"addsubps", kRM128},
+	sseKey(0xD4, 1): {"paddq", kRM128},
+	sseKey(0xD5, 1): {"pmullw", kRM128},
+	sseKey(0xDA, 1): {"pminub", kRM128},
+	sseKey(0xDB, 1): {"pand", kRM128},
+	sseKey(0xDE, 1): {"pmaxub", kRM128},
+	sseKey(0xDF, 1): {"pandn", kRM128},
+	sseKey(0xE0, 1): {"pavgb", kRM128},
+	sseKey(0xE3, 1): {"pavgw", kRM128},
+	sseKey(0xEB, 1): {"por", kRM128},
+	sseKey(0xEF, 1): {"pxor", kRM128},
+	sseKey(0xF4, 1): {"pmuludq", kRM128},
+	sseKey(0xF8, 1): {"psubb", kRM128},
+	sseKey(0xF9, 1): {"psubw", kRM128},
+	sseKey(0xFA, 1): {"psubd", kRM128},
+	sseKey(0xFB, 1): {"psubq", kRM128},
+	sseKey(0xFC, 1): {"paddb", kRM128},
+	sseKey(0xFD, 1): {"paddw", kRM128},
+	sseKey(0xFE, 1): {"paddd", kRM128},
+}
+
+// sse38Table covers the modeled 0F38-map subset.
+var sse38Table = map[uint16]sseEntry{
+	sseKey(0x39, 1): {"pminsd", kRM128},
+	sseKey(0x3D, 1): {"pmaxsd", kRM128},
+	sseKey(0x40, 1): {"pmulld", kRM128},
+}
+
+// ---- VEX semantic tables ----------------------------------------------------
+
+// vexKind is the operand shape of a VEX-encoded table entry.
+type vexKind int
+
+const (
+	vMovLoad  vexKind = iota // v ← v/m, vvvv unused
+	vMovStore                // v/m ← v, vvvv unused
+	vScalar32                // xmm ← xmm(vvvv), xmm/m32
+	vScalar64                // xmm ← xmm(vvvv), xmm/m64
+	vPacked                  // v ← v(vvvv), v/m (width by VEX.L)
+)
+
+type vexEntry struct {
+	name   string
+	kind   vexKind
+	vexMap byte // required escape map: 1 = 0F, 2 = 0F38
+}
+
+// vexTable covers the VEX-encoded subset, keyed like sseTable; the
+// entry's vexMap must also match.
+var vexTable = map[uint16]vexEntry{
+	sseKey(0x10, 0): {"vmovups", vMovLoad, 1},
+	sseKey(0x10, 1): {"vmovupd", vMovLoad, 1},
+	sseKey(0x11, 0): {"vmovups", vMovStore, 1},
+	sseKey(0x11, 1): {"vmovupd", vMovStore, 1},
+	sseKey(0x14, 0): {"vunpcklps", vPacked, 1},
+	sseKey(0x15, 0): {"vunpckhps", vPacked, 1},
+	sseKey(0x28, 0): {"vmovaps", vMovLoad, 1},
+	sseKey(0x28, 1): {"vmovapd", vMovLoad, 1},
+	sseKey(0x29, 0): {"vmovaps", vMovStore, 1},
+	sseKey(0x29, 1): {"vmovapd", vMovStore, 1},
+	sseKey(0x51, 2): {"vsqrtss", vScalar32, 1},
+	sseKey(0x51, 3): {"vsqrtsd", vScalar64, 1},
+	sseKey(0x54, 0): {"vandps", vPacked, 1},
+	sseKey(0x55, 0): {"vandnps", vPacked, 1},
+	sseKey(0x56, 0): {"vorps", vPacked, 1},
+	sseKey(0x57, 0): {"vxorps", vPacked, 1},
+	sseKey(0x58, 0): {"vaddps", vPacked, 1},
+	sseKey(0x58, 1): {"vaddpd", vPacked, 1},
+	sseKey(0x58, 2): {"vaddss", vScalar32, 1},
+	sseKey(0x58, 3): {"vaddsd", vScalar64, 1},
+	sseKey(0x59, 0): {"vmulps", vPacked, 1},
+	sseKey(0x59, 1): {"vmulpd", vPacked, 1},
+	sseKey(0x59, 2): {"vmulss", vScalar32, 1},
+	sseKey(0x59, 3): {"vmulsd", vScalar64, 1},
+	sseKey(0x5C, 0): {"vsubps", vPacked, 1},
+	sseKey(0x5C, 1): {"vsubpd", vPacked, 1},
+	sseKey(0x5C, 2): {"vsubss", vScalar32, 1},
+	sseKey(0x5C, 3): {"vsubsd", vScalar64, 1},
+	sseKey(0x5D, 2): {"vminss", vScalar32, 1},
+	sseKey(0x5D, 3): {"vminsd", vScalar64, 1},
+	sseKey(0x5E, 0): {"vdivps", vPacked, 1},
+	sseKey(0x5E, 1): {"vdivpd", vPacked, 1},
+	sseKey(0x5E, 2): {"vdivss", vScalar32, 1},
+	sseKey(0x5E, 3): {"vdivsd", vScalar64, 1},
+	sseKey(0x5F, 2): {"vmaxss", vScalar32, 1},
+	sseKey(0x5F, 3): {"vmaxsd", vScalar64, 1},
+	sseKey(0x62, 1): {"vpunpckldq", vPacked, 1},
+	sseKey(0x6F, 1): {"vmovdqa", vMovLoad, 1},
+	sseKey(0x6F, 2): {"vmovdqu", vMovLoad, 1},
+	sseKey(0x74, 1): {"vpcmpeqb", vPacked, 1},
+	sseKey(0x76, 1): {"vpcmpeqd", vPacked, 1},
+	sseKey(0x7C, 3): {"vhaddps", vPacked, 1},
+	sseKey(0x7F, 1): {"vmovdqa", vMovStore, 1},
+	sseKey(0x7F, 2): {"vmovdqu", vMovStore, 1},
+	sseKey(0xD0, 3): {"vaddsubps", vPacked, 1},
+	sseKey(0xD4, 1): {"vpaddq", vPacked, 1},
+	sseKey(0xDB, 1): {"vpand", vPacked, 1},
+	sseKey(0xE0, 1): {"vpavgb", vPacked, 1},
+	sseKey(0xEB, 1): {"vpor", vPacked, 1},
+	sseKey(0xEF, 1): {"vpxor", vPacked, 1},
+	sseKey(0xFA, 1): {"vpsubd", vPacked, 1},
+	sseKey(0xFE, 1): {"vpaddd", vPacked, 1},
+	sseKey(0x39, 1): {"vpminsd", vPacked, 2},
+	sseKey(0x3D, 1): {"vpmaxsd", vPacked, 2},
+}
+
+// fmaEntry describes one VEX.66.0F38 FMA opcode: the name prefix plus
+// whether it is the scalar (ss/sd by VEX.W) or packed (ps/pd) variant.
+type fmaEntry struct {
+	base   string
+	scalar bool
+}
+
+var fmaTable = map[byte]fmaEntry{
+	0xA8: {"vfmadd213", false},
+	0xA9: {"vfmadd213", true},
+	0xAA: {"vfmsub213", false},
+	0xAB: {"vfmsub213", true},
+	0xAC: {"vfnmadd213", false},
+	0xAD: {"vfnmadd213", true},
+	0xB8: {"vfmadd231", false},
+	0xB9: {"vfmadd231", true},
+}

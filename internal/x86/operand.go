@@ -114,6 +114,12 @@ func NewReg(r Reg) Operand { return Operand{Kind: KindReg, Reg: r, Size: r.Size}
 // NewImm returns an immediate operand of the given width.
 func NewImm(v int64, size int) Operand { return Operand{Kind: KindImm, Imm: v, Size: size} }
 
+// FitImm returns an immediate operand at the narrowest width that can hold
+// v — the same sizing rule the parser applies to immediate literals, so
+// machine-code decoders that build immediates with it produce operands
+// that survive a print/parse round trip unchanged.
+func FitImm(v int64) Operand { return NewImm(v, immWidth(v)) }
+
 // NewMem returns a memory operand of the given width.
 func NewMem(m MemRef, size int) Operand { return Operand{Kind: KindMem, Mem: m, Size: size} }
 
