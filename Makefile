@@ -3,14 +3,24 @@
 
 GO ?= go
 
+# Stamped into every binary (internal/version.Version) so -version and
+# the comet_build_info metric report what was actually deployed.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags "-X github.com/comet-explain/comet/internal/version.Version=$(VERSION)"
+
 # Where the e2e kill/resume test leaves its durable-store artifacts, so
 # verify-store can audit them afterwards.
 E2E_STORE_DIR ?= /tmp/comet-e2e-store
 
+# Where failing e2e/cluster tests drop their post-mortem artifacts
+# (server JSON logs, /debug/flight dumps); CI uploads this directory on
+# failure.
+E2E_ARTIFACT_DIR ?= /tmp/comet-e2e-artifacts
+
 .PHONY: build test test-race test-e2e test-cluster verify-store examples bench bench-smoke bench-check bench-baseline fuzz-smoke lint vet staticcheck fmt fmt-check
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 # The documented surface must keep compiling and running across API
 # redesigns: build every example and run the quickstart as a smoke test.
@@ -30,14 +40,16 @@ test-race:
 # server mid-corpus-job and asserts the restarted server resumes it with
 # byte-identical results.
 test-e2e:
-	COMET_E2E_STORE_DIR=$(E2E_STORE_DIR) $(GO) test -race -run 'TestServeEndToEnd|TestServeKillResumeByteIdentical|TestServeIngestELF' -v ./cmd/comet-serve
+	COMET_E2E_STORE_DIR=$(E2E_STORE_DIR) COMET_E2E_ARTIFACT_DIR=$(E2E_ARTIFACT_DIR) \
+		$(GO) test -race -run 'TestServeEndToEnd|TestServeKillResumeByteIdentical|TestServeIngestELF' -v ./cmd/comet-serve
 
 # Cluster e2e: a coordinator shards a corpus job across two real worker
 # processes; one worker is SIGKILLed mid-lease and the coordinator is
 # SIGKILLed and restarted on the same store — the job must complete with
 # per-block JSON byte-identical to a single-process run.
 test-cluster:
-	COMET_E2E_STORE_DIR=$(E2E_STORE_DIR) $(GO) test -race -run TestClusterE2E -v ./cmd/comet-serve
+	COMET_E2E_STORE_DIR=$(E2E_STORE_DIR) COMET_E2E_ARTIFACT_DIR=$(E2E_ARTIFACT_DIR) \
+		$(GO) test -race -run TestClusterE2E -v ./cmd/comet-serve
 
 # Audit the durable stores the e2e tests left behind: every frame
 # checksummed, corruption reported (and -strict fails the build on any —

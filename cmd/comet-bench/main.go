@@ -30,6 +30,7 @@ import (
 	"github.com/comet-explain/comet/internal/experiments"
 	"github.com/comet-explain/comet/internal/persist"
 	"github.com/comet-explain/comet/internal/service"
+	"github.com/comet-explain/comet/internal/version"
 	"github.com/comet-explain/comet/internal/wire"
 )
 
@@ -56,8 +57,13 @@ func main() {
 		wireRequests = flag.Int("wire-requests", 5000, "with -wire: warm-path requests measured per encoding")
 		streamBlocks = flag.Int("stream-blocks", 100000, "with -wire: blocks in the streamed corpus job")
 		checkPath    = flag.String("check", "", "with -wire: compare against this baseline summary (BENCH_baseline.json) and exit non-zero on >25% binary-speedup regression or >10% per-request allocation growth")
+		showVersion  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("comet-bench"))
+		return
+	}
 
 	if *wireMode {
 		if err := wireBench(*wireRequests, *streamBlocks, *jsonOut, *checkPath); err != nil {

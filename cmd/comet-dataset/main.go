@@ -26,6 +26,7 @@ import (
 
 	"github.com/comet-explain/comet"
 	"github.com/comet-explain/comet/internal/ingest"
+	"github.com/comet-explain/comet/internal/version"
 )
 
 type record struct {
@@ -42,15 +43,20 @@ func main() {
 		return
 	}
 	var (
-		n        = flag.Int("n", 200, "number of blocks")
-		seed     = flag.Int64("seed", 1, "generation seed")
-		minI     = flag.Int("min", 4, "minimum instructions per block")
-		maxI     = flag.Int("max", 10, "maximum instructions per block")
-		category = flag.String("category", "", "restrict to one category (Load, Store, Load/Store, Scalar, Vector, Scalar/Vector)")
-		source   = flag.String("source", "", "restrict to one source (clang, openblas)")
-		noLabels = flag.Bool("no-labels", false, "skip throughput labeling (faster)")
+		n           = flag.Int("n", 200, "number of blocks")
+		seed        = flag.Int64("seed", 1, "generation seed")
+		minI        = flag.Int("min", 4, "minimum instructions per block")
+		maxI        = flag.Int("max", 10, "maximum instructions per block")
+		category    = flag.String("category", "", "restrict to one category (Load, Store, Load/Store, Scalar, Vector, Scalar/Vector)")
+		source      = flag.String("source", "", "restrict to one source (clang, openblas)")
+		noLabels    = flag.Bool("no-labels", false, "skip throughput labeling (faster)")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("comet-dataset"))
+		return
+	}
 
 	cfg := comet.DatasetConfig{
 		N: *n, Seed: *seed, MinInstrs: *minI, MaxInstrs: *maxI, SkipLabels: *noLabels,

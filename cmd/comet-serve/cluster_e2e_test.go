@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"syscall"
@@ -172,6 +173,208 @@ func TestClusterE2ETraceSpansProcesses(t *testing.T) {
 	if wCount == 0 || !wMsgs["shard lease executed"] {
 		t.Errorf("worker logs carry %d lines for trace %s (msgs %v); want a %q line",
 			wCount, traceID, wMsgs, "shard lease executed")
+	}
+}
+
+// TestClusterE2EFederatedTraceAndFlight asserts the cluster-wide
+// observability plane end to end with real processes: a coordinator and
+// two workers run one traced corpus job, GET /debug/traces/{id}?cluster=1
+// on the coordinator returns ONE federated trace containing spans from
+// all three processes, the comet-trace CLI renders it, and SIGQUITing a
+// worker dumps its flight recorder as parseable JSON on stderr.
+func TestClusterE2EFederatedTraceAndFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping cluster e2e test in -short mode")
+	}
+	bin := buildServe(t)
+	obsArgs := []string{"-addr", "127.0.0.1:0", "-coverage-samples", "250",
+		"-log-format", "json", "-trace-sample", "1"}
+	w1 := startServe(t, bin, obsArgs...)
+	w2 := startServe(t, bin, obsArgs...)
+	co := startServe(t, bin,
+		append([]string{"-workers", w1.base + "," + w2.base, "-lease-blocks", "1"}, obsArgs...)...)
+
+	req := wire.CorpusRequest{
+		Blocks: []string{
+			"add rcx, rax\nmov rdx, rcx\npop rbx",
+			"imul rax, rbx\nimul rax, rcx",
+			"add rax, rbx\nsub rcx, rdx\nxor rsi, rsi",
+			"imul rdx, rsi\nadd rdx, rdi\nmov rax, rdx",
+			"xor rax, rax\nadd rax, rcx\nimul rax, rax",
+			"mov rbx, rcx\nadd rbx, rdx\nsub rbx, rsi",
+			"vaddss xmm0, xmm1, xmm2\nvmulss xmm3, xmm0, xmm0",
+			"mov qword ptr [rdi], rax\nmov rbx, qword ptr [rdi]",
+		},
+		Model: "uica",
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(co.base+"/v1/corpus", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceID := resp.Header.Get("X-Comet-Trace-Id")
+	var acc wire.JobAccepted
+	err = json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || traceID == "" {
+		t.Fatalf("corpus: status %d, decode err %v, trace %q", resp.StatusCode, err, traceID)
+	}
+	st := waitJobDone(t, co.base, acc.ID, 4*time.Minute)
+	if st.State != wire.JobDone || st.Done != len(req.Blocks) || st.Failed != 0 {
+		t.Fatalf("cluster job did not complete cleanly: %+v\ncoordinator stderr:\n%s", st, co.stderr.String())
+	}
+	if len(st.Workers) < 2 {
+		t.Fatalf("job was not spread across both workers: %+v", st.Workers)
+	}
+
+	// One federated trace with spans from all three processes. Workers
+	// finish their shard spans asynchronously, so poll.
+	type fedBody struct {
+		TraceID   string `json:"trace_id"`
+		Cluster   bool   `json:"cluster"`
+		Processes []struct {
+			Process string `json:"process"`
+			Spans   int    `json:"spans"`
+			Error   string `json:"error"`
+		} `json:"processes"`
+		Spans []struct {
+			TraceID  string `json:"trace_id"`
+			SpanID   string `json:"span_id"`
+			ParentID string `json:"parent_id"`
+			Name     string `json:"name"`
+			Process  string `json:"process"`
+		} `json:"spans"`
+	}
+	var fed fedBody
+	procSpans := map[string]int{}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(co.base + "/debug/traces/" + traceID + "?cluster=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fed = fedBody{}
+		err = json.NewDecoder(resp.Body).Decode(&fed)
+		resp.Body.Close()
+		procSpans = map[string]int{}
+		if resp.StatusCode == http.StatusOK && err == nil {
+			for _, sp := range fed.Spans {
+				if sp.TraceID != traceID {
+					t.Fatalf("federated view leaked span of trace %s", sp.TraceID)
+				}
+				procSpans[sp.Process]++
+			}
+			if len(procSpans) >= 3 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("federated trace never gathered spans from 3 processes: %v\nprocesses: %+v",
+				procSpans, fed.Processes)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !fed.Cluster || len(fed.Processes) != 3 {
+		t.Errorf("federated envelope: cluster=%v processes=%+v", fed.Cluster, fed.Processes)
+	}
+	for _, proc := range []string{"coordinator", w1.base, w2.base} {
+		if procSpans[proc] == 0 {
+			t.Errorf("no spans from %q in the federated trace (have %v)", proc, procSpans)
+		}
+	}
+	names := map[string]bool{}
+	for _, sp := range fed.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"http.corpus", "job.run", "http.shard"} {
+		if !names[want] {
+			t.Errorf("federated trace is missing span %q (have %v)", want, names)
+		}
+	}
+	// Worker shard roots parent under coordinator spans: the merged view
+	// is one connected tree, not three disjoint ones.
+	byID := map[string]bool{}
+	for _, sp := range fed.Spans {
+		byID[sp.SpanID] = true
+	}
+	for _, sp := range fed.Spans {
+		if sp.Name == "http.shard" && !byID[sp.ParentID] {
+			t.Errorf("worker shard span %s has no parent in the merged view (parent %q)", sp.SpanID, sp.ParentID)
+		}
+	}
+
+	// The comet-trace CLI renders the same federated view.
+	traceBin := filepath.Join(t.TempDir(), "comet-trace")
+	if out, err := exec.Command("go", "build", "-o", traceBin, "../comet-trace").CombinedOutput(); err != nil {
+		t.Fatalf("building comet-trace: %v\n%s", err, out)
+	}
+	out, err := exec.Command(traceBin, co.base, traceID).CombinedOutput()
+	if err != nil {
+		t.Fatalf("comet-trace: %v\n%s", err, out)
+	}
+	rendered := string(out)
+	for _, want := range []string{
+		"3 processes", "http.corpus", "job.run", "http.shard",
+		"process=coordinator", "process=" + w1.base, "process=" + w2.base, "▐",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("comet-trace output missing %q:\n%s", want, rendered)
+		}
+	}
+
+	// SIGQUIT a worker: the process dumps its flight recorder to stderr
+	// as a single JSON document and exits.
+	if err := w1.cmd.Process.Signal(syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-w1.exited:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not exit after SIGQUIT")
+	}
+	var dump struct {
+		Process string `json:"process"`
+		Written uint64 `json:"written"`
+		Records []struct {
+			Kind  string `json:"kind"`
+			Route string `json:"route"`
+			State string `json:"state"`
+		} `json:"records"`
+	}
+	found := false
+	for _, line := range strings.Split(w1.stderr.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "{") || !strings.Contains(line, `"records"`) {
+			continue
+		}
+		if json.Unmarshal([]byte(line), &dump) == nil {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no parseable flight dump on worker stderr after SIGQUIT:\n%s", w1.stderr.String())
+	}
+	if dump.Process != "worker" && dump.Process != "local" {
+		t.Errorf("flight dump process label %q", dump.Process)
+	}
+	if dump.Written == 0 || len(dump.Records) == 0 {
+		t.Fatalf("flight dump is empty: written=%d records=%d", dump.Written, len(dump.Records))
+	}
+	kinds := map[string]bool{}
+	shardRequests := 0
+	for _, r := range dump.Records {
+		kinds[r.Kind] = true
+		if r.Kind == "request" && r.Route == "shard" {
+			shardRequests++
+		}
+	}
+	if !kinds["request"] || shardRequests == 0 {
+		t.Errorf("worker flight dump records no shard requests (kinds %v, shard requests %d):\n%s",
+			kinds, shardRequests, w1.stderr.String())
+	}
+	if !kinds["lease"] {
+		t.Errorf("worker flight dump records no lease executions (kinds %v)", kinds)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -75,6 +76,7 @@ func startServe(t *testing.T, bin string, args ...string) *serveProc {
 		close(p.exited) // later receives return immediately
 	}()
 	t.Cleanup(func() {
+		captureArtifacts(t, p)
 		_ = cmd.Process.Kill() // no-op if already exited
 		<-p.exited
 	})
@@ -100,6 +102,36 @@ func startServe(t *testing.T, bin string, args ...string) *serveProc {
 		t.Fatal("server never reported its listen address")
 	}
 	return p
+}
+
+// captureArtifacts preserves a failing test's post-mortem. When the test
+// failed and COMET_E2E_ARTIFACT_DIR is set (make test-e2e/test-cluster
+// export it; CI uploads the directory on failure), the server's stderr
+// log and — if the process still answers — its /debug/flight dump are
+// written there before the process is killed.
+func captureArtifacts(t *testing.T, p *serveProc) {
+	dir := os.Getenv("COMET_E2E_ARTIFACT_DIR")
+	if dir == "" || !t.Failed() {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("post-mortem: creating %s: %v", dir, err)
+		return
+	}
+	name := strings.NewReplacer("/", "_", ":", "_").Replace(
+		t.Name() + "-" + strings.TrimPrefix(p.base, "http://"))
+	_ = os.WriteFile(filepath.Join(dir, name+".stderr.log"), []byte(p.stderr.String()), 0o644)
+	if p.base != "" {
+		client := &http.Client{Timeout: 3 * time.Second}
+		if resp, err := client.Get(p.base + "/debug/flight"); err == nil {
+			dump, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			_ = os.WriteFile(filepath.Join(dir, name+".flight.json"), dump, 0o644)
+		} else {
+			t.Logf("post-mortem: flight dump from %s: %v", p.base, err)
+		}
+	}
+	t.Logf("post-mortem artifacts for %s written to %s", p.base, dir)
 }
 
 // postCorpus submits a corpus job and returns its acceptance.

@@ -22,12 +22,18 @@
 //	GET  /healthz           liveness
 //	GET  /readyz            readiness (200 only after warm-up and Restore)
 //	GET  /metrics           Prometheus text metrics
-//	GET  /debug/traces      recently finished traces (/debug/traces/{id} for spans)
+//	GET  /debug/traces      recently finished traces (/debug/traces/{id} for spans;
+//	                        ?cluster=1 on a coordinator federates worker spans)
+//	GET  /debug/flight      flight-recorder dump (requests, leases, job transitions)
 //
 // Observability: -log-format/-log-level select structured (slog) text or
 // JSON logs; -trace-sample controls request tracing (hot routes sample
 // 1-in-N, slow routes always trace, ?trace=1 forces it); -debug-addr
-// serves net/http/pprof on a separate listener.
+// serves net/http/pprof on a separate listener. The flight recorder
+// (-flight-ring) keeps a bounded black box of every request, lease, and
+// job transition regardless of sampling; SIGQUIT dumps it to stderr as
+// JSON and exits, and `comet-trace <url> <trace-id>` renders a (cluster-
+// federated) trace as a span tree.
 //
 // Cluster mode: -coordinator (or a static -workers url1,url2 list) turns
 // the server into a coordinator that shards corpus jobs across workers;
@@ -85,6 +91,7 @@ import (
 	"github.com/comet-explain/comet/internal/obs"
 	"github.com/comet-explain/comet/internal/persist"
 	"github.com/comet-explain/comet/internal/service"
+	"github.com/comet-explain/comet/internal/version"
 	"github.com/comet-explain/comet/internal/wire"
 )
 
@@ -132,8 +139,14 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "separate listen address serving net/http/pprof profiles (empty = disabled)")
 		traceSample = flag.Int("trace-sample", 0, "trace 1-in-N requests on hot routes; slow routes are always traced (0 = default 64, 1 = every request, negative = tracing off)")
 		traceRing   = flag.Int("trace-ring", 0, "finished spans retained for GET /debug/traces (0 = 4096)")
+		flightRing  = flag.Int("flight-ring", 0, "flight-recorder records retained for GET /debug/flight and the SIGQUIT dump (0 = 2048)")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("comet-serve"))
+		return
+	}
 
 	rootLog, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
 	if err != nil {
@@ -196,6 +209,8 @@ func main() {
 		Logger:                rootLog,
 		TraceRingSize:         *traceRing,
 		TraceSample:           *traceSample,
+		FlightRecorderSize:    *flightRing,
+		ProcessLabel:          processLabel(*coordinator || len(staticWorkers) > 0, *joinURL != ""),
 		Cluster: cluster.Options{
 			LeaseBlocks:    *leaseBlocks,
 			LeaseTimeout:   *leaseTimeout,
@@ -279,6 +294,19 @@ func main() {
 		stopJoin = cancelJoin
 		go heartbeatLoop(joinCtx, *joinURL, adv, *capacity, *heartbeat)
 	}
+
+	// SIGQUIT is the black-box dump: instead of Go's default stack dump,
+	// write the flight recorder as one JSON line to stderr and exit hard.
+	// A wedged or misbehaving server leaves a parseable record of its
+	// last ~2k requests, leases, and job transitions.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		<-quitc
+		fmt.Fprintln(os.Stderr, "comet-serve: SIGQUIT, dumping flight recorder")
+		_ = srv.FlightRecorder().WriteJSON(os.Stderr, srv.ProcessLabel())
+		os.Exit(2)
+	}()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -394,6 +422,18 @@ func heartbeatLoop(ctx context.Context, coordinatorURL, advertise string, capaci
 			return
 		}
 	}
+}
+
+// processLabel names this process in federated trace views and flight
+// dumps, from its cluster role.
+func processLabel(coordinator, worker bool) string {
+	switch {
+	case coordinator:
+		return "coordinator"
+	case worker:
+		return "worker"
+	}
+	return "local"
 }
 
 func fatal(err error) {

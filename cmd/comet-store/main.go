@@ -24,18 +24,24 @@ import (
 	"text/tabwriter"
 
 	"github.com/comet-explain/comet/internal/persist"
+	"github.com/comet-explain/comet/internal/version"
 	"github.com/comet-explain/comet/internal/wire"
 )
 
 func main() {
 	var (
-		dir      = flag.String("dir", "", "store directory (required)")
-		kind     = flag.String("kind", "", "ls: only records of this kind (explanation | job | job_result)")
-		maxBytes = flag.Int64("max-bytes", 1<<30, "compact: live-data budget (0 = 1 GiB; negative = unbounded, which still drops superseded records)")
-		strict   = flag.Bool("strict", false, "verify: exit non-zero when any corrupt frame is found")
-		asJSON   = flag.Bool("json", false, "stats/verify: emit machine-readable JSON")
+		dir         = flag.String("dir", "", "store directory (required)")
+		kind        = flag.String("kind", "", "ls: only records of this kind (explanation | job | job_result)")
+		maxBytes    = flag.Int64("max-bytes", 1<<30, "compact: live-data budget (0 = 1 GiB; negative = unbounded, which still drops superseded records)")
+		strict      = flag.Bool("strict", false, "verify: exit non-zero when any corrupt frame is found")
+		asJSON      = flag.Bool("json", false, "stats/verify: emit machine-readable JSON")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("comet-store"))
+		return
+	}
 	if *dir == "" || flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: comet-store -dir DIR <stats|ls|get KEY|compact|verify>")
 		os.Exit(2)

@@ -1,0 +1,179 @@
+// Command comet-trace fetches and renders distributed traces from a
+// comet-serve process.
+//
+// With only a server URL it lists the traces the server's span ring
+// still holds, most recent first. With a trace ID it fetches every
+// recorded span — by default with ?cluster=1, so a coordinator answers
+// with the federated view (its own spans merged with every pool
+// worker's) — and renders the parent-linked span tree with wall-time
+// bars and per-span attributes, per-explanation profile stages included:
+//
+//	$ comet-trace http://127.0.0.1:8372
+//	TRACE                             ROOT         SPANS  START                 DURATION
+//	86a1f07b2c...                     http.corpus     14  2026-08-08T10:11:12Z  412.3ms
+//
+//	$ comet-trace http://127.0.0.1:8372 86a1f07b2c...
+//	http.corpus          1.2ms ▐█────────────────────────────▌ process=coordinator blocks=8 ...
+//	  job.run          410.9ms ▐─█████████████████████████████▌ process=coordinator job_id=...
+//	    http.shard    118.4ms ▐──███████─────────────────────▌ process=http://127.0.0.1:40121 ...
+//
+// Flags: -local skips federation (the queried process's own spans only),
+// -json prints the raw span JSON instead of the tree, -width sets the
+// bar width.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/comet-explain/comet/internal/obs"
+	"github.com/comet-explain/comet/internal/version"
+)
+
+func main() {
+	var (
+		local       = flag.Bool("local", false, "fetch only the queried process's own spans (skip ?cluster=1 federation)")
+		rawJSON     = flag.Bool("json", false, "print the server's span JSON instead of the rendered tree")
+		width       = flag.Int("width", 30, "wall-time bar width in cells")
+		limit       = flag.Int("limit", 20, "traces shown when listing (no trace ID given)")
+		timeout     = flag.Duration("timeout", 15*time.Second, "HTTP timeout")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: comet-trace [flags] <server-url> [trace-id]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("comet-trace"))
+		return
+	}
+	args := flag.Args()
+	if len(args) < 1 || len(args) > 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base := strings.TrimSuffix(args[0], "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	if len(args) == 1 {
+		if err := listTraces(client, base, *limit); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := showTrace(client, base, args[1], !*local, *rawJSON, *width); err != nil {
+		fatal(err)
+	}
+}
+
+// listTraces renders GET /debug/traces as a table.
+func listTraces(client *http.Client, base string, limit int) error {
+	var body struct {
+		Traces []obs.TraceSummary `json:"traces"`
+	}
+	if err := getJSON(client, fmt.Sprintf("%s/debug/traces?limit=%d", base, limit), &body); err != nil {
+		return err
+	}
+	if len(body.Traces) == 0 {
+		fmt.Println("no traces recorded (is -trace-sample off, or has the ring aged out?)")
+		return nil
+	}
+	fmt.Printf("%-34s %-14s %6s  %-20s  %s\n", "TRACE", "ROOT", "SPANS", "START", "DURATION")
+	for _, t := range body.Traces {
+		fmt.Printf("%-34s %-14s %6d  %-20s  %s\n",
+			t.TraceID, t.Root, t.Spans,
+			t.Start.UTC().Format(time.RFC3339), formatUS(t.DurationUS))
+	}
+	return nil
+}
+
+// showTrace fetches one trace (federated unless told otherwise) and
+// renders the span tree.
+func showTrace(client *http.Client, base, id string, federate, rawJSON bool, width int) error {
+	url := base + "/debug/traces/" + id
+	if federate {
+		url += "?cluster=1"
+	}
+	var body struct {
+		TraceID   string `json:"trace_id"`
+		Cluster   bool   `json:"cluster"`
+		Processes []struct {
+			Process string `json:"process"`
+			Spans   int    `json:"spans"`
+			Error   string `json:"error,omitempty"`
+		} `json:"processes"`
+		Spans []obs.SpanRecord `json:"spans"`
+	}
+	if err := getJSON(client, url, &body); err != nil {
+		return err
+	}
+	if rawJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(body)
+	}
+	if len(body.Processes) > 0 {
+		fmt.Printf("trace %s — %d spans from %d processes\n", body.TraceID, len(body.Spans), len(body.Processes))
+		for _, p := range body.Processes {
+			if p.Error != "" {
+				fmt.Printf("  %-40s %4d spans  (unreachable: %s)\n", p.Process, p.Spans, p.Error)
+			} else {
+				fmt.Printf("  %-40s %4d spans\n", p.Process, p.Spans)
+			}
+		}
+		fmt.Println()
+	} else {
+		fmt.Printf("trace %s — %d spans\n\n", body.TraceID, len(body.Spans))
+	}
+	// Server output is start-ordered already, but MergeSpans is cheap
+	// insurance that local views render in the same canonical order.
+	spans := obs.MergeSpans(body.Spans)
+	obs.WriteTree(os.Stdout, spans, width)
+	return nil
+}
+
+// getJSON fetches url and decodes the JSON body, surfacing the server's
+// error envelope on non-200s.
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func formatUS(us int64) string {
+	d := time.Duration(us) * time.Microsecond
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", us)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(us)/1000)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "comet-trace:", err)
+	os.Exit(1)
+}

@@ -67,35 +67,41 @@ import (
 	"github.com/comet-explain/comet/internal/ingest"
 	"github.com/comet-explain/comet/internal/obs"
 	"github.com/comet-explain/comet/internal/persist"
+	"github.com/comet-explain/comet/internal/version"
 	"github.com/comet-explain/comet/internal/wire"
 )
 
 func main() {
 	var (
-		modelSpec  = flag.String("model", "uica", "cost model spec: name[@arch][?key=value&...] (see -list-models)")
-		listModels = flag.Bool("list-models", false, "list the registered models with their default specs and parameters, then exit")
-		archName   = flag.String("arch", "hsw", "default microarchitecture when -model has no @target: hsw | skl")
-		inPath     = flag.String("in", "", "file with the basic block (default: stdin)")
-		seed       = flag.Int64("seed", 1, "explanation seed")
-		coverage   = flag.Int("coverage-samples", 1000, "coverage pool size")
-		epsilon    = flag.Float64("epsilon", 0, "ε-ball radius (default: the resolved model's recommended ε)")
-		threshold  = flag.Float64("threshold", 0.7, "precision threshold 1−δ")
-		trainN     = flag.Int("train-blocks", 0, "shorthand for the ithemal train= spec parameter")
-		saveModel  = flag.String("save-model", "", "save the resolved model to this file (models that support saving)")
-		loadModel  = flag.String("load-model", "", "shorthand for the ithemal load= spec parameter")
-		report     = flag.Bool("report", false, "also print the pipeline bottleneck report")
-		profile    = flag.Bool("profile", false, "also print where the explanation's wall time went, stage by stage (with -json: attach the profile object)")
-		corpus     = flag.String("corpus", "", `corpus mode: a file of "---"-separated blocks, "-" for the same on stdin, gen:N for a synthetic corpus, or elf:PATH to extract basic blocks from an ELF binary`)
-		workers    = flag.Int("workers", 0, "corpus mode: concurrent blocks (0 = GOMAXPROCS); with -cluster, the per-lease concurrency hint sent to each worker")
-		clusterTo  = flag.String("cluster", "", "corpus mode: comma-separated comet-serve worker URLs — shard the corpus across them instead of explaining locally (per-block output is byte-identical apart from cache-accounting counters; pins sampling parallelism to 1)")
-		leaseN     = flag.Int("lease-blocks", 4, "with -cluster: blocks per lease")
-		batchSize  = flag.Int("batch", 0, "model query batch size (0 = default 64)")
-		noCache    = flag.Bool("no-cache", false, "disable the prediction cache")
-		jsonOut    = flag.Bool("json", false, "emit the comet-serve wire format (one explanation object, or one corpus result per line)")
-		storeDir   = flag.String("store", "", "durable explanation store directory: explanations persist and are reused across invocations (pins -workers sampling parallelism to 1 for cross-machine key stability)")
-		resume     = flag.Bool("resume", false, "with -corpus and -store: report how many blocks the store already holds before resuming the run")
+		modelSpec   = flag.String("model", "uica", "cost model spec: name[@arch][?key=value&...] (see -list-models)")
+		listModels  = flag.Bool("list-models", false, "list the registered models with their default specs and parameters, then exit")
+		archName    = flag.String("arch", "hsw", "default microarchitecture when -model has no @target: hsw | skl")
+		inPath      = flag.String("in", "", "file with the basic block (default: stdin)")
+		seed        = flag.Int64("seed", 1, "explanation seed")
+		coverage    = flag.Int("coverage-samples", 1000, "coverage pool size")
+		epsilon     = flag.Float64("epsilon", 0, "ε-ball radius (default: the resolved model's recommended ε)")
+		threshold   = flag.Float64("threshold", 0.7, "precision threshold 1−δ")
+		trainN      = flag.Int("train-blocks", 0, "shorthand for the ithemal train= spec parameter")
+		saveModel   = flag.String("save-model", "", "save the resolved model to this file (models that support saving)")
+		loadModel   = flag.String("load-model", "", "shorthand for the ithemal load= spec parameter")
+		report      = flag.Bool("report", false, "also print the pipeline bottleneck report")
+		profile     = flag.Bool("profile", false, "also print where the explanation's wall time went, stage by stage (with -json: attach the profile object)")
+		corpus      = flag.String("corpus", "", `corpus mode: a file of "---"-separated blocks, "-" for the same on stdin, gen:N for a synthetic corpus, or elf:PATH to extract basic blocks from an ELF binary`)
+		workers     = flag.Int("workers", 0, "corpus mode: concurrent blocks (0 = GOMAXPROCS); with -cluster, the per-lease concurrency hint sent to each worker")
+		clusterTo   = flag.String("cluster", "", "corpus mode: comma-separated comet-serve worker URLs — shard the corpus across them instead of explaining locally (per-block output is byte-identical apart from cache-accounting counters; pins sampling parallelism to 1)")
+		leaseN      = flag.Int("lease-blocks", 4, "with -cluster: blocks per lease")
+		batchSize   = flag.Int("batch", 0, "model query batch size (0 = default 64)")
+		noCache     = flag.Bool("no-cache", false, "disable the prediction cache")
+		jsonOut     = flag.Bool("json", false, "emit the comet-serve wire format (one explanation object, or one corpus result per line)")
+		storeDir    = flag.String("store", "", "durable explanation store directory: explanations persist and are reused across invocations (pins -workers sampling parallelism to 1 for cross-machine key stability)")
+		resume      = flag.Bool("resume", false, "with -corpus and -store: report how many blocks the store already holds before resuming the run")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("comet"))
+		return
+	}
 
 	if *resume && (*storeDir == "" || *corpus == "") {
 		fatal(fmt.Errorf("-resume requires both -corpus and -store"))

@@ -91,6 +91,10 @@ type Options struct {
 	// re-leases, abandonments, codec downgrades) as structured records.
 	// Every record carries the job's trace ID when the job is traced.
 	Log *slog.Logger
+	// Flight, if non-nil, receives one black-box record per lease
+	// transition (dispatched, completed, failed, abandoned) — the
+	// coordinator side of the flight recorder (see internal/obs).
+	Flight *obs.FlightRecorder
 }
 
 func (o Options) withDefaults() Options {
@@ -173,6 +177,15 @@ func (j Job) traceAttr() slog.Attr {
 	return obs.TraceAttr(obs.TraceID{})
 }
 
+// traceID extracts the job's raw trace ID for flight records (zero when
+// untraced).
+func (j Job) traceID() obs.TraceID {
+	if sc, ok := obs.ParseTraceparent(j.Traceparent); ok {
+		return sc.Trace
+	}
+	return obs.TraceID{}
+}
+
 // Result is one completed block, attributed to the worker that ran it.
 type Result struct {
 	wire.CorpusResult
@@ -200,6 +213,26 @@ func New(pool *Pool, opts Options) *Coordinator {
 // Pool returns the coordinator's worker pool (for join handling and
 // status rendering).
 func (c *Coordinator) Pool() *Pool { return c.pool }
+
+// flightLease records one lease transition in the flight recorder (a
+// no-op when Options.Flight is nil).
+func (c *Coordinator) flightLease(job Job, l *lease, worker, state string, err error) {
+	if c.opts.Flight == nil {
+		return
+	}
+	rec := obs.FlightRecord{
+		Kind:  obs.FlightLease,
+		ID:    l.id,
+		State: state,
+		Spec:  job.Spec,
+		Route: worker,
+		Trace: job.traceID(),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	c.opts.Flight.Record(rec)
+}
 
 // Stats returns the coordinator's lifetime counters.
 func (c *Coordinator) Stats() *Stats { return &c.stats }
@@ -306,6 +339,7 @@ func (c *Coordinator) Run(ctx context.Context, job Job, emit func(Result)) error
 						"attempt", l.attempts, "retries", c.opts.LeaseRetries,
 						"error", r.err, job.traceAttr())
 				}
+				c.flightLease(job, l, r.worker, "failed", r.err)
 				if l.attempts < c.opts.LeaseRetries {
 					if l.inflight == 0 {
 						pending = append(pending, l)
@@ -324,6 +358,7 @@ func (c *Coordinator) Run(ctx context.Context, job Job, emit func(Result)) error
 							"job_id", job.ID, "lease", l.id, "attempts", l.attempts,
 							"blocks_left", len(l.blocks), "error", l.lastErr, job.traceAttr())
 					}
+					c.flightLease(job, l, r.worker, "abandoned", l.lastErr)
 					l.done = true
 					remaining--
 					abandoned++
@@ -339,6 +374,7 @@ func (c *Coordinator) Run(ctx context.Context, job Job, emit func(Result)) error
 					"blocks", len(r.results), "elapsed", time.Since(l.lastSent),
 					job.traceAttr())
 			}
+			c.flightLease(job, l, r.worker, "completed", nil)
 			for _, res := range r.results {
 				if !emitted.Add(res.Index) {
 					continue
@@ -404,6 +440,7 @@ func (c *Coordinator) send(ctx context.Context, job Job, l *lease, workerID stri
 	l.inflight++
 	l.lastSent = time.Now()
 	c.stats.LeasesDispatched.Add(1)
+	c.flightLease(job, l, workerID, "dispatched", nil)
 	if straggler {
 		c.stats.StragglerDispatches.Add(1)
 		if lg := c.opts.Log; lg != nil {

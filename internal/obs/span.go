@@ -237,6 +237,9 @@ type SpanRecord struct {
 	Start      time.Time         `json:"start"`
 	DurationUS int64             `json:"duration_us"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
+	// Process labels which process recorded the span in a federated
+	// (cross-process) trace view; empty in a single process's own ring.
+	Process string `json:"process,omitempty"`
 }
 
 // TraceSummary is one trace in the GET /debug/traces listing.

@@ -124,8 +124,12 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		Seeds:   func(i int) int64 { return req.Blocks[i].Seed },
 		Index:   func(i int) int { return req.Blocks[i].Index },
 	}) {
-		if res.Explanation != nil && res.Explanation.Profile != nil {
-			s.metrics.observeExplanation(req.Spec, res.Explanation.Profile.Total.Seconds())
+		if res.Explanation != nil {
+			if res.Explanation.Profile != nil {
+				s.metrics.observeExplanation(req.Spec, res.Explanation.Profile.Total.Seconds())
+			}
+			s.metrics.observeQuality(req.Spec, res.Explanation.Precision,
+				res.Explanation.Coverage, res.Explanation.Queries, res.Explanation.Certified)
 		}
 		results = append(results, wire.FromCorpusResult(res))
 	}
@@ -143,6 +147,17 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 			failed++
 		}
 	}
+	// The worker's flight recorder keeps its own record of every lease it
+	// executed — after a crash, the worker-side black box tells which
+	// leases this process actually ran.
+	s.flight.Record(obs.FlightRecord{
+		Kind:      obs.FlightLease,
+		ID:        req.Lease,
+		State:     "executed",
+		Spec:      req.Spec,
+		LatencyUS: time.Since(leaseStart).Microseconds(),
+		Trace:     span.TraceID(),
+	})
 	s.log.Info("shard lease executed",
 		"job_id", req.JobID, "lease", req.Lease, "spec", req.Spec,
 		"blocks", len(results), "failed", failed,

@@ -4,11 +4,21 @@ package service
 // in-process ring (obs.Ring); these handlers are the only way out. They
 // are debugging surface, not an export pipeline: the ring forgets, the
 // JSON is small, and a trace that spans processes (coordinator + worker)
-// is assembled by querying each process for the same trace ID.
+// is assembled by GET /debug/traces/{id}?cluster=1 — the coordinator
+// fans the trace ID out to every worker in its pool and merges the
+// remote spans with its own into one parent-linked tree.
+//
+// GET /debug/flight dumps the flight recorder: the black-box ring of
+// request/lease/job records kept regardless of trace sampling.
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"strings"
+	"sync"
+	"time"
 
 	"github.com/comet-explain/comet/internal/obs"
 )
@@ -37,7 +47,10 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTrace serves GET /debug/traces/{id}: every span the ring still
-// holds for one trace, oldest first.
+// holds for one trace, oldest first. With ?cluster=1 on a coordinator,
+// the response is the federated view: local spans merged with the spans
+// every pool worker holds for the same trace ID, each labeled with the
+// process that recorded it.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
@@ -53,9 +66,130 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spans := s.tracer.Ring().Trace(id)
+	if r.URL.Query().Get("cluster") == "1" && s.coordinator != nil {
+		s.serveFederatedTrace(w, r, id, spans)
+		return
+	}
 	if len(spans) == 0 {
 		writeError(w, http.StatusNotFound, "no spans recorded for trace %q (the ring is bounded; old traces age out)", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"trace_id": id, "spans": spans})
+}
+
+// peerTraceClient fetches remote trace spans during federation; the
+// short timeout bounds the whole fan-out — a dead worker costs one
+// timeout, not a hung request.
+var peerTraceClient = &http.Client{Timeout: 5 * time.Second}
+
+// traceProcess summarizes one process's contribution to a federated
+// trace.
+type traceProcess struct {
+	Process string `json:"process"`
+	Spans   int    `json:"spans"`
+	// Error is set when the process could not be queried (down worker,
+	// timeout); its spans are simply missing from the merged view.
+	Error string `json:"error,omitempty"`
+}
+
+// serveFederatedTrace answers GET /debug/traces/{id}?cluster=1 on a
+// coordinator: concurrent fan-out of the trace ID to every known worker
+// (static pool plus dynamic joins; only workers whose heartbeats have
+// expired are skipped), then a merge of remote and local spans into one
+// parent-linked set. A worker that holds no spans for the trace (404)
+// contributes zero spans, not an error. Workers are queried without
+// ?cluster=1, so federation never recurses.
+func (s *Server) serveFederatedTrace(w http.ResponseWriter, r *http.Request, id string, local []obs.SpanRecord) {
+	for i := range local {
+		local[i].Process = s.cfg.ProcessLabel
+	}
+	processes := []traceProcess{{Process: s.cfg.ProcessLabel, Spans: len(local)}}
+	groups := [][]obs.SpanRecord{local}
+
+	workers := s.coordinator.Pool().Snapshot()
+	remote := make([][]obs.SpanRecord, len(workers))
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for i, worker := range workers {
+		if worker.State == "expired" {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			remote[i], errs[i] = fetchPeerTrace(r.Context(), url, id)
+		}(i, worker.ID)
+	}
+	wg.Wait()
+	for i, worker := range workers {
+		if worker.State == "expired" {
+			continue
+		}
+		spans := remote[i]
+		for k := range spans {
+			spans[k].Process = worker.ID
+		}
+		p := traceProcess{Process: worker.ID, Spans: len(spans)}
+		if errs[i] != nil {
+			p.Error = errs[i].Error()
+		}
+		processes = append(processes, p)
+		groups = append(groups, spans)
+	}
+
+	merged := obs.MergeSpans(groups...)
+	if len(merged) == 0 {
+		writeError(w, http.StatusNotFound,
+			"no spans recorded for trace %q on the coordinator or any of %d workers", id, len(workers))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"trace_id":  id,
+		"cluster":   true,
+		"processes": processes,
+		"spans":     merged,
+	})
+}
+
+// fetchPeerTrace fetches one worker's spans for a trace ID. A 404 means
+// the worker holds no spans for that trace — a normal answer, not a
+// failure.
+func fetchPeerTrace(ctx context.Context, baseURL, id string) ([]obs.SpanRecord, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(baseURL, "/")+"/debug/traces/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := peerTraceClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Spans []obs.SpanRecord `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Spans, nil
+}
+
+// handleFlight serves GET /debug/flight: the flight recorder's current
+// contents as one JSON document — the same dump a SIGQUIT writes to
+// stderr.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.flight.WriteJSON(w, s.cfg.ProcessLabel)
 }

@@ -86,6 +86,15 @@ type job struct {
 	// produced them ("local" for coordinator-fallback blocks); nil for
 	// plain single-node jobs.
 	workerDone map[string]int
+	// Quality aggregates, accumulated from every appended result's
+	// explanation (local and cluster alike — the wire fields survive the
+	// shard hop) and emitted on the "job finished" log line.
+	qPrecisionSum float64
+	qPrecisionMin float64
+	qCoverageSum  float64
+	qQueries      int64
+	qViolations   int
+	qCount        int
 }
 
 // appendResult records one completed block: counters, the done bitset,
@@ -101,6 +110,18 @@ func (j *job) appendResult(res wire.CorpusResult, worker string) {
 		j.doneSet = bitset.New(len(j.blocks))
 	}
 	j.doneSet.Add(res.Index)
+	if e := res.Explanation; e != nil {
+		if j.qCount == 0 || e.Precision < j.qPrecisionMin {
+			j.qPrecisionMin = e.Precision
+		}
+		j.qPrecisionSum += e.Precision
+		j.qCoverageSum += e.Coverage
+		j.qQueries += int64(e.Queries)
+		if !e.Certified {
+			j.qViolations++
+		}
+		j.qCount++
+	}
 	j.results = append(j.results, res)
 	if j.streamOnly && j.ringCap > 0 && len(j.results) > j.ringCap {
 		// Drop the oldest half in one move — amortized O(1) per result.
@@ -256,11 +277,13 @@ type jobManager struct {
 	// identical bytes.
 	cluster *cluster.Coordinator
 
-	// tracer, log, and metrics are injected by the server; all are
-	// optional (nil tracer records nothing, nil log stays silent).
+	// tracer, log, metrics, and flight are injected by the server; all
+	// are optional (nil tracer records nothing, nil log stays silent, a
+	// nil flight recorder drops records).
 	tracer  *obs.Tracer
 	log     *slog.Logger
 	metrics *metrics
+	flight  *obs.FlightRecorder
 
 	queued  atomic.Int64 // jobs waiting in the queue
 	running atomic.Int64 // jobs currently executing
@@ -343,12 +366,26 @@ func (m *jobManager) enqueue(j *job) error {
 	select {
 	case m.queue <- j:
 		m.queued.Add(1)
+		m.flightJob(j, wire.JobQueued)
 		m.persistJob(j)
 		return nil
 	default:
 		m.active.Delete(j.id)
 		return errQueueFull
 	}
+}
+
+// flightJob records one job state transition in the flight recorder —
+// every queue/run/terminal transition leaves a black-box entry whether
+// or not the job's trace is sampled.
+func (m *jobManager) flightJob(j *job, state string) {
+	m.flight.Record(obs.FlightRecord{
+		Kind:  obs.FlightJob,
+		ID:    j.id,
+		State: state,
+		Spec:  j.spec,
+		Trace: j.trace.Trace,
+	})
 }
 
 // get finds a job by ID, live or in history.
@@ -398,20 +435,35 @@ func (m *jobManager) run(j *job) {
 	defer func() {
 		j.mu.Lock()
 		state, done, failed := j.state, j.done, j.failed
+		qCount, qViolations, qQueries := j.qCount, j.qViolations, j.qQueries
+		qPrecSum, qPrecMin, qCovSum := j.qPrecisionSum, j.qPrecisionMin, j.qCoverageSum
 		j.mu.Unlock()
 		span.Set("state", state)
 		span.SetInt("done", int64(done))
 		span.SetInt("failed", int64(failed))
 		span.End()
+		m.flightJob(j, state)
 		if m.log != nil {
-			m.log.LogAttrs(context.Background(), slog.LevelInfo, "job finished",
+			attrs := []slog.Attr{
 				slog.String("job_id", j.id),
 				slog.String("spec", j.spec),
 				slog.String("state", state),
 				slog.Int("done", done),
 				slog.Int("failed", failed),
 				slog.Duration("elapsed", time.Since(start)),
-				obs.TraceAttr(j.trace.Trace))
+				obs.TraceAttr(j.trace.Trace),
+			}
+			// Quality aggregates: how good the explanations this job
+			// produced actually were, visible without scraping /metrics.
+			if qCount > 0 {
+				attrs = append(attrs,
+					slog.Float64("precision_mean", qPrecSum/float64(qCount)),
+					slog.Float64("precision_min", qPrecMin),
+					slog.Float64("coverage_mean", qCovSum/float64(qCount)),
+					slog.Int64("queries_total", qQueries),
+					slog.Int("epsilon_violations", qViolations))
+			}
+			m.log.LogAttrs(context.Background(), slog.LevelInfo, "job finished", attrs...)
 		}
 	}()
 
@@ -429,6 +481,7 @@ func (m *jobManager) run(j *job) {
 	}
 	j.state = wire.JobRunning
 	j.mu.Unlock()
+	m.flightJob(j, wire.JobRunning)
 	m.persistJob(j)
 
 	// Coordinator mode: shard the job across the cluster. Any dispatch
@@ -464,8 +517,12 @@ func (m *jobManager) run(j *job) {
 		Context: ctx,
 		Skip:    skip.Has,
 	}) {
-		if res.Explanation != nil && res.Explanation.Profile != nil && m.metrics != nil {
-			m.metrics.observeExplanation(j.spec, res.Explanation.Profile.Total.Seconds())
+		if res.Explanation != nil && m.metrics != nil {
+			if res.Explanation.Profile != nil {
+				m.metrics.observeExplanation(j.spec, res.Explanation.Profile.Total.Seconds())
+			}
+			m.metrics.observeQuality(j.spec, res.Explanation.Precision,
+				res.Explanation.Coverage, res.Explanation.Queries, res.Explanation.Certified)
 		}
 		wres := wire.FromCorpusResult(res)
 		j.appendResult(wres, worker)

@@ -32,6 +32,14 @@ type metrics struct {
 	// cardinality is bounded by the model registry's entry cap.
 	specLatency sync.Map
 
+	// specQuality maps model spec → *qualityStats: the explanation-quality
+	// telemetry (achieved precision, coverage, perturbation count,
+	// ε-violation rate) recorded wherever an explanation is actually
+	// computed — sync request, local corpus job, worker shard lease — and
+	// never on the coordinator's merge path, so cluster runs count each
+	// explanation exactly once (on the process that computed it).
+	specQuality sync.Map
+
 	coalesced       atomic.Uint64 // explain requests served by single-flight
 	resultStoreHits atomic.Uint64 // explain requests served by the LRU store
 	explanations    atomic.Uint64 // explanations actually computed
@@ -106,6 +114,92 @@ func (m *metrics) observeExplanation(spec string, seconds float64) {
 	v.(*histogram).observe(seconds)
 }
 
+// qualityStats aggregates one model spec's explanation quality. The hot
+// path is the same atomized discipline as the latency histograms: after
+// the first explanation for a spec, recording is a lock-free sync.Map
+// load plus atomic histogram observes — no allocation, no mutex.
+type qualityStats struct {
+	precision histogram // achieved Prec(F), fraction
+	coverage  histogram // achieved Cov(F), fraction of the coverage pool
+	queries   histogram // perturbations (cost-model queries) per explanation
+	// violations counts explanations whose KL lower bound failed to clear
+	// the 1−δ precision threshold (Certified == false); the ε-violation
+	// rate is violations / count.
+	violations atomic.Uint64
+	count      atomic.Uint64
+}
+
+// Fraction buckets for precision/coverage in [0, 1]; the top buckets are
+// dense because that is where the certification threshold lives.
+var fractionBounds = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1}
+
+// Perturbation-count buckets: cheap anchors run tens of queries, hard
+// blocks on tight thresholds run thousands.
+var queryBounds = []float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000}
+
+// observeQuality records one computed explanation's quality signals
+// under its model spec.
+func (m *metrics) observeQuality(spec string, precision, coverage float64, queries int, certified bool) {
+	v, ok := m.specQuality.Load(spec)
+	if !ok {
+		q := &qualityStats{}
+		q.precision.init(fractionBounds)
+		q.coverage.init(fractionBounds)
+		q.queries.init(queryBounds)
+		v, _ = m.specQuality.LoadOrStore(spec, q)
+	}
+	q := v.(*qualityStats)
+	q.precision.observe(precision)
+	q.coverage.observe(coverage)
+	q.queries.observe(float64(queries))
+	q.count.Add(1)
+	if !certified {
+		q.violations.Add(1)
+	}
+}
+
+// renderQuality writes the per-spec explanation-quality families.
+func (m *metrics) renderQuality(sb *strings.Builder) {
+	var specs []string
+	m.specQuality.Range(func(k, _ any) bool {
+		specs = append(specs, k.(string))
+		return true
+	})
+	if len(specs) == 0 {
+		return
+	}
+	sort.Strings(specs)
+	stats := func(spec string) *qualityStats {
+		v, _ := m.specQuality.Load(spec)
+		return v.(*qualityStats)
+	}
+	sb.WriteString("# HELP comet_explanation_precision Achieved precision Prec(F) of computed explanations, by model spec.\n")
+	sb.WriteString("# TYPE comet_explanation_precision histogram\n")
+	for _, spec := range specs {
+		stats(spec).precision.render(sb, "comet_explanation_precision", fmt.Sprintf("spec=%q", spec))
+	}
+	sb.WriteString("# HELP comet_explanation_coverage Achieved coverage Cov(F) of computed explanations (fraction of the coverage pool), by model spec.\n")
+	sb.WriteString("# TYPE comet_explanation_coverage histogram\n")
+	for _, spec := range specs {
+		stats(spec).coverage.render(sb, "comet_explanation_coverage", fmt.Sprintf("spec=%q", spec))
+	}
+	sb.WriteString("# HELP comet_explanation_queries Cost-model queries (perturbations) issued per computed explanation, by model spec.\n")
+	sb.WriteString("# TYPE comet_explanation_queries histogram\n")
+	for _, spec := range specs {
+		stats(spec).queries.render(sb, "comet_explanation_queries", fmt.Sprintf("spec=%q", spec))
+	}
+	sb.WriteString("# HELP comet_explanation_epsilon_violations_total Computed explanations whose precision bound failed certification (Certified=false), by model spec.\n")
+	sb.WriteString("# TYPE comet_explanation_epsilon_violations_total counter\n")
+	for _, spec := range specs {
+		fmt.Fprintf(sb, "comet_explanation_epsilon_violations_total{spec=%q} %d\n", spec, stats(spec).violations.Load())
+	}
+	sb.WriteString("# HELP comet_explanation_quality_samples_total Computed explanations feeding the quality histograms, by model spec.\n")
+	sb.WriteString("# TYPE comet_explanation_quality_samples_total counter\n")
+	for _, spec := range specs {
+		fmt.Fprintf(sb, "comet_explanation_quality_samples_total{spec=%q} %d\n", spec, stats(spec).count.Load())
+	}
+}
+
 // gauge is one extra sample appended by the server at render time.
 type gauge struct {
 	name   string
@@ -154,6 +248,8 @@ func (m *metrics) render(sb *strings.Builder, extra []gauge) {
 			v.(*histogram).render(sb, "comet_explanation_seconds", fmt.Sprintf("spec=%q", spec))
 		}
 	}
+
+	m.renderQuality(sb)
 
 	fmt.Fprintf(sb, "# HELP comet_explain_coalesced_total Explain requests coalesced onto an identical in-flight computation.\n")
 	fmt.Fprintf(sb, "# TYPE comet_explain_coalesced_total counter\n")

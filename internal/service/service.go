@@ -84,6 +84,7 @@ import (
 	"github.com/comet-explain/comet/internal/costmodel"
 	"github.com/comet-explain/comet/internal/obs"
 	"github.com/comet-explain/comet/internal/persist"
+	"github.com/comet-explain/comet/internal/version"
 	"github.com/comet-explain/comet/internal/wire"
 	"github.com/comet-explain/comet/internal/x86"
 )
@@ -179,6 +180,15 @@ type Config struct {
 	// jobs, shard leases, and cluster operations matter individually and
 	// are always traced. 0 = 64; negative disables tracing entirely.
 	TraceSample int
+	// FlightRecorderSize bounds the flight recorder — the black-box ring
+	// holding one compact record per request, lease transition, and job
+	// transition regardless of trace sampling, served by GET /debug/flight
+	// and dumped on SIGQUIT (0 = 2048 records).
+	FlightRecorderSize int
+	// ProcessLabel names this process in federated trace views and flight
+	// dumps ("coordinator", "worker-1", an advertise URL). Defaults to
+	// "coordinator" when coordinator mode is on, "local" otherwise.
+	ProcessLabel string
 }
 
 func (c Config) withDefaults() Config {
@@ -238,6 +248,16 @@ func (c Config) withDefaults() Config {
 	if c.TraceSample == 0 {
 		c.TraceSample = 64
 	}
+	if c.FlightRecorderSize <= 0 {
+		c.FlightRecorderSize = 2048
+	}
+	if c.ProcessLabel == "" {
+		if c.Coordinator || len(c.ClusterWorkers) > 0 {
+			c.ProcessLabel = "coordinator"
+		} else {
+			c.ProcessLabel = "local"
+		}
+	}
 	return c
 }
 
@@ -261,6 +281,7 @@ type Server struct {
 	store       persist.Store
 	coordinator *cluster.Coordinator
 	tracer      *obs.Tracer
+	flight      *obs.FlightRecorder
 	log         *slog.Logger // component=service
 	logPersist  *slog.Logger // component=persist
 
@@ -298,10 +319,14 @@ func New(cfg Config) *Server {
 		sampleN = 0
 	}
 	s.tracer = obs.NewTracer(cfg.TraceRingSize, sampleN)
+	s.flight = obs.NewFlightRecorder(cfg.FlightRecorderSize)
 	if cfg.Coordinator || len(cfg.ClusterWorkers) > 0 {
 		copts := cfg.Cluster
 		if copts.Log == nil {
 			copts.Log = obs.Component(cfg.Logger, "cluster")
+		}
+		if copts.Flight == nil {
+			copts.Flight = s.flight
 		}
 		s.coordinator = cluster.New(cluster.NewPool(cfg.ClusterWorkers, copts), copts)
 	}
@@ -311,6 +336,7 @@ func New(cfg Config) *Server {
 	s.jobs.tracer = s.tracer
 	s.jobs.log = s.log
 	s.jobs.metrics = s.metrics
+	s.jobs.flight = s.flight
 	// Client-initiated model warm-ups (training, remote handshakes) share
 	// the explain concurrency budget instead of running unbounded.
 	s.models.warmGate = func() (func(), error) {
@@ -335,8 +361,17 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("/debug/traces", s.instrument("debug", s.handleTraces))
 	s.mux.HandleFunc("/debug/traces/", s.instrument("debug", s.handleTrace))
+	s.mux.HandleFunc("/debug/flight", s.instrument("debug", s.handleFlight))
 	return s
 }
+
+// FlightRecorder exposes the server's black-box ring so the binary can
+// dump it on SIGQUIT (see cmd/comet-serve).
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.flight }
+
+// ProcessLabel reports the label this server uses for itself in
+// federated trace views and flight dumps.
+func (s *Server) ProcessLabel() string { return s.cfg.ProcessLabel }
 
 // SetReady flips /readyz to 200. Call it after warm-up is complete —
 // Restore has run and -preload models are resolved — so load balancers
@@ -425,6 +460,15 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		h(rec, r)
 		elapsed := time.Since(start)
 		rs.observe(rec.code, elapsed.Seconds())
+		// The flight recorder sees every request regardless of sampling: a
+		// struct copy of pre-existing strings into the ring, no allocation.
+		s.flight.Record(obs.FlightRecord{
+			Kind:      obs.FlightRequest,
+			Route:     route,
+			Status:    rec.code,
+			LatencyUS: elapsed.Microseconds(),
+			Trace:     trace,
+		})
 		if span != nil {
 			span.Set("method", r.Method)
 			span.SetInt("status", int64(rec.code))
@@ -708,6 +752,20 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		elapsed := time.Since(computeStart)
 		s.metrics.explanations.Add(1)
 		s.metrics.observeExplanation(entry.specString(), elapsed.Seconds())
+		s.metrics.observeQuality(entry.specString(), expl.Precision, expl.Coverage, expl.Queries, expl.Certified)
+		// The per-explanation profile stages ride the compute span as
+		// attributes, so a federated trace view shows where the wall time
+		// went without a second lookup.
+		if cspan != nil && expl.Profile != nil {
+			p := expl.Profile
+			cspan.SetInt("setup_us", p.Setup.Microseconds())
+			cspan.SetInt("search_us", p.Search.Microseconds())
+			cspan.SetInt("model_us", p.Model.Microseconds())
+			cspan.SetInt("precision_us", p.Precision.Microseconds())
+			cspan.SetInt("coverage_us", p.Coverage.Microseconds())
+			cspan.SetInt("queries", int64(p.Queries))
+			cspan.SetInt("model_calls", int64(p.ModelCalls))
+		}
 		c := newCachedExplanation(wire.FromExplanation(expl))
 		c.profile = wire.FromProfile(expl.Profile)
 		s.results.put(key, c)
@@ -981,13 +1039,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleReadyz serves GET /readyz: readiness — 200 only after the
 // operator called SetReady (model warm-up and store Restore complete)
 // and while not draining. Load balancers and cluster coordinators route
-// on this, so cold or draining servers receive no traffic.
+// on this, so cold or draining servers receive no traffic. Non-200
+// responses carry a machine-readable reason — "draining" (shutdown in
+// progress), "restoring" (a durable store is attached and Restore has
+// not finished), or "cold" (warm-up still running) — so operators and
+// coordinators can tell the cases apart.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "draining", "reason": "draining"})
 	case !s.ready.Load():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+		reason := "cold"
+		if s.store != nil && !s.restored.Load() {
+			reason = "restoring"
+		}
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "starting", "reason": reason})
 	default:
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	}
@@ -1001,6 +1069,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	extra := []gauge{
+		{name: "comet_build_info",
+			labels: fmt.Sprintf("version=%q,goversion=%q", version.Version, runtime.Version()),
+			value:  1},
 		{name: "comet_explain_inflight", value: float64(len(s.explainSlots))},
 		{name: "comet_explain_waiting", value: float64(s.explainWaiting.Load())},
 		{name: "comet_result_store_entries", value: float64(s.results.len())},

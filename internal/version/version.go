@@ -1,0 +1,23 @@
+// Package version carries the build identity stamped into every COMET
+// binary. Version is a package-level var so release builds can overwrite
+// it with the linker:
+//
+//	go build -ldflags "-X github.com/comet-explain/comet/internal/version.Version=v1.2.3"
+//
+// (the Makefile derives the value from `git describe`). Unstamped builds
+// report "dev".
+package version
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Version is the build's human-readable version string, overwritten at
+// link time; "dev" for plain `go build` invocations.
+var Version = "dev"
+
+// String renders the full build identity for -version flags.
+func String(binary string) string {
+	return fmt.Sprintf("%s %s (%s, %s/%s)", binary, Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
