@@ -46,7 +46,10 @@ test-e2e:
 # Cluster e2e: a coordinator shards a corpus job across two real worker
 # processes; one worker is SIGKILLed mid-lease and the coordinator is
 # SIGKILLed and restarted on the same store — the job must complete with
-# per-block JSON byte-identical to a single-process run.
+# per-block JSON byte-identical to a single-process run. Includes the
+# cockpit test: federated /debug/history from every process, slow-request
+# outlier retention despite head sampling, and a comet-top -once -json
+# snapshot asserted non-empty for all three processes.
 test-cluster:
 	COMET_E2E_STORE_DIR=$(E2E_STORE_DIR) COMET_E2E_ARTIFACT_DIR=$(E2E_ARTIFACT_DIR) \
 		$(GO) test -race -run TestClusterE2E -v ./cmd/comet-serve

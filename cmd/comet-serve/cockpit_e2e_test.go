@@ -1,0 +1,271 @@
+package main
+
+// TestClusterE2ECockpit asserts the cluster cockpit end to end with
+// real processes: a coordinator and two workers run real traffic with
+// default-ish head sampling (1-in-64) and a 1ms slow threshold, then
+//
+//   - GET /debug/history?cluster=1 on the coordinator returns one
+//     telemetry history per process, all with data;
+//   - the slow explain request is retained in the federated outlier view
+//     WITH its span tree, despite head sampling almost surely skipping
+//     it, and is counted by comet_slow_requests_total and logged;
+//   - the comet-top CLI's -once -json snapshot carries non-empty series
+//     from every process and the outlier.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/comet-explain/comet/internal/wire"
+)
+
+func TestClusterE2ECockpit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping cluster e2e test in -short mode")
+	}
+	bin := buildServe(t)
+	obsArgs := []string{"-addr", "127.0.0.1:0", "-coverage-samples", "250",
+		"-log-format", "json", "-trace-sample", "64", "-trace-slow-ms", "1",
+		"-history-interval", "100ms"}
+	w1 := startServe(t, bin, obsArgs...)
+	w2 := startServe(t, bin, obsArgs...)
+	co := startServe(t, bin,
+		append([]string{"-workers", w1.base + "," + w2.base, "-lease-blocks", "1"}, obsArgs...)...)
+
+	// Traffic: one corpus job spread across both workers, plus one direct
+	// explain on the coordinator — slower than 1ms, so it must be retained
+	// as an outlier even though 1-in-64 head sampling almost surely
+	// skipped it.
+	job := postCorpus(t, co.base, wire.CorpusRequest{
+		Blocks: []string{
+			"add rcx, rax\nmov rdx, rcx\npop rbx",
+			"imul rax, rbx\nimul rax, rcx",
+			"add rax, rbx\nsub rcx, rdx\nxor rsi, rsi",
+			"imul rdx, rsi\nadd rdx, rdi\nmov rax, rdx",
+		},
+		Model: "uica",
+	})
+	st := waitJobDone(t, co.base, job.ID, 4*time.Minute)
+	if st.State != wire.JobDone || st.Failed != 0 {
+		t.Fatalf("cluster job did not complete cleanly: %+v\ncoordinator stderr:\n%s", st, co.stderr.String())
+	}
+
+	explainBody, _ := json.Marshal(wire.ExplainRequest{
+		Block: "add rcx, rax\nmov rdx, rcx\npop rbx", Model: "uica",
+	})
+	resp, err := http.Post(co.base+"/v1/explain", "application/json", bytes.NewReader(explainBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain: status %d", resp.StatusCode)
+	}
+
+	// Federated history: one dump per process, each with sampled data.
+	// The 100ms sampler needs a tick or two to catch the traffic up.
+	type fedHistory struct {
+		Cluster   bool `json:"cluster"`
+		Processes []struct {
+			Process string `json:"process"`
+			Error   string `json:"error"`
+			History *struct {
+				Samples uint64 `json:"samples"`
+				Series  []struct {
+					Name   string     `json:"name"`
+					Points []*float64 `json:"points"`
+				} `json:"series"`
+			} `json:"history"`
+		} `json:"processes"`
+	}
+	// The coordinator saw the explain; each worker saw shard leases. Every
+	// process must come up with sampled data AND a positive point on the
+	// matching rate series — the traffic's tick may be up to one sampler
+	// interval away, so poll.
+	wantRoute := map[string]string{"coordinator": "route.explain.rps", w1.base: "route.shard.rps", w2.base: "route.shard.rps"}
+	var fed fedHistory
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(co.base + "/debug/history?cluster=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fed = fedHistory{}
+		err = json.NewDecoder(resp.Body).Decode(&fed)
+		resp.Body.Close()
+		ready := err == nil && fed.Cluster && len(fed.Processes) == 3
+		if ready {
+			for _, p := range fed.Processes {
+				if p.Error != "" || p.History == nil || p.History.Samples < 2 || len(p.History.Series) == 0 {
+					ready = false
+					continue
+				}
+				positive := false
+				for _, s := range p.History.Series {
+					if s.Name != wantRoute[p.Process] {
+						continue
+					}
+					for _, pt := range s.Points {
+						if pt != nil && *pt > 0 {
+							positive = true
+						}
+					}
+				}
+				if !positive {
+					ready = false
+				}
+			}
+		}
+		if ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("federated history never showed 3 processes with route traffic: %+v", fed)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The slow explain survived head sampling: it is in the federated
+	// outlier view with its span tree.
+	var outl struct {
+		Cluster  bool `json:"cluster"`
+		Outliers []struct {
+			Route      string `json:"route"`
+			Reason     string `json:"reason"`
+			Status     int    `json:"status"`
+			Process    string `json:"process"`
+			DurationUS int64  `json:"duration_us"`
+			Spans      []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"outliers"`
+	}
+	resp, err = http.Get(co.base + "/debug/traces?outliers=1&cluster=1&route=explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&outl)
+	resp.Body.Close()
+	if err != nil || !outl.Cluster {
+		t.Fatalf("federated outliers: err %v, cluster=%v", err, outl.Cluster)
+	}
+	foundExplain := false
+	for _, o := range outl.Outliers {
+		if o.Route != "explain" || o.Process != "coordinator" {
+			continue
+		}
+		foundExplain = true
+		if o.Reason != "slow" || o.Status != 200 || o.DurationUS < 1000 {
+			t.Errorf("explain outlier: %+v", o)
+		}
+		spanNames := map[string]bool{}
+		for _, sp := range o.Spans {
+			spanNames[sp.Name] = true
+		}
+		if !spanNames["http.explain"] || !spanNames["svc.compute"] {
+			t.Errorf("explain outlier lost its span tree: %v", spanNames)
+		}
+	}
+	if !foundExplain {
+		t.Fatalf("slow explain not retained in the federated outlier view: %+v", outl.Outliers)
+	}
+
+	// The commit also ticked the counter and logged one warning.
+	mresp, err := http.Get(co.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsText, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(metricsText), `comet_slow_requests_total{route="explain"}`) {
+		t.Error("/metrics missing comet_slow_requests_total for explain")
+	}
+	if !strings.Contains(co.stderr.String(), `"msg":"slow request"`) {
+		t.Error("coordinator logs carry no structured slow-request line")
+	}
+
+	// comet-top: the -once -json snapshot is the cockpit's data frame —
+	// every process present with non-empty series, and the outlier listed.
+	topBin := filepath.Join(t.TempDir(), "comet-top")
+	if out, err := exec.Command("go", "build", "-o", topBin, "../comet-top").CombinedOutput(); err != nil {
+		t.Fatalf("building comet-top: %v\n%s", err, out)
+	}
+	// The 1ms threshold turns this test's own debug polling into outliers
+	// too; fetch a deep window so the explain is still in it.
+	out, err := exec.Command(topBin, "-once", "-json", "-outliers", "256", co.base).CombinedOutput()
+	if err != nil {
+		t.Fatalf("comet-top -once -json: %v\n%s", err, out)
+	}
+	var snap struct {
+		Processes []struct {
+			Process string `json:"process"`
+			History *struct {
+				Series []struct {
+					Name string     `json:"name"`
+					Last *float64   `json:"last"`
+					Pts  []*float64 `json:"points"`
+				} `json:"series"`
+			} `json:"history"`
+		} `json:"processes"`
+		Cluster  *wire.ClusterStatus `json:"cluster"`
+		Outliers []struct {
+			Route string `json:"route"`
+		} `json:"outliers"`
+		Err string `json:"error"`
+	}
+	if err := json.Unmarshal(out, &snap); err != nil {
+		t.Fatalf("comet-top snapshot is not JSON: %v\n%s", err, out)
+	}
+	if snap.Err != "" || len(snap.Processes) != 3 {
+		t.Fatalf("comet-top snapshot: err=%q processes=%d\n%s", snap.Err, len(snap.Processes), out)
+	}
+	for _, p := range snap.Processes {
+		if p.History == nil || len(p.History.Series) == 0 {
+			t.Errorf("comet-top snapshot: process %q has no series", p.Process)
+			continue
+		}
+		hasData := false
+		for _, s := range p.History.Series {
+			for _, pt := range s.Pts {
+				if pt != nil && !math.IsNaN(*pt) {
+					hasData = true
+				}
+			}
+		}
+		if !hasData {
+			t.Errorf("comet-top snapshot: process %q series are all gaps", p.Process)
+		}
+	}
+	if snap.Cluster == nil || len(snap.Cluster.Workers) != 2 {
+		t.Errorf("comet-top snapshot cluster section: %+v", snap.Cluster)
+	}
+	hasExplainOutlier := false
+	for _, o := range snap.Outliers {
+		if o.Route == "explain" {
+			hasExplainOutlier = true
+		}
+	}
+	if !hasExplainOutlier {
+		t.Errorf("comet-top snapshot outliers missing the slow explain: %+v", snap.Outliers)
+	}
+
+	// The rendered frame draws, too (sanity, not golden: live numbers).
+	out, err = exec.Command(topBin, "-once", co.base).CombinedOutput()
+	if err != nil {
+		t.Fatalf("comet-top -once: %v\n%s", err, out)
+	}
+	for _, want := range []string{"comet-top", "== coordinator", "== cluster", "== outliers", "explain"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("comet-top frame missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -23,7 +23,11 @@
 //	GET  /readyz            readiness (200 only after warm-up and Restore)
 //	GET  /metrics           Prometheus text metrics
 //	GET  /debug/traces      recently finished traces (/debug/traces/{id} for spans;
-//	                        ?cluster=1 on a coordinator federates worker spans)
+//	                        ?outliers=1 lists retained slow/5xx traces;
+//	                        ?cluster=1 on a coordinator federates worker views)
+//	GET  /debug/history     retained telemetry time-series (req/s, latency
+//	                        quantiles, hit rates, queues, quality; ?cluster=1
+//	                        on a coordinator federates worker histories)
 //	GET  /debug/flight      flight-recorder dump (requests, leases, job transitions)
 //
 // Observability: -log-format/-log-level select structured (slog) text or
@@ -33,7 +37,12 @@
 // (-flight-ring) keeps a bounded black box of every request, lease, and
 // job transition regardless of sampling; SIGQUIT dumps it to stderr as
 // JSON and exits, and `comet-trace <url> <trace-id>` renders a (cluster-
-// federated) trace as a span tree.
+// federated) trace as a span tree. Requests slower than -trace-slow-ms
+// (or answering >= 500) commit their full span tree to a bounded outlier
+// ring even when head sampling skipped them; a background sampler
+// (-history-interval) keeps -history-ring points of every telemetry
+// series, and `comet-top <url>` renders the live cluster cockpit from
+// both.
 //
 // Cluster mode: -coordinator (or a static -workers url1,url2 list) turns
 // the server into a coordinator that shards corpus jobs across workers;
@@ -140,6 +149,10 @@ func main() {
 		traceSample = flag.Int("trace-sample", 0, "trace 1-in-N requests on hot routes; slow routes are always traced (0 = default 64, 1 = every request, negative = tracing off)")
 		traceRing   = flag.Int("trace-ring", 0, "finished spans retained for GET /debug/traces (0 = 4096)")
 		flightRing  = flag.Int("flight-ring", 0, "flight-recorder records retained for GET /debug/flight and the SIGQUIT dump (0 = 2048)")
+		traceSlowMS = flag.Int("trace-slow-ms", 0, "retain the full span tree of requests slower than this (or status >= 500) in the outlier ring, regardless of -trace-sample (0 = default 500, negative = off)")
+		outlierRing = flag.Int("outlier-ring", 0, "outlier traces retained for GET /debug/traces?outliers=1 (0 = 256)")
+		historyRing = flag.Int("history-ring", 0, "telemetry points retained per series for GET /debug/history (0 = 600, ~10 min at the default interval)")
+		historyTick = flag.Duration("history-interval", 0, "telemetry history sampling interval (0 = 1s, negative = sampler off)")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -210,6 +223,10 @@ func main() {
 		TraceRingSize:         *traceRing,
 		TraceSample:           *traceSample,
 		FlightRecorderSize:    *flightRing,
+		TraceSlowMS:           *traceSlowMS,
+		OutlierRingSize:       *outlierRing,
+		HistoryRingSize:       *historyRing,
+		HistoryInterval:       *historyTick,
 		ProcessLabel:          processLabel(*coordinator || len(staticWorkers) > 0, *joinURL != ""),
 		Cluster: cluster.Options{
 			LeaseBlocks:    *leaseBlocks,

@@ -19,18 +19,19 @@
 //
 // Flags: -local skips federation (the queried process's own spans only),
 // -json prints the raw span JSON instead of the tree, -width sets the
-// bar width.
+// bar width, -route/-min-ms filter the listing.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
+	"io"
+	"net/url"
 	"os"
-	"strings"
 	"time"
 
+	"github.com/comet-explain/comet/internal/inspect"
 	"github.com/comet-explain/comet/internal/obs"
 	"github.com/comet-explain/comet/internal/version"
 )
@@ -41,6 +42,8 @@ func main() {
 		rawJSON     = flag.Bool("json", false, "print the server's span JSON instead of the rendered tree")
 		width       = flag.Int("width", 30, "wall-time bar width in cells")
 		limit       = flag.Int("limit", 20, "traces shown when listing (no trace ID given)")
+		route       = flag.String("route", "", "listing filter: only traces rooted at this route")
+		minMS       = flag.Int("min-ms", 0, "listing filter: only traces at least this slow")
 		timeout     = flag.Duration("timeout", 15*time.Second, "HTTP timeout")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -58,50 +61,54 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	base := strings.TrimSuffix(args[0], "/")
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
-	client := &http.Client{Timeout: *timeout}
+	client := inspect.NewClient(*timeout)
+	base := inspect.NormalizeBase(args[0])
 
 	if len(args) == 1 {
-		if err := listTraces(client, base, *limit); err != nil {
+		if err := listTraces(os.Stdout, client, base, *limit, *route, *minMS); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	if err := showTrace(client, base, args[1], !*local, *rawJSON, *width); err != nil {
+	if err := showTrace(os.Stdout, client, base, args[1], !*local, *rawJSON, *width); err != nil {
 		fatal(err)
 	}
 }
 
 // listTraces renders GET /debug/traces as a table.
-func listTraces(client *http.Client, base string, limit int) error {
+func listTraces(w io.Writer, client *inspect.Client, base string, limit int, route string, minMS int) error {
+	u := fmt.Sprintf("%s/debug/traces?limit=%d", base, limit)
+	if route != "" {
+		u += "&route=" + url.QueryEscape(route)
+	}
+	if minMS > 0 {
+		u += fmt.Sprintf("&min_ms=%d", minMS)
+	}
 	var body struct {
 		Traces []obs.TraceSummary `json:"traces"`
 	}
-	if err := getJSON(client, fmt.Sprintf("%s/debug/traces?limit=%d", base, limit), &body); err != nil {
+	if err := client.GetJSON(u, &body); err != nil {
 		return err
 	}
 	if len(body.Traces) == 0 {
-		fmt.Println("no traces recorded (is -trace-sample off, or has the ring aged out?)")
+		fmt.Fprintln(w, "no traces recorded (is -trace-sample off, or has the ring aged out?)")
 		return nil
 	}
-	fmt.Printf("%-34s %-14s %6s  %-20s  %s\n", "TRACE", "ROOT", "SPANS", "START", "DURATION")
+	fmt.Fprintf(w, "%-34s %-14s %6s  %-20s  %s\n", "TRACE", "ROOT", "SPANS", "START", "DURATION")
 	for _, t := range body.Traces {
-		fmt.Printf("%-34s %-14s %6d  %-20s  %s\n",
+		fmt.Fprintf(w, "%-34s %-14s %6d  %-20s  %s\n",
 			t.TraceID, t.Root, t.Spans,
-			t.Start.UTC().Format(time.RFC3339), formatUS(t.DurationUS))
+			t.Start.UTC().Format(time.RFC3339), inspect.FormatUS(t.DurationUS))
 	}
 	return nil
 }
 
 // showTrace fetches one trace (federated unless told otherwise) and
 // renders the span tree.
-func showTrace(client *http.Client, base, id string, federate, rawJSON bool, width int) error {
-	url := base + "/debug/traces/" + id
+func showTrace(w io.Writer, client *inspect.Client, base, id string, federate, rawJSON bool, width int) error {
+	u := base + "/debug/traces/" + id
 	if federate {
-		url += "?cluster=1"
+		u += "?cluster=1"
 	}
 	var body struct {
 		TraceID   string `json:"trace_id"`
@@ -113,64 +120,32 @@ func showTrace(client *http.Client, base, id string, federate, rawJSON bool, wid
 		} `json:"processes"`
 		Spans []obs.SpanRecord `json:"spans"`
 	}
-	if err := getJSON(client, url, &body); err != nil {
+	if err := client.GetJSON(u, &body); err != nil {
 		return err
 	}
 	if rawJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(body)
 	}
 	if len(body.Processes) > 0 {
-		fmt.Printf("trace %s — %d spans from %d processes\n", body.TraceID, len(body.Spans), len(body.Processes))
+		fmt.Fprintf(w, "trace %s — %d spans from %d processes\n", body.TraceID, len(body.Spans), len(body.Processes))
 		for _, p := range body.Processes {
 			if p.Error != "" {
-				fmt.Printf("  %-40s %4d spans  (unreachable: %s)\n", p.Process, p.Spans, p.Error)
+				fmt.Fprintf(w, "  %-40s %4d spans  (unreachable: %s)\n", p.Process, p.Spans, p.Error)
 			} else {
-				fmt.Printf("  %-40s %4d spans\n", p.Process, p.Spans)
+				fmt.Fprintf(w, "  %-40s %4d spans\n", p.Process, p.Spans)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	} else {
-		fmt.Printf("trace %s — %d spans\n\n", body.TraceID, len(body.Spans))
+		fmt.Fprintf(w, "trace %s — %d spans\n\n", body.TraceID, len(body.Spans))
 	}
 	// Server output is start-ordered already, but MergeSpans is cheap
 	// insurance that local views render in the same canonical order.
 	spans := obs.MergeSpans(body.Spans)
-	obs.WriteTree(os.Stdout, spans, width)
+	obs.WriteTree(w, spans, width)
 	return nil
-}
-
-// getJSON fetches url and decodes the JSON body, surfacing the server's
-// error envelope on non-200s.
-func getJSON(client *http.Client, url string, v any) error {
-	resp, err := client.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, e.Error)
-		}
-		return fmt.Errorf("GET %s: %s", url, resp.Status)
-	}
-	return json.NewDecoder(resp.Body).Decode(v)
-}
-
-func formatUS(us int64) string {
-	d := time.Duration(us) * time.Microsecond
-	switch {
-	case d < time.Millisecond:
-		return fmt.Sprintf("%dµs", us)
-	case d < time.Second:
-		return fmt.Sprintf("%.1fms", float64(us)/1000)
-	default:
-		return fmt.Sprintf("%.2fs", d.Seconds())
-	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,98 @@
+package inspect
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNormalizeBase(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:8372":  "http://127.0.0.1:8372",
+		"http://host:1/":  "http://host:1",
+		" https://host ":  "https://host",
+		"localhost:8372/": "http://localhost:8372",
+		"":                "",
+	}
+	for in, want := range cases {
+		if got := NormalizeBase(in); got != want {
+			t.Errorf("NormalizeBase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGetJSONErrorEnvelope(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/ok":
+			w.Write([]byte(`{"n": 7}`))
+		case "/enveloped":
+			w.WriteHeader(http.StatusNotFound)
+			w.Write([]byte(`{"error": "tracing is disabled"}`))
+		default:
+			http.Error(w, "plain", http.StatusTeapot)
+		}
+	}))
+	defer ts.Close()
+	c := NewClient(0)
+
+	var out struct {
+		N int `json:"n"`
+	}
+	if err := c.GetJSON(ts.URL+"/ok", &out); err != nil || out.N != 7 {
+		t.Fatalf("ok: %v n=%d", err, out.N)
+	}
+	err := c.GetJSON(ts.URL+"/enveloped", &out)
+	if err == nil || !strings.Contains(err.Error(), "tracing is disabled") {
+		t.Errorf("envelope error not surfaced: %v", err)
+	}
+	err = c.GetJSON(ts.URL+"/other", &out)
+	if err == nil || !strings.Contains(err.Error(), "418") {
+		t.Errorf("plain non-200 not surfaced: %v", err)
+	}
+}
+
+func TestFormatUS(t *testing.T) {
+	cases := map[int64]string{
+		412:       "412µs",
+		1500:      "1.5ms",
+		412_300:   "412.3ms",
+		2_500_000: "2.50s",
+	}
+	for us, want := range cases {
+		if got := FormatUS(us); got != want {
+			t.Errorf("FormatUS(%d) = %q, want %q", us, got, want)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	nan := math.NaN()
+	if got := Sparkline([]float64{0, 1, 2, 4}, 4); got != "▁▂▄█" {
+		t.Errorf("ramp = %q", got)
+	}
+	// Gaps are spaces; everything scales to the window max.
+	if got := Sparkline([]float64{nan, 4, nan, 2}, 4); got != " █ ▄" {
+		t.Errorf("gaps = %q", got)
+	}
+	// Narrow window keeps the newest points.
+	if got := Sparkline([]float64{9, 9, 0, 4}, 2); got != "▁█" {
+		t.Errorf("window = %q", got)
+	}
+	// Short series right-aligns into the width.
+	if got := Sparkline([]float64{4}, 3); got != "  █" {
+		t.Errorf("pad = %q", got)
+	}
+	// All-zero and all-gap windows stay flat/blank, never divide by zero.
+	if got := Sparkline([]float64{0, 0}, 2); got != "▁▁" {
+		t.Errorf("zeros = %q", got)
+	}
+	if got := Sparkline([]float64{nan, nan}, 2); got != "  " {
+		t.Errorf("all-gap = %q", got)
+	}
+	if got := Sparkline(nil, 3); got != "   " {
+		t.Errorf("empty = %q", got)
+	}
+}

@@ -34,6 +34,11 @@ const (
 	// FlightJob is one corpus-job state transition (queued, running,
 	// done, failed, canceled).
 	FlightJob
+	// FlightOutlier is one request committed to the outlier trace ring
+	// (slower than the slow threshold, or status ≥ 500); State carries
+	// the reason, so a SIGQUIT dump cross-references the retained traces
+	// in /debug/traces?outliers=1 by trace ID.
+	FlightOutlier
 )
 
 // String renders the kind for dumps.
@@ -45,6 +50,8 @@ func (k FlightKind) String() string {
 		return "lease"
 	case FlightJob:
 		return "job"
+	case FlightOutlier:
+		return "outlier"
 	}
 	return "unknown"
 }

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHistoryRingWrapAround: more samples than the ring holds keeps only
+// the newest window, oldest first, with the total tick count intact.
+func TestHistoryRingWrapAround(t *testing.T) {
+	h := NewHistory(16, time.Second)
+	var n float64
+	h.Gauge("n", func() float64 { n++; return n })
+	for i := 0; i < 23; i++ {
+		h.Sample()
+	}
+	d := h.Dump("test")
+	if d.Samples != 23 || d.Retention != 16 {
+		t.Fatalf("samples=%d retention=%d, want 23/16", d.Samples, d.Retention)
+	}
+	if len(d.Series) != 1 || d.Series[0].Name != "n" || d.Series[0].Kind != SeriesGauge {
+		t.Fatalf("series: %+v", d.Series)
+	}
+	pts := d.Series[0].Points
+	if len(pts) != 16 {
+		t.Fatalf("window holds %d points, want 16", len(pts))
+	}
+	// Samples 1..23 were taken; the ring keeps 8..23.
+	for i, p := range pts {
+		if want := float64(8 + i); float64(p) != want {
+			t.Errorf("point %d = %v, want %v", i, p, want)
+		}
+	}
+	if float64(d.Series[0].Last) != 23 {
+		t.Errorf("last = %v, want 23", d.Series[0].Last)
+	}
+}
+
+// TestHistoryRateAcrossCounterReset: a rate series yields per-second
+// rates, a gap on its first tick, and never a negative rate when the
+// underlying counter resets.
+func TestHistoryRateAcrossCounterReset(t *testing.T) {
+	h := NewHistory(16, 2*time.Second)
+	counter := 0.0
+	h.Rate("r", func() float64 { return counter })
+
+	h.Sample() // primes the baseline: gap
+	counter = 10
+	h.Sample()  // Δ10 over 2s → 5/s
+	counter = 4 // reset: a restart dropped the counter
+	h.Sample()  // best estimate: 4 over 2s → 2/s
+	counter = 4
+	h.Sample() // Δ0 → 0/s
+
+	pts := h.Dump("").Series[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	if !math.IsNaN(float64(pts[0])) {
+		t.Errorf("first tick = %v, want gap (NaN)", pts[0])
+	}
+	for i, want := range []float64{5, 2, 0} {
+		if got := float64(pts[i+1]); got != want {
+			t.Errorf("tick %d rate = %v, want %v", i+1, got, want)
+		}
+	}
+}
+
+// TestHistoryValueGapsAndJSON: value-kind gaps serialize as null and
+// round-trip back to NaN.
+func TestHistoryValueGapsAndJSON(t *testing.T) {
+	h := NewHistory(16, time.Second)
+	ok := false
+	h.Value("v", func() (float64, bool) { return 7.5, ok })
+	h.Sample() // gap
+	ok = true
+	h.Sample() // 7.5
+
+	raw, err := json.Marshal(h.Dump("p1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"points":[null,7.5]`) {
+		t.Fatalf("gap did not serialize as null: %s", raw)
+	}
+	var back HistoryDump
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Process != "p1" || len(back.Series) != 1 {
+		t.Fatalf("round-trip: %+v", back)
+	}
+	pts := back.Series[0].Points
+	if !math.IsNaN(float64(pts[0])) || float64(pts[1]) != 7.5 {
+		t.Errorf("round-tripped points = %v, want [NaN, 7.5]", pts)
+	}
+}
+
+// TestHistoryLateRegistration: a series registered mid-stream is aligned
+// on the shared tick axis, gaps before it existed.
+func TestHistoryLateRegistration(t *testing.T) {
+	h := NewHistory(16, time.Second)
+	h.Gauge("early", func() float64 { return 1 })
+	h.Sample()
+	h.Sample()
+	h.Gauge("late", func() float64 { return 2 })
+	h.Sample()
+
+	d := h.Dump("")
+	byName := map[string]HistorySeries{}
+	for _, s := range d.Series {
+		byName[s.Name] = s
+	}
+	late := byName["late"].Points
+	if len(late) != 3 {
+		t.Fatalf("late series has %d points, want 3 (aligned with the dump window)", len(late))
+	}
+	if !math.IsNaN(float64(late[0])) || !math.IsNaN(float64(late[1])) || float64(late[2]) != 2 {
+		t.Errorf("late series = %v, want [NaN, NaN, 2]", late)
+	}
+}
+
+// TestHistoryBeforeSampleHook: the hook runs per tick and can register
+// series (the dynamic per-spec path), idempotently.
+func TestHistoryBeforeSampleHook(t *testing.T) {
+	h := NewHistory(16, time.Second)
+	calls := 0
+	h.BeforeSample = func() {
+		calls++
+		h.Gauge("dyn", func() float64 { return 42 }) // re-offered every tick
+	}
+	h.Sample()
+	h.Sample()
+	if calls != 2 {
+		t.Fatalf("hook ran %d times, want 2", calls)
+	}
+	d := h.Dump("")
+	if len(d.Series) != 1 || d.Series[0].Name != "dyn" || float64(d.Series[0].Last) != 42 {
+		t.Fatalf("dynamic series: %+v", d.Series)
+	}
+	if len(d.Series[0].Points) != 2 {
+		t.Errorf("dynamic series has %d points, want 2 (registered on the first tick)", len(d.Series[0].Points))
+	}
+}
+
+// TestHistoryStartStop: the background sampler ticks and stops cleanly.
+func TestHistoryStartStop(t *testing.T) {
+	h := NewHistory(64, 5*time.Millisecond)
+	h.Gauge("g", func() float64 { return 1 })
+	h.Start()
+	h.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Dump("").Samples < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("background sampler never ticked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h.Stop()
+	h.Stop() // idempotent
+	n := h.Dump("").Samples
+	time.Sleep(30 * time.Millisecond)
+	if got := h.Dump("").Samples; got > n+1 {
+		// One in-flight tick may land after Stop; more means it kept going.
+		t.Errorf("sampler still running after Stop: %d → %d samples", n, got)
+	}
+}

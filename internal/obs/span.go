@@ -78,12 +78,13 @@ func (t *Tracer) StartRoot(ctx context.Context, name string, parent SpanContext,
 		return ctx, nil, trace
 	}
 	s := &Span{
-		tracer: t,
-		trace:  trace,
-		id:     NewSpanID(),
-		parent: parentID,
-		name:   name,
-		start:  time.Now(),
+		tracer:  t,
+		trace:   trace,
+		id:      NewSpanID(),
+		parent:  parentID,
+		name:    name,
+		start:   time.Now(),
+		sampled: true,
 	}
 	return ContextWithSpan(ctx, s), s, trace
 }
@@ -97,38 +98,48 @@ func (t *Tracer) Resume(ctx context.Context, name string, parent SpanContext) (c
 		return ctx, nil
 	}
 	s := &Span{
-		tracer: t,
-		trace:  parent.Trace,
-		id:     NewSpanID(),
-		parent: parent.Span,
-		name:   name,
-		start:  time.Now(),
+		tracer:  t,
+		trace:   parent.Trace,
+		id:      NewSpanID(),
+		parent:  parent.Span,
+		name:    name,
+		start:   time.Now(),
+		sampled: true,
 	}
 	return ContextWithSpan(ctx, s), s
 }
 
 // StartSpan begins a child of the span active in ctx. When ctx carries no
 // sampled span this is two pointer loads and returns (ctx, nil): stage
-// spans in the core engine cost nothing for unsampled requests.
+// spans in the core engine cost nothing for unsampled requests. A child
+// of a buffered span is allocated from the same buffer, so outlier
+// retention captures the full stage tree.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	parent := SpanFromContext(ctx)
 	if parent == nil {
 		return ctx, nil
 	}
+	if parent.buf != nil {
+		s := parent.buf.startSpan(parent.tracer, parent.trace, parent.id, name, parent.sampled)
+		return ContextWithSpan(ctx, s), s
+	}
 	s := &Span{
-		tracer: parent.tracer,
-		trace:  parent.trace,
-		id:     NewSpanID(),
-		parent: parent.id,
-		name:   name,
-		start:  time.Now(),
+		tracer:  parent.tracer,
+		trace:   parent.trace,
+		id:      NewSpanID(),
+		parent:  parent.id,
+		name:    name,
+		start:   time.Now(),
+		sampled: true,
 	}
 	return ContextWithSpan(ctx, s), s
 }
 
 // Span is one recorded operation. Attributes are set by the goroutine
-// that owns the span; End publishes it to the tracer's ring. All methods
-// are nil-safe so call sites never branch on sampling.
+// that owns the span; End publishes it to the tracer's ring — or, for a
+// buffered span (outlier retention), marks it finished in its SpanBuffer
+// for the commit decision at request end. All methods are nil-safe so
+// call sites never branch on sampling.
 type Span struct {
 	tracer *Tracer
 	trace  TraceID
@@ -136,21 +147,36 @@ type Span struct {
 	parent SpanID
 	name   string
 	start  time.Time
+	// sampled is the head-sampling decision the span propagates. Ring
+	// spans are sampled by definition; buffered spans exist regardless of
+	// sampling and must not upgrade downstream hops.
+	sampled bool
+	// buf, when non-nil, is the SpanBuffer this span lives in; bufGen is
+	// the buffer generation at allocation, so writes after the buffer was
+	// recycled become no-ops instead of corrupting the slot's next life.
+	buf    *SpanBuffer
+	bufGen uint64
 
 	mu    sync.Mutex
 	attrs []attr
 	ended bool
+	end   time.Time // buffered spans: set by End, read at commit
 }
 
 type attr struct{ key, value string }
 
-// Context returns the span's propagation fragment (always sampled: an
-// existing span is by definition a recorded one).
+// expired reports whether a buffered span outlived its buffer.
+func (s *Span) expired() bool {
+	return s.buf != nil && s.buf.gen.Load() != s.bufGen
+}
+
+// Context returns the span's propagation fragment, carrying the trace's
+// head-sampling decision.
 func (s *Span) Context() SpanContext {
 	if s == nil {
 		return SpanContext{}
 	}
-	return SpanContext{Trace: s.trace, Span: s.id, Sampled: true}
+	return SpanContext{Trace: s.trace, Span: s.id, Sampled: s.sampled}
 }
 
 // TraceID returns the span's trace ID, or the zero ID for a nil span.
@@ -163,7 +189,7 @@ func (s *Span) TraceID() TraceID {
 
 // Set attaches a string attribute.
 func (s *Span) Set(key, value string) {
-	if s == nil {
+	if s == nil || s.expired() {
 		return
 	}
 	s.mu.Lock()
@@ -189,13 +215,24 @@ func (s *Span) SetErr(err error) {
 	s.Set("error", err.Error())
 }
 
-// End finishes the span and publishes it to the ring. Safe to call more
-// than once; only the first call records.
+// End finishes the span. A ring span publishes to the tracer's ring; a
+// buffered span just records its end time — whether it ever becomes a
+// SpanRecord is decided when its buffer commits. Safe to call more than
+// once; only the first call records.
 func (s *Span) End() {
-	if s == nil {
+	if s == nil || s.expired() {
 		return
 	}
 	end := time.Now()
+	if s.buf != nil {
+		s.mu.Lock()
+		if !s.ended {
+			s.ended = true
+			s.end = end
+		}
+		s.mu.Unlock()
+		return
+	}
 	s.mu.Lock()
 	if s.ended {
 		s.mu.Unlock()
@@ -219,6 +256,33 @@ func (s *Span) End() {
 		DurationUS: end.Sub(s.start).Microseconds(),
 		Attrs:      attrs,
 	})
+}
+
+// record converts a buffered span to its SpanRecord at commit time. A
+// span still open is reported with its duration up to now.
+func (s *Span) record(now time.Time) SpanRecord {
+	s.mu.Lock()
+	end := s.end
+	if !s.ended {
+		end = now
+	}
+	var attrs map[string]string
+	if len(s.attrs) > 0 {
+		attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			attrs[a.key] = a.value
+		}
+	}
+	s.mu.Unlock()
+	return SpanRecord{
+		TraceID:    s.trace.String(),
+		SpanID:     s.id.String(),
+		ParentID:   parentString(s.parent),
+		Name:       s.name,
+		Start:      s.start,
+		DurationUS: end.Sub(s.start).Microseconds(),
+		Attrs:      attrs,
+	}
 }
 
 func parentString(p SpanID) string {

@@ -8,14 +8,22 @@ package service
 // fans the trace ID out to every worker in its pool and merges the
 // remote spans with its own into one parent-linked tree.
 //
+// GET /debug/traces?outliers=1 lists the retained outlier traces: the
+// slow/5xx requests whose full span trees were committed at request end
+// regardless of head sampling. ?route= and ?min_ms= filter both
+// listings; ?cluster=1 federates the outlier view like the trace view.
+//
 // GET /debug/flight dumps the flight recorder: the black-box ring of
-// request/lease/job records kept regardless of trace sampling.
+// request/lease/job/outlier records kept regardless of trace sampling.
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/url"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -24,7 +32,9 @@ import (
 )
 
 // handleTraces serves GET /debug/traces: recently finished traces, most
-// recent first, capped by ?limit= (default 100).
+// recent first — or, with ?outliers=1, the retained slow/5xx traces.
+// ?limit= caps the listing (default 100), ?route= keeps one route, and
+// ?min_ms= drops entries faster than the threshold.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
@@ -39,11 +49,62 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	traces := s.tracer.Ring().Traces(limit)
-	if traces == nil {
-		traces = []obs.TraceSummary{}
+	minMS, err := queryInt(r, "min_ms", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := r.URL.Query()
+	route := q.Get("route")
+	if q.Get("outliers") == "1" {
+		if q.Get("cluster") == "1" && s.coordinator != nil {
+			s.serveFederatedOutliers(w, r, route, minMS, limit)
+			return
+		}
+		outliers, written := s.outliers.Snapshot()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"outliers": filterOutliers(outliers, "", route, minMS, limit),
+			"written":  written,
+		})
+		return
+	}
+	all := s.tracer.Ring().Traces(0)
+	traces := make([]obs.TraceSummary, 0, len(all))
+	for _, ts := range all {
+		if route != "" && ts.Root != route && ts.Root != "http."+route {
+			continue
+		}
+		if minMS > 0 && ts.DurationUS < int64(minMS)*1000 {
+			continue
+		}
+		traces = append(traces, ts)
+		if limit > 0 && len(traces) == limit {
+			break
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"traces": traces})
+}
+
+// filterOutliers applies the listing filters to an already newest-first
+// outlier snapshot, labeling each entry with process when non-empty.
+func filterOutliers(in []obs.OutlierTrace, process, route string, minMS, limit int) []obs.OutlierTrace {
+	out := make([]obs.OutlierTrace, 0, len(in))
+	for _, o := range in {
+		if route != "" && o.Route != route {
+			continue
+		}
+		if minMS > 0 && o.DurationUS < int64(minMS)*1000 {
+			continue
+		}
+		if process != "" {
+			o.Process = process
+		}
+		out = append(out, o)
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	return out
 }
 
 // handleTrace serves GET /debug/traces/{id}: every span the ring still
@@ -77,61 +138,118 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"trace_id": id, "spans": spans})
 }
 
-// peerTraceClient fetches remote trace spans during federation; the
-// short timeout bounds the whole fan-out — a dead worker costs one
-// timeout, not a hung request.
-var peerTraceClient = &http.Client{Timeout: 5 * time.Second}
+// peerClient fetches remote debug views during federation; the short
+// timeout bounds the whole fan-out — a dead worker costs one timeout,
+// not a hung request.
+var peerClient = &http.Client{Timeout: 5 * time.Second}
+
+// peerResult is one live worker's raw answer from a federated fan-out.
+type peerResult struct {
+	worker string
+	found  bool   // false when the worker answered 404 (no data — a normal answer)
+	body   []byte // raw JSON body when found
+	err    error  // transport failure or non-200/404 status
+}
+
+// fanOutWorkers queries path on every live pool worker (static pool plus
+// dynamic joins; workers whose heartbeats have expired are skipped)
+// concurrently, each bounded by peerClient's timeout. Federated views
+// never fail on a down worker: its error rides in its peerResult.
+func (s *Server) fanOutWorkers(ctx context.Context, path string) []peerResult {
+	workers := s.coordinator.Pool().Snapshot()
+	out := make([]peerResult, 0, len(workers))
+	for _, worker := range workers {
+		if worker.State == "expired" {
+			continue
+		}
+		out = append(out, peerResult{worker: worker.ID})
+	}
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func(p *peerResult) {
+			defer wg.Done()
+			p.body, p.found, p.err = fetchPeerJSON(ctx, p.worker, path)
+		}(&out[i])
+	}
+	wg.Wait()
+	return out
+}
+
+// fetchPeerJSON performs one federation GET. A 404 reports (nil, false,
+// nil): the worker holds no data for the query, which is an answer, not
+// a failure.
+func fetchPeerJSON(ctx context.Context, baseURL, path string) ([]byte, bool, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(baseURL, "/")+path, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := peerClient.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return nil, false, err
+	}
+	return body, true, nil
+}
+
+// decodePeerBody unmarshals a peer's raw federation answer.
+func decodePeerBody(body []byte, v any) error { return json.Unmarshal(body, v) }
 
 // traceProcess summarizes one process's contribution to a federated
-// trace.
+// view (spans of one trace, or retained outliers).
 type traceProcess struct {
-	Process string `json:"process"`
-	Spans   int    `json:"spans"`
+	Process  string `json:"process"`
+	Spans    int    `json:"spans,omitempty"`
+	Outliers int    `json:"outliers,omitempty"`
 	// Error is set when the process could not be queried (down worker,
-	// timeout); its spans are simply missing from the merged view.
+	// timeout); its contribution is simply missing from the merged view.
 	Error string `json:"error,omitempty"`
 }
 
 // serveFederatedTrace answers GET /debug/traces/{id}?cluster=1 on a
-// coordinator: concurrent fan-out of the trace ID to every known worker
-// (static pool plus dynamic joins; only workers whose heartbeats have
-// expired are skipped), then a merge of remote and local spans into one
-// parent-linked set. A worker that holds no spans for the trace (404)
-// contributes zero spans, not an error. Workers are queried without
-// ?cluster=1, so federation never recurses.
+// coordinator: concurrent fan-out of the trace ID to every live worker,
+// then a merge of remote and local spans into one parent-linked set.
+// Workers are queried without ?cluster=1, so federation never recurses.
 func (s *Server) serveFederatedTrace(w http.ResponseWriter, r *http.Request, id string, local []obs.SpanRecord) {
 	for i := range local {
 		local[i].Process = s.cfg.ProcessLabel
 	}
 	processes := []traceProcess{{Process: s.cfg.ProcessLabel, Spans: len(local)}}
 	groups := [][]obs.SpanRecord{local}
+	workerCount := 0
 
-	workers := s.coordinator.Pool().Snapshot()
-	remote := make([][]obs.SpanRecord, len(workers))
-	errs := make([]error, len(workers))
-	var wg sync.WaitGroup
-	for i, worker := range workers {
-		if worker.State == "expired" {
-			continue
+	for _, pr := range s.fanOutWorkers(r.Context(), "/debug/traces/"+url.PathEscape(id)) {
+		workerCount++
+		var spans []obs.SpanRecord
+		if pr.err == nil && pr.found {
+			var body struct {
+				Spans []obs.SpanRecord `json:"spans"`
+			}
+			if err := decodePeerBody(pr.body, &body); err != nil {
+				pr.err = err
+			} else {
+				spans = body.Spans
+			}
 		}
-		wg.Add(1)
-		go func(i int, url string) {
-			defer wg.Done()
-			remote[i], errs[i] = fetchPeerTrace(r.Context(), url, id)
-		}(i, worker.ID)
-	}
-	wg.Wait()
-	for i, worker := range workers {
-		if worker.State == "expired" {
-			continue
-		}
-		spans := remote[i]
 		for k := range spans {
-			spans[k].Process = worker.ID
+			spans[k].Process = pr.worker
 		}
-		p := traceProcess{Process: worker.ID, Spans: len(spans)}
-		if errs[i] != nil {
-			p.Error = errs[i].Error()
+		p := traceProcess{Process: pr.worker, Spans: len(spans)}
+		if pr.err != nil {
+			p.Error = pr.err.Error()
 		}
 		processes = append(processes, p)
 		groups = append(groups, spans)
@@ -140,7 +258,7 @@ func (s *Server) serveFederatedTrace(w http.ResponseWriter, r *http.Request, id 
 	merged := obs.MergeSpans(groups...)
 	if len(merged) == 0 {
 		writeError(w, http.StatusNotFound,
-			"no spans recorded for trace %q on the coordinator or any of %d workers", id, len(workers))
+			"no spans recorded for trace %q on the coordinator or any of %d workers", id, workerCount)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -151,35 +269,55 @@ func (s *Server) serveFederatedTrace(w http.ResponseWriter, r *http.Request, id 
 	})
 }
 
-// fetchPeerTrace fetches one worker's spans for a trace ID. A 404 means
-// the worker holds no spans for that trace — a normal answer, not a
-// failure.
-func fetchPeerTrace(ctx context.Context, baseURL, id string) ([]obs.SpanRecord, error) {
-	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		strings.TrimSuffix(baseURL, "/")+"/debug/traces/"+id, nil)
-	if err != nil {
-		return nil, err
+// serveFederatedOutliers answers GET /debug/traces?outliers=1&cluster=1:
+// the coordinator's retained outliers merged with every live worker's,
+// newest first, each labeled with the process that retained it. Filters
+// are forwarded, so workers ship only what the view keeps.
+func (s *Server) serveFederatedOutliers(w http.ResponseWriter, r *http.Request, route string, minMS, limit int) {
+	local, _ := s.outliers.Snapshot()
+	merged := filterOutliers(local, s.cfg.ProcessLabel, route, minMS, 0)
+	processes := []traceProcess{{Process: s.cfg.ProcessLabel, Outliers: len(merged)}}
+
+	path := "/debug/traces?outliers=1"
+	if route != "" {
+		path += "&route=" + url.QueryEscape(route)
 	}
-	resp, err := peerTraceClient.Do(req)
-	if err != nil {
-		return nil, err
+	if minMS > 0 {
+		path += fmt.Sprintf("&min_ms=%d", minMS)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
-		return nil, nil
+	if limit > 0 {
+		path += fmt.Sprintf("&limit=%d", limit)
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	for _, pr := range s.fanOutWorkers(r.Context(), path) {
+		p := traceProcess{Process: pr.worker}
+		if pr.err == nil && pr.found {
+			var body struct {
+				Outliers []obs.OutlierTrace `json:"outliers"`
+			}
+			if err := decodePeerBody(pr.body, &body); err != nil {
+				pr.err = err
+			} else {
+				for k := range body.Outliers {
+					body.Outliers[k].Process = pr.worker
+				}
+				p.Outliers = len(body.Outliers)
+				merged = append(merged, body.Outliers...)
+			}
+		}
+		if pr.err != nil {
+			p.Error = pr.err.Error()
+		}
+		processes = append(processes, p)
 	}
-	var body struct {
-		Spans []obs.SpanRecord `json:"spans"`
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Start.After(merged[j].Start) })
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return nil, err
-	}
-	return body.Spans, nil
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cluster":   true,
+		"processes": processes,
+		"outliers":  merged,
+	})
 }
 
 // handleFlight serves GET /debug/flight: the flight recorder's current

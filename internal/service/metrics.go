@@ -73,6 +73,19 @@ type routeStats struct {
 	name    string
 	codes   [500]atomic.Uint64 // status code − 100
 	latency histogram
+	// slow counts requests committed to the outlier trace ring (latency
+	// over the slow threshold, or status ≥ 500); incremented by the
+	// commit path, not by observe.
+	slow atomic.Uint64
+}
+
+// routeList snapshots the registered routes, registration order. The
+// history sampler uses it to wire per-route series after the mux is
+// built.
+func (m *metrics) routeList() []*routeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*routeStats(nil), m.routes...)
 }
 
 // route registers (or returns) the stats slot for a route name. Called
@@ -226,6 +239,14 @@ func (m *metrics) render(sb *strings.Builder, extra []gauge) {
 		}
 	}
 
+	sb.WriteString("# HELP comet_slow_requests_total Requests committed to the outlier trace ring (latency over the slow threshold, or status >= 500), by route.\n")
+	sb.WriteString("# TYPE comet_slow_requests_total counter\n")
+	for _, rs := range routes {
+		if n := rs.slow.Load(); n > 0 {
+			fmt.Fprintf(sb, "comet_slow_requests_total{route=%q} %d\n", rs.name, n)
+		}
+	}
+
 	sb.WriteString("# HELP comet_request_seconds Request latency, by route.\n")
 	sb.WriteString("# TYPE comet_request_seconds histogram\n")
 	for _, rs := range routes {
@@ -357,6 +378,11 @@ func (h *histogram) observe(v float64) {
 			return
 		}
 	}
+}
+
+// sum reads the histogram's running sum of observed values.
+func (h *histogram) sum() float64 {
+	return math.Float64frombits(h.sumBits.Load())
 }
 
 func (h *histogram) render(sb *strings.Builder, name, labels string) {

@@ -254,3 +254,24 @@ func (r *modelRegistry) cacheGauges() []gauge {
 	}
 	return out
 }
+
+// cacheTotals sums prediction-cache hits and misses across every warmed
+// entry — the aggregate counters behind the history's
+// hit_rate.prediction_cache series.
+func (r *modelRegistry) cacheTotals() (hits, misses uint64) {
+	r.mu.Lock()
+	entries := make([]*modelEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		if !e.warm.Load() || e.err != nil {
+			continue
+		}
+		st := e.cache.Stats()
+		hits += st.Hits
+		misses += st.Misses
+	}
+	return hits, misses
+}

@@ -18,8 +18,10 @@
 //	GET  /healthz           liveness
 //	GET  /readyz            readiness (200 only after SetReady: warm-up + Restore done)
 //	GET  /metrics           Prometheus text metrics
-//	GET  /debug/traces      recently finished traces, most recent first (?limit=)
-//	GET  /debug/traces/{id} every recorded span of one trace
+//	GET  /debug/traces      recently finished traces (?limit=&route=&min_ms=; ?outliers=1 for retained slow/5xx traces)
+//	GET  /debug/traces/{id} every recorded span of one trace (?cluster=1 federates)
+//	GET  /debug/flight      flight-recorder dump (the black-box request/lease/job ring)
+//	GET  /debug/history     telemetry time-series: per-route rates and latency quantiles, cache hit rates, queues, quality (?cluster=1 federates)
 //
 // Every request is assigned (or joins, via an incoming W3C traceparent
 // header) a trace; the trace ID comes back in the X-Comet-Trace-Id
@@ -185,6 +187,21 @@ type Config struct {
 	// transition regardless of trace sampling, served by GET /debug/flight
 	// and dumped on SIGQUIT (0 = 2048 records).
 	FlightRecorderSize int
+	// TraceSlowMS is the outlier threshold in milliseconds: a hot-route
+	// request slower than this (or any request with status ≥ 500) commits
+	// its full span tree to the outlier ring regardless of head sampling
+	// (0 = 500; negative disables outlier retention).
+	TraceSlowMS int
+	// OutlierRingSize bounds the retained outlier traces served by
+	// GET /debug/traces?outliers=1 (0 = 256).
+	OutlierRingSize int
+	// HistoryRingSize bounds the per-series telemetry history served by
+	// GET /debug/history, in samples (0 = 600 — ten minutes at the
+	// default interval).
+	HistoryRingSize int
+	// HistoryInterval is the telemetry sampling cadence (0 = 1s; negative
+	// disables the background sampler, leaving /debug/history empty).
+	HistoryInterval time.Duration
 	// ProcessLabel names this process in federated trace views and flight
 	// dumps ("coordinator", "worker-1", an advertise URL). Defaults to
 	// "coordinator" when coordinator mode is on, "local" otherwise.
@@ -251,6 +268,18 @@ func (c Config) withDefaults() Config {
 	if c.FlightRecorderSize <= 0 {
 		c.FlightRecorderSize = 2048
 	}
+	if c.TraceSlowMS == 0 {
+		c.TraceSlowMS = 500
+	}
+	if c.OutlierRingSize <= 0 {
+		c.OutlierRingSize = 256
+	}
+	if c.HistoryRingSize <= 0 {
+		c.HistoryRingSize = 600
+	}
+	if c.HistoryInterval == 0 {
+		c.HistoryInterval = time.Second
+	}
 	if c.ProcessLabel == "" {
 		if c.Coordinator || len(c.ClusterWorkers) > 0 {
 			c.ProcessLabel = "coordinator"
@@ -282,8 +311,12 @@ type Server struct {
 	coordinator *cluster.Coordinator
 	tracer      *obs.Tracer
 	flight      *obs.FlightRecorder
-	log         *slog.Logger // component=service
-	logPersist  *slog.Logger // component=persist
+	outliers    *obs.OutlierRing
+	history     *obs.History
+	// slowThreshold is the outlier latency cutoff; 0 disables retention.
+	slowThreshold time.Duration
+	log           *slog.Logger // component=service
+	logPersist    *slog.Logger // component=persist
 
 	explainSlots   chan struct{}
 	explainWaiting atomic.Int64
@@ -320,6 +353,15 @@ func New(cfg Config) *Server {
 	}
 	s.tracer = obs.NewTracer(cfg.TraceRingSize, sampleN)
 	s.flight = obs.NewFlightRecorder(cfg.FlightRecorderSize)
+	s.outliers = obs.NewOutlierRing(cfg.OutlierRingSize)
+	if cfg.TraceSlowMS > 0 {
+		s.slowThreshold = time.Duration(cfg.TraceSlowMS) * time.Millisecond
+	}
+	historyInterval := cfg.HistoryInterval
+	if historyInterval < 0 {
+		historyInterval = time.Second // sampler stays stopped; the cadence only labels the dump
+	}
+	s.history = obs.NewHistory(cfg.HistoryRingSize, historyInterval)
 	if cfg.Coordinator || len(cfg.ClusterWorkers) > 0 {
 		copts := cfg.Cluster
 		if copts.Log == nil {
@@ -362,6 +404,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/traces", s.instrument("debug", s.handleTraces))
 	s.mux.HandleFunc("/debug/traces/", s.instrument("debug", s.handleTrace))
 	s.mux.HandleFunc("/debug/flight", s.instrument("debug", s.handleFlight))
+	s.mux.HandleFunc("/debug/history", s.instrument("debug", s.handleHistory))
+	s.registerHistory()
+	if cfg.HistoryInterval >= 0 {
+		s.history.Start()
+	}
 	return s
 }
 
@@ -414,6 +461,7 @@ func (s *Server) WarmModel(spec, archDefault string) error {
 // calling this.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.history.Stop()
 	s.cancel()
 	return s.jobs.shutdown(ctx)
 }
@@ -430,9 +478,17 @@ var sampledRoutes = map[string]bool{
 // instrument wraps a handler with the per-request observability stack:
 // trace extraction/minting (W3C traceparent in, X-Comet-Trace-Id out), a
 // root span for sampled traces, lock-free request counting and latency
-// recording, and a structured request log line. The route's stats slot
-// and span name are resolved once at wiring time; an unsampled request
-// pays two atomic adds, a histogram bucket, and one response header.
+// recording, outlier retention, and a structured request log line. The
+// route's stats slot and span name are resolved once at wiring time.
+//
+// Hot-route requests additionally buffer their spans into a pooled
+// SpanBuffer regardless of the head-sampling decision; at request end a
+// request that turned out slow (past the configured threshold) or broken
+// (status ≥ 500) commits the full buffered trace to the outlier ring —
+// tail-based retention of exactly the traces head sampling would have
+// thrown away. The interned binary warm path is exempt (it must not pay
+// even a pool Get — see the bench gate), as are force-traced routes,
+// whose spans are already in the main ring.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	rs := s.metrics.route(route)
 	spanName := "http." + route
@@ -449,7 +505,19 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		if tp := r.Header.Get("Traceparent"); tp != "" {
 			parent, _ = obs.ParseTraceparent(tp)
 		}
-		ctx, span, trace := s.tracer.StartRoot(r.Context(), spanName, parent, force || forcedTrace(r))
+		forced := force || forcedTrace(r)
+		var (
+			ctx   context.Context
+			span  *obs.Span
+			trace obs.TraceID
+			buf   *obs.SpanBuffer
+		)
+		if !forced && s.slowThreshold > 0 && s.tracer.Enabled() && !isFrameRequest(r) {
+			buf = obs.GetSpanBuffer()
+			ctx, span, trace = s.tracer.StartRootBuffered(r.Context(), spanName, parent, buf)
+		} else {
+			ctx, span, trace = s.tracer.StartRoot(r.Context(), spanName, parent, forced)
+		}
 		if !trace.IsZero() {
 			w.Header().Set("X-Comet-Trace-Id", trace.String())
 		}
@@ -471,8 +539,33 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		})
 		if span != nil {
 			span.Set("method", r.Method)
-			span.SetInt("status", int64(rec.code))
+			span.Set("status", statusLabel(rec.code))
 			span.End()
+		}
+		outlier := s.slowThreshold > 0 && (elapsed >= s.slowThreshold || rec.code >= 500)
+		if buf != nil {
+			// The commit decision: a healthy fast request recycles its buffer
+			// untouched (no conversion, no allocation); a sampled one flushes
+			// to the main ring; an outlier lands in the outlier ring with its
+			// full span tree.
+			if outlier || buf.Sampled() {
+				recs := buf.Records(time.Now())
+				if buf.Sampled() {
+					s.tracer.Flush(recs)
+				}
+				if outlier {
+					s.commitOutlier(rs, route, trace, rec.code, start, elapsed, recs)
+				}
+			}
+			obs.PutSpanBuffer(buf)
+		} else if outlier {
+			// Force-traced (or frame-path) outliers: the spans, if any, are
+			// already in the main ring — retain a copy with the trace.
+			var spans []obs.SpanRecord
+			if span != nil {
+				spans = s.tracer.Ring().Trace(trace.String())
+			}
+			s.commitOutlier(rs, route, trace, rec.code, start, elapsed, spans)
 		}
 		if s.log.Enabled(r.Context(), logLevel) {
 			s.log.LogAttrs(r.Context(), logLevel, "request",
@@ -483,6 +576,72 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 				obs.TraceAttr(trace))
 		}
 	}
+}
+
+// commitOutlier retains one slow-or-5xx request: its trace in the
+// outlier ring, a per-route counter tick, a flight record
+// cross-referencing the trace ID, and one structured warning — the four
+// places an operator looks, all agreeing.
+func (s *Server) commitOutlier(rs *routeStats, route string, trace obs.TraceID,
+	code int, start time.Time, elapsed time.Duration, spans []obs.SpanRecord) {
+	reason := obs.OutlierSlow
+	if code >= 500 {
+		reason = obs.OutlierError
+	}
+	s.outliers.Add(obs.OutlierTrace{
+		TraceID:    trace.String(),
+		Route:      route,
+		Status:     code,
+		Reason:     reason,
+		Start:      start.UTC(),
+		DurationUS: elapsed.Microseconds(),
+		Spans:      spans,
+	})
+	rs.slow.Add(1)
+	s.flight.Record(obs.FlightRecord{
+		Kind:      obs.FlightOutlier,
+		Route:     route,
+		Status:    code,
+		LatencyUS: elapsed.Microseconds(),
+		Trace:     trace,
+		State:     reason,
+	})
+	s.log.LogAttrs(context.Background(), slog.LevelWarn, "slow request",
+		slog.String("route", route),
+		slog.Int("status", code),
+		slog.Duration("elapsed", elapsed),
+		slog.String("reason", reason),
+		obs.TraceAttr(trace))
+}
+
+// statusLabel formats an HTTP status without allocating for the codes
+// this server actually writes. Since outlier retention, every buffered
+// request sets the attribute (not just the 1-in-N sampled ones), so the
+// formatting sits on the JSON warm path's alloc budget.
+func statusLabel(code int) string {
+	switch code {
+	case 200:
+		return "200"
+	case 202:
+		return "202"
+	case 400:
+		return "400"
+	case 403:
+		return "403"
+	case 404:
+		return "404"
+	case 405:
+		return "405"
+	case 413:
+		return "413"
+	case 429:
+		return "429"
+	case 500:
+		return "500"
+	case 503:
+		return "503"
+	}
+	return strconv.Itoa(code)
 }
 
 // forcedTrace reports whether the request explicitly asked to be traced:
